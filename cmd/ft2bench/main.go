@@ -1,0 +1,115 @@
+// Command ft2bench regenerates the tables and figures of the FT2 paper's
+// evaluation section on the Go reproduction. Each experiment is addressed
+// by its paper id:
+//
+//	ft2bench -exp fig13                # the main comparison
+//	ft2bench -exp all -out results/    # everything, one .txt + .csv per id
+//	ft2bench -list                     # what exists
+//
+// Sizes default to the Default() parameters; -trials/-inputs/-profile
+// override them (the paper's own scale is 50 inputs × 500 trials per cell).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ft2/internal/experiments"
+	"ft2/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig2..fig16, table1, table2, ablation-*) or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	outDir := flag.String("out", "", "directory for .txt and .csv outputs (default stdout only)")
+	trials := flag.Int("trials", 0, "override trials per cell")
+	inputs := flag.Int("inputs", 0, "override dataset inputs")
+	profile := flag.Int("profile", 0, "override profiling-split size")
+	seed := flag.Int64("seed", 42, "base seed")
+	quick := flag.Bool("quick", false, "use the quick (smoke-test) sizes")
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.Registry() {
+			fmt.Printf("%-18s %s\n", d.ID, d.Description)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "ft2bench: -exp required (or -list)")
+		os.Exit(2)
+	}
+
+	p := experiments.Default()
+	if *quick {
+		p = experiments.Quick()
+	}
+	if *trials > 0 {
+		p.Trials = *trials
+	}
+	if *inputs > 0 {
+		p.Inputs = *inputs
+	}
+	if *profile > 0 {
+		p.ProfileInputs = *profile
+	}
+	p.Seed = *seed
+
+	var drivers []experiments.Driver
+	if *exp == "all" {
+		drivers = experiments.Registry()
+	} else {
+		d, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		drivers = []experiments.Driver{d}
+	}
+
+	for _, d := range drivers {
+		start := time.Now()
+		tb, err := d.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ft2bench: %s failed: %v\n", d.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s) — %.1fs ===\n", d.ID, d.Description, time.Since(start).Seconds())
+		fmt.Println(tb.String())
+		if d.ID == "fig13" {
+			if summary, err := experiments.SummarizeFig13(tb); err == nil {
+				fmt.Println(summary.Table().String())
+				if *outDir != "" {
+					if err := writeOutputs(*outDir, "fig13-summary", summary.Table()); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+				}
+			}
+		}
+		if *outDir != "" {
+			if err := writeOutputs(*outDir, d.ID, tb); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeOutputs(dir, id string, tb *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+".txt"), []byte(tb.String()), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tb.CSV(f)
+}

@@ -1,0 +1,56 @@
+// Command ft2critical prints the structural criticality analysis for a zoo
+// model: each linear layer kind, what follows it on the dataflow path, the
+// heuristic verdict, the Table 1 protection-coverage matrix, and which
+// critical layers each baseline leaves exposed:
+//
+//	ft2critical -model llama2-7b-sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ft2/internal/arch"
+	"ft2/internal/model"
+)
+
+func main() {
+	modelName := flag.String("model", "llama2-7b-sim", "zoo model name")
+	flag.Parse()
+
+	cfg, err := model.ConfigByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ft2critical:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model %s (family %s, %d blocks)\n\n", cfg.Name, cfg.Family, cfg.Blocks)
+	fmt.Println("heuristic: a layer is critical iff no scaling operation or activation")
+	fmt.Print("layer is present before the next linear layer\n\n")
+
+	fmt.Printf("%-10s %-12s %-9s\n", "layer", "followed by", "critical")
+	for _, k := range cfg.Family.LayerKinds() {
+		crit := "no"
+		if arch.IsCritical(cfg.Family, k) {
+			crit = "YES"
+		}
+		fmt.Printf("%-10s %-12s %-9s\n", k, arch.NextOp(cfg.Family, k), crit)
+	}
+
+	fmt.Printf("\ncritical layer instances: %d of %d linear layers\n",
+		len(arch.CriticalLayers(cfg)), len(cfg.LinearLayers()))
+
+	fmt.Println("\ncoverage matrix (Table 1):")
+	fmt.Println(arch.CoverageTable(cfg.Family))
+
+	fmt.Println("critical layers left unprotected per method:")
+	for _, m := range []arch.Method{arch.MethodRanger, arch.MethodMaxiMals, arch.MethodGlobalClipper, arch.MethodFT2} {
+		gaps := arch.UnprotectedCritical(m, cfg.Family)
+		if len(gaps) == 0 {
+			fmt.Printf("  %-16s (none — full critical coverage)\n", m)
+			continue
+		}
+		fmt.Printf("  %-16s %v\n", m, gaps)
+	}
+}

@@ -1,0 +1,134 @@
+// Command ft2inject runs a standalone fault-injection campaign for one
+// model × dataset × fault model × protection cell and prints the SDC rate
+// with its per-layer-kind breakdown:
+//
+//	ft2inject -model llama2-7b-sim -dataset gsm8k-sim -fault EXP -method ft2 -trials 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ft2/internal/arch"
+	"ft2/internal/campaign"
+	"ft2/internal/core"
+	"ft2/internal/data"
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/protect"
+)
+
+func main() {
+	modelName := flag.String("model", "llama2-7b-sim", "zoo model name")
+	dsName := flag.String("dataset", "squad-sim", "dataset name")
+	faultName := flag.String("fault", "EXP", "fault model: 1-bit, 2-bit, EXP")
+	methodName := flag.String("method", "none", "protection: none, ranger, maximals, globalclipper, ft2, ft2-offline")
+	trials := flag.Int("trials", 300, "fault injections")
+	inputs := flag.Int("inputs", 5, "evaluation inputs")
+	profileN := flag.Int("profile", 40, "profiling-split size (offline methods)")
+	dtypeName := flag.String("dtype", "fp16", "activation dtype: fp16, fp32")
+	window := flag.String("window", "all", "injection window: all, first-token, following")
+	seed := flag.Int64("seed", 42, "base seed")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "ft2inject:", err)
+		os.Exit(1)
+	}
+
+	cfg, err := model.ConfigByName(*modelName)
+	if err != nil {
+		die(err)
+	}
+	ds, err := data.ByName(*dsName, *inputs)
+	if err != nil {
+		die(err)
+	}
+	fm, err := parseFault(*faultName)
+	if err != nil {
+		die(err)
+	}
+	method, err := parseMethod(*methodName)
+	if err != nil {
+		die(err)
+	}
+	dtype := numerics.FP16
+	if *dtypeName == "fp32" {
+		dtype = numerics.FP32
+	}
+
+	spec := campaign.Spec{
+		ModelCfg: cfg, ModelSeed: *seed, DType: dtype,
+		Fault: fm, Method: method, FT2Opts: core.Defaults(),
+		Dataset: ds, Trials: *trials, BaseSeed: *seed + 1000,
+	}
+	switch *window {
+	case "first-token":
+		spec.Window = campaign.WindowFirstToken
+	case "following":
+		spec.Window = campaign.WindowFollowing
+	case "all":
+	default:
+		die(fmt.Errorf("unknown window %q", *window))
+	}
+	switch method {
+	case arch.MethodRanger, arch.MethodMaxiMals, arch.MethodGlobalClipper, arch.MethodFT2Offline:
+		m, err := model.New(cfg, *seed, dtype)
+		if err != nil {
+			die(err)
+		}
+		spec.OfflineBounds = protect.OfflineProfile(m, ds.ProfileSplit(*profileN).Prompts(), ds.GenTokens)
+	}
+
+	res, err := campaign.Run(spec)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("model=%s dataset=%s fault=%s method=%s dtype=%s window=%s\n",
+		cfg.Name, ds.Name, fm, method, dtype, *window)
+	fmt.Printf("SDC rate: %s\n", res.SDC)
+	fmt.Printf("corrections: %d out-of-bound, %d NaN\n", res.Corrections.OutOfBound, res.Corrections.NaN)
+	fmt.Println("per-layer-kind SDC:")
+	kinds := make([]model.LayerKind, 0, len(res.ByKind))
+	for k := range res.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %s\n", k, res.ByKind[k])
+	}
+}
+
+func parseFault(s string) (numerics.FaultModel, error) {
+	switch s {
+	case "1-bit":
+		return numerics.SingleBit, nil
+	case "2-bit":
+		return numerics.DoubleBit, nil
+	case "EXP", "exp":
+		return numerics.ExponentBit, nil
+	default:
+		return 0, fmt.Errorf("unknown fault model %q", s)
+	}
+}
+
+func parseMethod(s string) (arch.Method, error) {
+	switch s {
+	case "none":
+		return arch.MethodNone, nil
+	case "ranger":
+		return arch.MethodRanger, nil
+	case "maximals":
+		return arch.MethodMaxiMals, nil
+	case "globalclipper":
+		return arch.MethodGlobalClipper, nil
+	case "ft2":
+		return arch.MethodFT2, nil
+	case "ft2-offline":
+		return arch.MethodFT2Offline, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}

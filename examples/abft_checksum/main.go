@@ -1,0 +1,78 @@
+// ABFT checksum: the related-work alternative to range restriction —
+// algorithm-based fault tolerance detects, locates, and repairs a single
+// corrupted matmul output via row/column checksums, at a measurable compute
+// overhead. This example contrasts its guarantees and cost with FT2's
+// range restriction on the same corruption.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ft2/internal/abft"
+	"ft2/internal/protect"
+	"ft2/internal/tensor"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	a := tensor.New(96, 96)
+	b := tensor.New(96, 96)
+	a.RandNormal(rng, 1)
+	b.RandNormal(rng, 1)
+
+	// A transient fault corrupts one product element with an
+	// exponent-flip-sized error.
+	corrupt := func(m *tensor.Tensor) { m.Set(17, 23, m.At(17, 23)+30000) }
+
+	// ABFT: detect + locate + repair.
+	repaired, res, err := abft.CheckedMatMul(a, b, corrupt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ABFT: detected=%v corrected=%v at (%d,%d)\n", res.Detected, res.Corrected, res.Row, res.Col)
+	clean := tensor.MatMul(a, b)
+	maxDiff := float32(0)
+	for i := range clean.Data {
+		d := repaired.Data[i] - clean.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("ABFT: max residual error after repair: %g\n", maxDiff)
+
+	// Range restriction: detects the out-of-bound value and clamps it to
+	// the bound — cheap, but the repaired value is approximate.
+	faulty := tensor.MatMul(a, b)
+	corrupt(faulty)
+	lo, hi := clean.MinMax()
+	st := protect.ClampCorrect(faulty.Data, protect.Bounds{Lo: lo, Hi: hi}, protect.ClipToBound, true)
+	fmt.Printf("\nRange restriction: corrected %d value(s); residual at fault site: %g\n",
+		st.OutOfBound, faulty.At(17, 23)-clean.At(17, 23))
+
+	// Cost comparison.
+	reps := 50
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		tensor.MatMul(a, b)
+	}
+	plain := time.Since(start)
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, _, err := abft.CheckedMatMul(a, b, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	checked := time.Since(start)
+	fmt.Printf("\nmatmul cost: plain %.2fms, ABFT-checked %.2fms (%.1f%% overhead)\n",
+		plain.Seconds()*1000/float64(reps), checked.Seconds()*1000/float64(reps),
+		(checked.Seconds()-plain.Seconds())/plain.Seconds()*100)
+	fmt.Println("\nABFT guarantees exact repair of single faults but pays checksum")
+	fmt.Println("costs on every multiplication; FT2's range restriction is nearly")
+	fmt.Println("free and targets exactly the extreme values that cause SDCs.")
+}

@@ -1,0 +1,63 @@
+// Critical layers: the structural criticality heuristic versus an
+// empirical leave-one-out fault-injection check, plus the Table 1 coverage
+// matrix — the analysis of the paper's Section 4.1 in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ft2"
+	"ft2/internal/arch"
+	"ft2/internal/campaign"
+	"ft2/internal/core"
+	"ft2/internal/data"
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/protect"
+)
+
+func main() {
+	cfg, err := ft2.ModelByName("gptj-6b-sim")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Heuristic: a layer is critical iff no scaling op or activation")
+	fmt.Println("precedes the next linear layer.")
+	fmt.Println()
+	for _, kind := range cfg.Family.LayerKinds() {
+		fmt.Printf("  %-10s followed by %-10s -> critical: %v\n",
+			kind, arch.NextOp(cfg.Family, kind), ft2.IsCriticalLayer(cfg, kind))
+	}
+
+	fmt.Println("\nTable 1 coverage matrix for this architecture family:")
+	fmt.Println(arch.CoverageTable(cfg.Family))
+
+	// Empirical spot-check: leave OUT_PROJ unprotected (a critical layer)
+	// versus leaving Q_PROJ unprotected (non-critical), everything else
+	// protected with offline bounds.
+	ds := data.SquadSim(3)
+	m := model.MustNew(cfg, 42, numerics.FP16)
+	bounds := protect.OfflineProfile(m, ds.ProfileSplit(15).Prompts(), ds.GenTokens)
+
+	for _, excluded := range []model.LayerKind{model.QProj, model.OutProj} {
+		cov := make(map[arch.CoveragePoint]bool)
+		for _, k := range cfg.Family.LayerKinds() {
+			if k != excluded {
+				cov[arch.CoveragePoint{Kind: k, Site: model.SiteLinearOut}] = true
+			}
+		}
+		res, err := campaign.Run(campaign.Spec{
+			ModelCfg: cfg, ModelSeed: 42, DType: numerics.FP16,
+			Fault: numerics.ExponentBit, Method: arch.MethodFT2Offline,
+			FT2Opts: core.Defaults(), OfflineBounds: bounds,
+			CustomCoverage: cov, Dataset: ds, Trials: 150, BaseSeed: 9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("leave %-10s unprotected (critical=%v): SDC %s\n",
+			excluded, ft2.IsCriticalLayer(cfg, excluded), res.SDC)
+	}
+}

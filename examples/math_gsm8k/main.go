@@ -1,0 +1,55 @@
+// Math workload: the long-generation GSM8K-style task (180 tokens per
+// inference) with every protection of the paper's comparison, including the
+// offline-profiled baselines — the workload of the paper's Figure 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ft2"
+)
+
+func main() {
+	cfg, err := ft2.ModelByName("qwen2-7b-sim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := ft2.LoadDataset("gsm8k-sim", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The offline baselines need profiled bounds; FT2 does not — that is
+	// the point of the paper. Profile on a split disjoint from evaluation.
+	m, err := ft2.NewModel(cfg, 42, ft2.FP16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounds := ft2.ProfileBounds(m, ds.ProfileSplit(20).Prompts(), ds.GenTokens)
+	fmt.Printf("offline bounds profiled for %d sites\n\n", bounds.Len())
+
+	methods := []ft2.Method{
+		ft2.MethodNone, ft2.MethodRanger, ft2.MethodMaxiMals,
+		ft2.MethodGlobalClipper, ft2.MethodFT2, ft2.MethodFT2Offline,
+	}
+	for _, method := range methods {
+		spec := ft2.CampaignSpec{
+			ModelCfg:      cfg,
+			ModelSeed:     42,
+			DType:         ft2.FP16,
+			Fault:         ft2.ExponentBit,
+			Method:        method,
+			FT2Opts:       ft2.DefaultOptions(),
+			OfflineBounds: bounds,
+			Dataset:       ds,
+			Trials:        80,
+			BaseSeed:      7,
+		}
+		res, err := ft2.RunCampaign(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s SDC %s\n", method, res.SDC)
+	}
+}

@@ -1,0 +1,146 @@
+// Package ft2 is the public API of the FT2 reproduction: first-token-
+// inspired online fault tolerance on critical layers for generative LLMs
+// (Sun et al., HPDC 2025), reimplemented from scratch in Go together with
+// every substrate the paper's evaluation depends on.
+//
+// The typical flow mirrors the paper's Figure 5:
+//
+//	cfg, _ := ft2.ModelByName("llama2-7b-sim")     // 1. pick a model
+//	m, _ := ft2.NewModel(cfg, 42, ft2.FP16)        //    build it
+//	crit := ft2.CriticalLayers(cfg)                // 2. structural analysis
+//	prot := ft2.Protect(m, ft2.DefaultOptions())   // 3. attach FT2
+//	out := prot.Generate(prompt, 60)               // 4. protected inference
+//
+// Everything else — the fault injector, the baseline protections, the
+// campaign runner, the synthetic datasets, and the per-figure experiment
+// drivers — is exposed through thin aliases so downstream users need only
+// this package for common work, while power users can import the internal
+// packages directly (same module).
+package ft2
+
+import (
+	"ft2/internal/arch"
+	"ft2/internal/campaign"
+	"ft2/internal/core"
+	"ft2/internal/data"
+	"ft2/internal/fault"
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/protect"
+)
+
+// Re-exported core types.
+type (
+	// Model is a decoder-only transformer with forward hooks.
+	Model = model.Model
+	// ModelConfig describes a model architecture.
+	ModelConfig = model.Config
+	// LayerRef addresses one linear layer instance.
+	LayerRef = model.LayerRef
+	// LayerKind identifies a linear layer's role in a block.
+	LayerKind = model.LayerKind
+	// Options tunes the FT2 protector.
+	Options = core.Options
+	// Protector is an attached FT2 instance.
+	Protector = core.FT2
+	// Dataset is a synthetic evaluation corpus.
+	Dataset = data.Dataset
+	// Method identifies a protection scheme.
+	Method = arch.Method
+	// FaultModel selects the bit-flip fault type.
+	FaultModel = numerics.FaultModel
+	// DType selects the activation storage precision.
+	DType = numerics.DType
+	// CampaignSpec configures a fault-injection campaign.
+	CampaignSpec = campaign.Spec
+	// CampaignResult aggregates a campaign's outcome statistics.
+	CampaignResult = campaign.Result
+	// Bounds is a protected activation range.
+	Bounds = protect.Bounds
+)
+
+// Precision and fault-model constants.
+const (
+	FP16 = numerics.FP16
+	FP32 = numerics.FP32
+
+	SingleBit   = numerics.SingleBit
+	DoubleBit   = numerics.DoubleBit
+	ExponentBit = numerics.ExponentBit
+)
+
+// Protection method constants (the paper's comparison set).
+const (
+	MethodNone          = arch.MethodNone
+	MethodRanger        = arch.MethodRanger
+	MethodMaxiMals      = arch.MethodMaxiMals
+	MethodGlobalClipper = arch.MethodGlobalClipper
+	MethodFT2           = arch.MethodFT2
+	MethodFT2Offline    = arch.MethodFT2Offline
+)
+
+// Models returns the seven-model zoo of the paper's Table 2 (scaled-down
+// simulations; see DESIGN.md for the substitution rationale).
+func Models() []ModelConfig { return model.Zoo() }
+
+// ModelByName looks up a zoo configuration.
+func ModelByName(name string) (ModelConfig, error) { return model.ConfigByName(name) }
+
+// NewModel builds a model with seeded deterministic weights.
+func NewModel(cfg ModelConfig, seed int64, dtype DType) (*Model, error) {
+	return model.New(cfg, seed, dtype)
+}
+
+// DefaultOptions returns the paper's FT2 configuration: critical-layer
+// coverage, first-token bounds scaled 2×, clip-to-bound, NaN correction.
+func DefaultOptions() Options { return core.Defaults() }
+
+// Protect attaches FT2 to a model. Use the returned Protector's Generate so
+// per-inference bounds reset correctly; call Detach to remove the hook.
+func Protect(m *Model, opts Options) *Protector { return core.Attach(m, opts) }
+
+// IsCriticalLayer applies the paper's heuristic: a layer is critical iff no
+// scaling operation or activation layer sits between it and the next linear
+// layer.
+func IsCriticalLayer(cfg ModelConfig, kind LayerKind) bool {
+	return arch.IsCritical(cfg.Family, kind)
+}
+
+// CriticalLayers lists every critical linear layer instance of a model.
+func CriticalLayers(cfg ModelConfig) []LayerRef { return arch.CriticalLayers(cfg) }
+
+// LoadDataset builds one of the synthetic evaluation datasets by name:
+// squad-sim, xtreme-sim, gsm8k-sim (plus the Figure 3 profiling corpora
+// chatprompts-sim, tweeteval-sim, mbpp-sim, opus-sim).
+func LoadDataset(name string, inputs int) (*Dataset, error) { return data.ByName(name, inputs) }
+
+// RunCampaign executes a statistical fault-injection campaign.
+func RunCampaign(spec CampaignSpec) (CampaignResult, error) { return campaign.Run(spec) }
+
+// ProfileBounds runs fault-free generations over prompts and records every
+// layer's activation range — the offline profiling workflow the baseline
+// methods require.
+func ProfileBounds(m *Model, prompts [][]int, genTokens int) *protect.Store {
+	return protect.OfflineProfile(m, prompts, genTokens)
+}
+
+// FaultSite is one sampled fault location (step, layer, element, bits).
+type FaultSite = fault.Site
+
+// FaultPlan samples fault sites over an inference configuration with
+// execution-time-weighted step exposure.
+type FaultPlan = fault.Plan
+
+// NewFaultPlan builds a sampling plan for statistical fault injection.
+// prefillWeight is the prefill pass's execution-time weight in decode-step
+// equivalents (<=0 defaults to 1; perfmodel.PrefillStepWeight supplies
+// hardware-derived values).
+func NewFaultPlan(cfg ModelConfig, promptLen, genTokens int, d DType, fm FaultModel, prefillWeight float64) *FaultPlan {
+	return fault.NewPlan(cfg, promptLen, genTokens, d, fm, prefillWeight)
+}
+
+// NewInjector builds a single-fault injector for a sampled site; register
+// its Hook on a model before any protection hooks.
+func NewInjector(site FaultSite, d DType) *fault.Injector {
+	return fault.NewInjector(site, d)
+}

@@ -1,0 +1,108 @@
+package ft2_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ft2"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	if len(ft2.Models()) != 7 {
+		t.Fatal("zoo must expose 7 models")
+	}
+	cfg, err := ft2.ModelByName("opt-2.7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ft2.NewModel(cfg, 1, ft2.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ft2.LoadDataset("squad-sim", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ft2.Protect(m, ft2.DefaultOptions())
+	defer p.Detach()
+	out := p.Generate(ds.Inputs[0].Prompt, 20)
+	if len(out) != 20 {
+		t.Fatalf("generated %d tokens", len(out))
+	}
+	if p.Bounds().Len() == 0 {
+		t.Error("FT2 captured no bounds")
+	}
+}
+
+func TestPublicCriticality(t *testing.T) {
+	cfg, err := ft2.ModelByName("llama2-7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := ft2.CriticalLayers(cfg)
+	if len(crit) != cfg.Blocks*4 {
+		t.Errorf("critical layers = %d, want %d", len(crit), cfg.Blocks*4)
+	}
+	if ft2.IsCriticalLayer(cfg, crit[0].Kind) != true {
+		t.Error("IsCriticalLayer inconsistent with CriticalLayers")
+	}
+}
+
+func TestPublicCampaign(t *testing.T) {
+	cfg, err := ft2.ModelByName("opt-2.7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ft2.LoadDataset("squad-sim", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.GenTokens, ds.AnswerLo, ds.AnswerHi = 12, 6, 10
+	res, err := ft2.RunCampaign(ft2.CampaignSpec{
+		ModelCfg: cfg, ModelSeed: 1, DType: ft2.FP16,
+		Fault: ft2.ExponentBit, Method: ft2.MethodFT2,
+		FT2Opts: ft2.DefaultOptions(), Dataset: ds,
+		Trials: 10, BaseSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SDC.Trials != 10 {
+		t.Errorf("trials = %d", res.SDC.Trials)
+	}
+}
+
+func TestPublicProfileBounds(t *testing.T) {
+	cfg, err := ft2.ModelByName("opt-2.7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ft2.NewModel(cfg, 1, ft2.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := ft2.ProfileBounds(m, [][]int{{4, 5, 6}}, 4)
+	if store.Len() == 0 {
+		t.Error("ProfileBounds recorded nothing")
+	}
+}
+
+func TestPublicFaultInjection(t *testing.T) {
+	cfg, err := ft2.ModelByName("opt-2.7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ft2.NewModel(cfg, 1, ft2.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := ft2.NewFaultPlan(cfg, 4, 8, ft2.FP16, ft2.ExponentBit, 2.0)
+	rng := rand.New(rand.NewSource(5))
+	site := plan.Sample(rng)
+	inj := ft2.NewInjector(site, ft2.FP16)
+	m.RegisterHook(inj.Hook())
+	m.Generate([]int{4, 5, 6, 7}, 8)
+	if !inj.Fired {
+		t.Error("public injector never fired")
+	}
+}

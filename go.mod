@@ -1,0 +1,3 @@
+module ft2
+
+go 1.22

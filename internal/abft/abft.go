@@ -1,0 +1,142 @@
+// Package abft implements algorithm-based fault tolerance for matrix
+// multiplication — the checksum technique of the paper's related work
+// (Liang et al., ALBERTA, ATTNChecker): the inputs are extended with
+// checksum rows/columns, the product is computed once, and a mismatch
+// between the product's checksums and its actual row/column sums reveals —
+// and for a single corrupted element, locates and repairs — a computation
+// fault. It provides the "high reliability but high overhead" comparison
+// point for FT2's low-overhead range restriction.
+package abft
+
+import (
+	"fmt"
+	"math"
+
+	"ft2/internal/tensor"
+)
+
+// Result reports what a checked multiplication observed.
+type Result struct {
+	// Detected is true if any checksum mismatch was found.
+	Detected bool
+	// Corrected is true if the mismatch was isolated to one element and
+	// repaired in place.
+	Corrected bool
+	// Row, Col locate the corrupted element when Corrected.
+	Row, Col int
+}
+
+// Tolerance bounds the relative checksum discrepancy attributed to
+// floating-point rounding; mismatches above it count as faults. Float32
+// summation over k terms loses ~k·2^-24 relative precision, so the default
+// is generous.
+const Tolerance = 1e-3
+
+// CheckedMatMul computes a×b and verifies the product with row and column
+// checksums. If exactly one output element disagrees with both its row and
+// column checksum, it is recomputed from the inputs and repaired. The
+// returned tensor is the (possibly repaired) product.
+//
+// corrupt, when non-nil, is invoked on the raw product before verification;
+// tests and the fault-injection harness use it to model a transient error
+// inside the multiplication.
+func CheckedMatMul(a, b *tensor.Tensor, corrupt func(*tensor.Tensor)) (*tensor.Tensor, Result, error) {
+	if a.Cols != b.Rows {
+		return nil, Result{}, fmt.Errorf("abft: shape mismatch %v × %v", a, b)
+	}
+	m, n := a.Rows, b.Cols
+
+	// Column checksum vector of a (1×k) and row checksum of b (k×1):
+	// colSum(C) = colSum(A)·B and rowSum(C) = A·rowSum(B).
+	aColSum := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			aColSum[j] += float64(v)
+		}
+	}
+	bRowSum := make([]float64, b.Rows)
+	for i := 0; i < b.Rows; i++ {
+		for _, v := range b.Row(i) {
+			bRowSum[i] += float64(v)
+		}
+	}
+
+	c := tensor.MatMul(a, b)
+	if corrupt != nil {
+		corrupt(c)
+	}
+
+	// Expected column sums of C: (colSum(A))·B.
+	expCol := make([]float64, n)
+	for k := 0; k < b.Rows; k++ {
+		brow := b.Row(k)
+		s := aColSum[k]
+		for j, v := range brow {
+			expCol[j] += s * float64(v)
+		}
+	}
+	// Expected row sums of C: A·(rowSum(B)).
+	expRow := make([]float64, m)
+	for i := 0; i < m; i++ {
+		arow := a.Row(i)
+		var s float64
+		for k, v := range arow {
+			s += float64(v) * bRowSum[k]
+		}
+		expRow[i] = s
+	}
+
+	badRows := checksumMismatches(c, expRow, true)
+	badCols := checksumMismatches(c, expCol, false)
+
+	res := Result{Detected: len(badRows) > 0 || len(badCols) > 0}
+	if !res.Detected {
+		return c, res, nil
+	}
+	if len(badRows) == 1 && len(badCols) == 1 {
+		// Single corrupted element: recompute it from the inputs.
+		i, j := badRows[0], badCols[0]
+		var s float64
+		arow := a.Row(i)
+		for k, v := range arow {
+			s += float64(v) * float64(b.At(k, j))
+		}
+		c.Set(i, j, float32(s))
+		res.Corrected = true
+		res.Row, res.Col = i, j
+	}
+	return c, res, nil
+}
+
+// checksumMismatches returns the indices whose actual sum deviates from the
+// expected sum beyond the rounding tolerance. NaN sums always mismatch.
+func checksumMismatches(c *tensor.Tensor, expected []float64, rows bool) []int {
+	var out []int
+	n := len(expected)
+	for i := 0; i < n; i++ {
+		var actual float64
+		if rows {
+			for _, v := range c.Row(i) {
+				actual += float64(v)
+			}
+		} else {
+			for r := 0; r < c.Rows; r++ {
+				actual += float64(c.At(r, i))
+			}
+		}
+		exp := expected[i]
+		if math.IsNaN(actual) {
+			out = append(out, i)
+			continue
+		}
+		scale := math.Abs(exp)
+		if scale < 1 {
+			scale = 1
+		}
+		if math.Abs(actual-exp) > Tolerance*scale {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+// Package arch analyzes transformer architectures for the FT2 criticality
+// heuristic (Section 4.1 of the paper): a linear layer is deemed *critical*
+// if no scaling operation or activation layer is present between its output
+// and the next linear layer. The analysis is purely structural — no
+// inference runs — which is exactly the point of the heuristic: it replaces
+// the expensive leave-one-out fault-injection study of Figure 6.
+//
+// The package also encodes the protection-coverage sets of the four methods
+// compared in Table 1 (Ranger, MaxiMals, Global Clipper, FT2).
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ft2/internal/model"
+)
+
+// FollowOp classifies what sits between a linear layer's output and the
+// next linear layer on its dataflow path.
+type FollowOp int
+
+const (
+	// FollowNone: the output reaches the next linear layer (or the residual
+	// stream) without any magnitude-limiting operation.
+	FollowNone FollowOp = iota
+	// FollowScaling: the output feeds the attention score computation,
+	// which scales by 1/sqrt(d) and passes through a softmax — both limit
+	// the magnitude of faulty values.
+	FollowScaling
+	// FollowActivation: the output passes through the MLP activation
+	// (ReLU/GELU/SiLU), which crushes extreme negative values and, combined
+	// with downstream protection, limits fault propagation.
+	FollowActivation
+)
+
+// String implements fmt.Stringer.
+func (f FollowOp) String() string {
+	switch f {
+	case FollowNone:
+		return "none"
+	case FollowScaling:
+		return "scaling"
+	case FollowActivation:
+		return "activation"
+	default:
+		return fmt.Sprintf("FollowOp(%d)", int(f))
+	}
+}
+
+// NextOp returns what follows a layer kind before the next linear layer in
+// the given architecture family.
+func NextOp(family model.Family, kind model.LayerKind) FollowOp {
+	switch kind {
+	case model.KProj, model.QProj:
+		// K and Q feed the attention score calculation: scaled dot product
+		// (×1/sqrt(d)) followed by softmax.
+		return FollowScaling
+	case model.FC1:
+		// FC1 is followed by the MLP activation (ReLU for OPT, GELU for
+		// GPT-J) before FC2.
+		return FollowActivation
+	case model.GateProj:
+		// GateProj passes through SiLU before the gating multiply and
+		// DownProj.
+		return FollowActivation
+	case model.VProj, model.OutProj, model.FC2, model.UpProj, model.DownProj:
+		// V is consumed directly by the attention-weight application (a
+		// convex combination, no magnitude reduction for extreme values);
+		// OutProj/FC2/DownProj feed the residual stream; UpProj is only
+		// multiplied element-wise by the activated gate (not itself
+		// activated).
+		return FollowNone
+	default:
+		panic(fmt.Sprintf("arch: unknown layer kind %v", kind))
+	}
+}
+
+// IsCritical applies the FT2 heuristic to one layer kind: critical iff no
+// scaling operation or activation layer follows it before the next linear
+// layer.
+func IsCritical(family model.Family, kind model.LayerKind) bool {
+	return NextOp(family, kind) == FollowNone
+}
+
+// CriticalKinds returns the critical layer kinds of a family, in block
+// order.
+func CriticalKinds(family model.Family) []model.LayerKind {
+	var out []model.LayerKind
+	for _, k := range family.LayerKinds() {
+		if IsCritical(family, k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// CriticalLayers returns every critical linear layer instance of a model
+// config.
+func CriticalLayers(cfg model.Config) []model.LayerRef {
+	var out []model.LayerRef
+	for _, ref := range cfg.LinearLayers() {
+		if IsCritical(cfg.Family, ref.Kind) {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// Method identifies a protection scheme compared in the paper.
+type Method int
+
+const (
+	// MethodNone applies no protection.
+	MethodNone Method = iota
+	// MethodRanger protects only activation-layer outputs (Chen et al.).
+	MethodRanger
+	// MethodMaxiMals protects attention-block and MLP outputs
+	// (OUT_PROJ, FC2, DOWN_PROJ) but misses V_PROJ and UP_PROJ.
+	MethodMaxiMals
+	// MethodGlobalClipper protects the attention-block linear layers
+	// (V_PROJ, OUT_PROJ) and corrects NaN, but ignores the MLP.
+	MethodGlobalClipper
+	// MethodFT2 protects every critical layer with first-token bounds.
+	MethodFT2
+	// MethodFT2Offline is FT2's coverage with offline-profiled bounds,
+	// used to validate the first-token bounds (Fig. 13).
+	MethodFT2Offline
+)
+
+// String implements fmt.Stringer with the paper's names.
+func (m Method) String() string {
+	switch m {
+	case MethodNone:
+		return "No Protection"
+	case MethodRanger:
+		return "Ranger"
+	case MethodMaxiMals:
+		return "MaxiMals"
+	case MethodGlobalClipper:
+		return "Global Clipper"
+	case MethodFT2:
+		return "FT2"
+	case MethodFT2Offline:
+		return "FT2 (offline bounds)"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// AllMethods lists the protections in the comparison order of Figure 13.
+var AllMethods = []Method{MethodNone, MethodRanger, MethodMaxiMals, MethodGlobalClipper, MethodFT2, MethodFT2Offline}
+
+// CoveragePoint is one protected hook site.
+type CoveragePoint struct {
+	Kind model.LayerKind
+	Site model.Site
+}
+
+// Coverage returns the set of hook sites a method protects for the given
+// family, reproducing Table 1. The returned map is keyed by coverage point;
+// membership means "protected".
+func Coverage(m Method, family model.Family) map[CoveragePoint]bool {
+	cov := make(map[CoveragePoint]bool)
+	linear := func(kinds ...model.LayerKind) {
+		present := make(map[model.LayerKind]bool)
+		for _, k := range family.LayerKinds() {
+			present[k] = true
+		}
+		for _, k := range kinds {
+			if present[k] {
+				cov[CoveragePoint{k, model.SiteLinearOut}] = true
+			}
+		}
+	}
+	switch m {
+	case MethodNone:
+	case MethodRanger:
+		// Activation outputs only: no linear layer is protected.
+		switch family {
+		case model.FamilyOPT, model.FamilyGPTJ:
+			cov[CoveragePoint{model.FC1, model.SiteActivationOut}] = true
+		case model.FamilyLlama:
+			cov[CoveragePoint{model.GateProj, model.SiteActivationOut}] = true
+		}
+	case MethodMaxiMals:
+		linear(model.OutProj, model.FC2, model.DownProj)
+	case MethodGlobalClipper:
+		linear(model.VProj, model.OutProj)
+	case MethodFT2, MethodFT2Offline:
+		linear(CriticalKinds(family)...)
+	default:
+		panic(fmt.Sprintf("arch: unknown method %v", m))
+	}
+	return cov
+}
+
+// CorrectsNaN reports whether the method detects and corrects NaN values at
+// its protected sites (Global Clipper and FT2 do; the others rely on range
+// checks alone, which NaN comparisons slip through).
+func CorrectsNaN(m Method) bool {
+	switch m {
+	case MethodGlobalClipper, MethodFT2, MethodFT2Offline:
+		return true
+	default:
+		return false
+	}
+}
+
+// CoverageTable renders the Table 1 criticality/coverage matrix for a
+// family as an aligned text table.
+func CoverageTable(family model.Family) string {
+	methods := []Method{MethodRanger, MethodMaxiMals, MethodGlobalClipper, MethodFT2}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-9s", "Layer", "Critical")
+	for _, m := range methods {
+		fmt.Fprintf(&b, " %-15s", m)
+	}
+	b.WriteByte('\n')
+	for _, k := range family.LayerKinds() {
+		crit := "N"
+		if IsCritical(family, k) {
+			crit = "Y"
+		}
+		fmt.Fprintf(&b, "%-10s %-9s", k, crit)
+		for _, m := range methods {
+			mark := ""
+			if Coverage(m, family)[CoveragePoint{k, model.SiteLinearOut}] {
+				mark = "yes"
+			}
+			fmt.Fprintf(&b, " %-15s", mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// UnprotectedCritical returns the critical layer kinds a method leaves
+// uncovered — the paper's explanation for each baseline's residual SDCs.
+func UnprotectedCritical(m Method, family model.Family) []model.LayerKind {
+	cov := Coverage(m, family)
+	var out []model.LayerKind
+	for _, k := range CriticalKinds(family) {
+		if !cov[CoveragePoint{k, model.SiteLinearOut}] {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,183 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"ft2/internal/model"
+)
+
+// Table 1 ground truth: the paper's criticality column.
+func TestCriticalityMatchesTable1(t *testing.T) {
+	want := map[model.LayerKind]bool{
+		model.KProj:    false,
+		model.QProj:    false,
+		model.VProj:    true,
+		model.OutProj:  true,
+		model.FC1:      false,
+		model.FC2:      true,
+		model.UpProj:   true,
+		model.GateProj: false,
+		model.DownProj: true,
+	}
+	for _, f := range []model.Family{model.FamilyOPT, model.FamilyGPTJ, model.FamilyLlama} {
+		for _, k := range f.LayerKinds() {
+			if got := IsCritical(f, k); got != want[k] {
+				t.Errorf("%v/%v: IsCritical=%v, want %v", f, k, got, want[k])
+			}
+		}
+	}
+}
+
+func TestNextOpClassification(t *testing.T) {
+	if NextOp(model.FamilyOPT, model.KProj) != FollowScaling {
+		t.Error("K_PROJ must be followed by scaling")
+	}
+	if NextOp(model.FamilyOPT, model.FC1) != FollowActivation {
+		t.Error("FC1 must be followed by activation")
+	}
+	if NextOp(model.FamilyLlama, model.GateProj) != FollowActivation {
+		t.Error("GATE_PROJ must be followed by activation")
+	}
+	if NextOp(model.FamilyLlama, model.UpProj) != FollowNone {
+		t.Error("UP_PROJ has no magnitude-limiting follower")
+	}
+	if FollowNone.String() != "none" || FollowScaling.String() != "scaling" || FollowActivation.String() != "activation" {
+		t.Error("FollowOp strings wrong")
+	}
+}
+
+func TestCriticalKindsPerFamily(t *testing.T) {
+	opt := CriticalKinds(model.FamilyOPT)
+	if len(opt) != 3 { // V, OUT, FC2
+		t.Fatalf("OPT critical kinds = %v, want 3", opt)
+	}
+	llama := CriticalKinds(model.FamilyLlama)
+	if len(llama) != 4 { // V, OUT, UP, DOWN
+		t.Fatalf("Llama critical kinds = %v, want 4", llama)
+	}
+}
+
+func TestCriticalLayersCount(t *testing.T) {
+	cfg, err := model.ConfigByName("llama2-7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := CriticalLayers(cfg)
+	if len(crit) != cfg.Blocks*4 {
+		t.Errorf("critical layers = %d, want %d", len(crit), cfg.Blocks*4)
+	}
+}
+
+// Table 1 coverage ground truth per method.
+func TestCoverageMatchesTable1(t *testing.T) {
+	fam := model.FamilyLlama
+	cases := []struct {
+		m     Method
+		kinds []model.LayerKind
+	}{
+		{MethodNone, nil},
+		{MethodMaxiMals, []model.LayerKind{model.OutProj, model.DownProj}}, // FC2 absent in llama blocks
+		{MethodGlobalClipper, []model.LayerKind{model.VProj, model.OutProj}},
+		{MethodFT2, []model.LayerKind{model.VProj, model.OutProj, model.UpProj, model.DownProj}},
+	}
+	for _, c := range cases {
+		cov := Coverage(c.m, fam)
+		gotLinear := 0
+		for p := range cov {
+			if p.Site == model.SiteLinearOut {
+				gotLinear++
+			}
+		}
+		if gotLinear != len(c.kinds) {
+			t.Errorf("%v: covers %d linear kinds, want %d", c.m, gotLinear, len(c.kinds))
+		}
+		for _, k := range c.kinds {
+			if !cov[CoveragePoint{k, model.SiteLinearOut}] {
+				t.Errorf("%v must cover %v", c.m, k)
+			}
+		}
+	}
+	// OPT family: MaxiMals covers OUT_PROJ and FC2.
+	covOpt := Coverage(MethodMaxiMals, model.FamilyOPT)
+	if !covOpt[CoveragePoint{model.FC2, model.SiteLinearOut}] || !covOpt[CoveragePoint{model.OutProj, model.SiteLinearOut}] {
+		t.Error("MaxiMals on OPT must cover OUT_PROJ and FC2")
+	}
+	if covOpt[CoveragePoint{model.VProj, model.SiteLinearOut}] {
+		t.Error("MaxiMals must not cover V_PROJ")
+	}
+}
+
+func TestRangerCoversOnlyActivations(t *testing.T) {
+	for _, f := range []model.Family{model.FamilyOPT, model.FamilyGPTJ, model.FamilyLlama} {
+		cov := Coverage(MethodRanger, f)
+		if len(cov) != 1 {
+			t.Fatalf("%v: Ranger coverage size %d, want 1", f, len(cov))
+		}
+		for p := range cov {
+			if p.Site != model.SiteActivationOut {
+				t.Errorf("%v: Ranger must protect activation outputs only, got %v", f, p)
+			}
+		}
+	}
+}
+
+func TestFT2CoversAllCritical(t *testing.T) {
+	for _, f := range []model.Family{model.FamilyOPT, model.FamilyGPTJ, model.FamilyLlama} {
+		if miss := UnprotectedCritical(MethodFT2, f); len(miss) != 0 {
+			t.Errorf("%v: FT2 leaves critical layers unprotected: %v", f, miss)
+		}
+		if miss := UnprotectedCritical(MethodFT2Offline, f); len(miss) != 0 {
+			t.Errorf("%v: FT2-offline leaves critical layers unprotected: %v", f, miss)
+		}
+	}
+}
+
+// The paper's explanation for baseline deficiencies: MaxiMals misses UP_PROJ
+// on Llama-family models; Global Clipper misses the MLP critical layers;
+// Ranger misses everything.
+func TestBaselineGaps(t *testing.T) {
+	if miss := UnprotectedCritical(MethodMaxiMals, model.FamilyLlama); len(miss) != 2 ||
+		miss[0] != model.VProj || miss[1] != model.UpProj {
+		t.Errorf("MaxiMals/llama gaps = %v, want [V_PROJ UP_PROJ]", miss)
+	}
+	if miss := UnprotectedCritical(MethodGlobalClipper, model.FamilyOPT); len(miss) != 1 || miss[0] != model.FC2 {
+		t.Errorf("GlobalClipper/opt gaps = %v, want [FC2]", miss)
+	}
+	if miss := UnprotectedCritical(MethodRanger, model.FamilyOPT); len(miss) != 3 {
+		t.Errorf("Ranger/opt gaps = %v, want all 3 critical kinds", miss)
+	}
+}
+
+func TestCorrectsNaN(t *testing.T) {
+	if !CorrectsNaN(MethodFT2) || !CorrectsNaN(MethodFT2Offline) || !CorrectsNaN(MethodGlobalClipper) {
+		t.Error("FT2 and Global Clipper correct NaN")
+	}
+	if CorrectsNaN(MethodRanger) || CorrectsNaN(MethodMaxiMals) || CorrectsNaN(MethodNone) {
+		t.Error("Ranger/MaxiMals/None must not correct NaN")
+	}
+}
+
+func TestCoverageTableRenders(t *testing.T) {
+	for _, f := range []model.Family{model.FamilyOPT, model.FamilyLlama} {
+		tbl := CoverageTable(f)
+		if !strings.Contains(tbl, "V_PROJ") || !strings.Contains(tbl, "Critical") {
+			t.Errorf("%v: coverage table missing content:\n%s", f, tbl)
+		}
+		lines := strings.Count(tbl, "\n")
+		if lines != len(f.LayerKinds())+1 {
+			t.Errorf("%v: table has %d lines, want %d", f, lines, len(f.LayerKinds())+1)
+		}
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if MethodFT2.String() != "FT2" || MethodRanger.String() != "Ranger" ||
+		MethodMaxiMals.String() != "MaxiMals" || MethodGlobalClipper.String() != "Global Clipper" ||
+		MethodNone.String() != "No Protection" {
+		t.Error("Method strings wrong")
+	}
+	if len(AllMethods) != 6 {
+		t.Error("AllMethods must list 6 entries")
+	}
+}

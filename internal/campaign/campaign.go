@@ -1,0 +1,349 @@
+// Package campaign orchestrates statistical fault-injection campaigns: it
+// fans trials out over a worker pool (one model replica per worker),
+// injects exactly one fault per inference at a uniformly sampled site,
+// applies the configured protection, classifies each outcome as Masked or
+// SDC with the paper's containment rule, and aggregates binomial SDC-rate
+// estimates with 95% confidence intervals.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ft2/internal/arch"
+	"ft2/internal/core"
+	"ft2/internal/data"
+	"ft2/internal/fault"
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/perfmodel"
+	"ft2/internal/protect"
+	"ft2/internal/stats"
+)
+
+// Window restricts where in the inference faults are injected.
+type Window int
+
+const (
+	// WindowAll samples sites uniformly over the whole inference.
+	WindowAll Window = iota
+	// WindowFirstToken restricts injection to the prefill pass (Fig. 11).
+	WindowFirstToken
+	// WindowFollowing restricts injection to the decode steps.
+	WindowFollowing
+)
+
+// String implements fmt.Stringer.
+func (w Window) String() string {
+	switch w {
+	case WindowFirstToken:
+		return "first-token"
+	case WindowFollowing:
+		return "following"
+	default:
+		return "all"
+	}
+}
+
+// Spec configures one campaign cell (model × dataset × fault model ×
+// protection method).
+type Spec struct {
+	ModelCfg  model.Config
+	ModelSeed int64
+	DType     numerics.DType
+	Fault     numerics.FaultModel
+	Method    arch.Method
+	// FT2Opts configures the online FT2 when Method is MethodFT2.
+	FT2Opts core.Options
+	// OfflineBounds supplies profiled bounds for the baseline methods and
+	// MethodFT2Offline. Required for every method except None and FT2.
+	OfflineBounds *protect.Store
+	// CustomCoverage, when non-nil, overrides the method's coverage with an
+	// explicit site set protected via offline bounds + clip-to-bound + NaN
+	// correction — the leave-one-out configuration of Figure 6.
+	CustomCoverage map[arch.CoveragePoint]bool
+	// UseDMR replaces the method's protection with duplication in place
+	// over every linear layer (the high-overhead 0%-SDC alternative of the
+	// paper's limitations section; see protect.DMR).
+	UseDMR  bool
+	Dataset *data.Dataset
+	// Trials is the total number of fault injections, spread round-robin
+	// over the dataset inputs.
+	Trials   int
+	BaseSeed int64
+	Window   Window
+	// GPU selects the reference hardware for the time-uniform fault
+	// exposure model (zero value: A100). Reliability is hardware-independent
+	// (Sec. 5.2.4) up to the prefill/decode time ratio this supplies.
+	GPU perfmodel.GPU
+	// PrefillWeight overrides the prefill pass's execution-time weight in
+	// decode-step equivalents; 0 derives it from the GPU performance model
+	// and the dataset's reference workload.
+	PrefillWeight float64
+	// Workers caps the pool size (default GOMAXPROCS).
+	Workers int
+}
+
+// prefillWeight resolves the effective prefill time weight.
+func (s Spec) prefillWeight() float64 {
+	if s.PrefillWeight > 0 {
+		return s.PrefillWeight
+	}
+	g := s.GPU
+	if g.Name == "" {
+		g = perfmodel.A100
+	}
+	return perfmodel.PrefillStepWeight(g, perfmodel.Workload{
+		Params:       s.ModelCfg.RefParams,
+		PromptTokens: s.Dataset.RefPromptTokens,
+		GenTokens:    s.Dataset.GenTokens,
+		DType:        s.DType,
+	})
+}
+
+// Result aggregates a campaign cell.
+type Result struct {
+	SDC stats.Proportion
+	// ByKind breaks SDC rate down by the layer kind the fault hit.
+	ByKind map[model.LayerKind]stats.Proportion
+	// Corrections sums the protection corrections over all trials.
+	Corrections protect.CorrectionStats
+}
+
+// trialOutcome carries one classified trial back to the aggregator.
+type trialOutcome struct {
+	kind model.LayerKind
+	sdc  bool
+	corr protect.CorrectionStats
+}
+
+// Run executes the campaign.
+func Run(spec Spec) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Trials {
+		workers = spec.Trials
+	}
+
+	// Golden (fault-free, unprotected) generations, shared read-only.
+	golden, err := goldenOutputs(spec)
+	if err != nil {
+		return Result{}, err
+	}
+
+	outcomes := make(chan trialOutcome, spec.Trials)
+	trialIdx := make(chan int, spec.Trials)
+	for i := 0; i < spec.Trials; i++ {
+		trialIdx <- i
+	}
+	close(trialIdx)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := worker(spec, golden, trialIdx, outcomes); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(outcomes)
+	close(errs)
+	if err := <-errs; err != nil {
+		return Result{}, err
+	}
+
+	res := Result{ByKind: make(map[model.LayerKind]stats.Proportion)}
+	for o := range outcomes {
+		res.SDC.Trials++
+		kp := res.ByKind[o.kind]
+		kp.Trials++
+		if o.sdc {
+			res.SDC.Successes++
+			kp.Successes++
+		}
+		res.ByKind[o.kind] = kp
+		res.Corrections.OutOfBound += o.corr.OutOfBound
+		res.Corrections.NaN += o.corr.NaN
+	}
+	return res, nil
+}
+
+func (s Spec) validate() error {
+	switch {
+	case s.Dataset == nil:
+		return fmt.Errorf("campaign: no dataset")
+	case len(s.Dataset.Inputs) == 0:
+		return fmt.Errorf("campaign: dataset %s has no inputs", s.Dataset.Name)
+	case s.Trials <= 0:
+		return fmt.Errorf("campaign: non-positive trial count")
+	case s.needsOfflineBounds() && s.OfflineBounds == nil:
+		return fmt.Errorf("campaign: method %v requires offline bounds", s.Method)
+	}
+	return s.ModelCfg.Validate()
+}
+
+func (s Spec) needsOfflineBounds() bool {
+	if s.CustomCoverage != nil {
+		return true
+	}
+	switch s.Method {
+	case arch.MethodRanger, arch.MethodMaxiMals, arch.MethodGlobalClipper, arch.MethodFT2Offline:
+		return true
+	default:
+		return false
+	}
+}
+
+// goldenOutputs computes the fault-free unprotected generation per input.
+func goldenOutputs(spec Spec) ([][]int, error) {
+	m, err := model.New(spec.ModelCfg, spec.ModelSeed, spec.DType)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, len(spec.Dataset.Inputs))
+	for i, in := range spec.Dataset.Inputs {
+		out[i] = m.Generate(in.Prompt, spec.Dataset.GenTokens)
+	}
+	return out, nil
+}
+
+// worker runs trials pulled from trialIdx on its own model replica.
+func worker(spec Spec, golden [][]int, trialIdx <-chan int, outcomes chan<- trialOutcome) error {
+	m, err := model.New(spec.ModelCfg, spec.ModelSeed, spec.DType)
+	if err != nil {
+		return err
+	}
+	for idx := range trialIdx {
+		o, err := runTrial(spec, m, golden, idx)
+		if err != nil {
+			return err
+		}
+		outcomes <- o
+	}
+	return nil
+}
+
+func runTrial(spec Spec, m *model.Model, golden [][]int, idx int) (trialOutcome, error) {
+	input := spec.Dataset.Inputs[idx%len(spec.Dataset.Inputs)]
+	rng := rand.New(rand.NewSource(spec.BaseSeed + int64(idx)*0x9E3779B9 + 1))
+
+	plan := fault.NewPlan(spec.ModelCfg, len(input.Prompt), spec.Dataset.GenTokens, spec.DType, spec.Fault, spec.prefillWeight())
+	var site fault.Site
+	switch spec.Window {
+	case WindowFirstToken:
+		site = plan.SampleFirstToken(rng)
+	case WindowFollowing:
+		site = plan.SampleFollowing(rng)
+	default:
+		site = plan.Sample(rng)
+	}
+	inj := fault.NewInjector(site, spec.DType)
+
+	// Hook order matters: the injector corrupts the layer output first, the
+	// protection then gets its chance to detect/correct.
+	m.ClearHooks()
+	m.RegisterHook(inj.Hook())
+
+	var out []int
+	var corr protect.CorrectionStats
+	if spec.UseDMR {
+		d := protect.NewDMR(m)
+		m.RegisterHook(d.Hook())
+		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
+		corr.OutOfBound = d.Detected
+	} else if spec.CustomCoverage != nil {
+		p := &protect.Protector{
+			Coverage:   spec.CustomCoverage,
+			BoundsFor:  spec.OfflineBounds.Get,
+			Mode:       protect.ClipToBound,
+			CorrectNaN: true,
+		}
+		m.RegisterHook(p.Hook())
+		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
+		corr = p.Stats
+	} else {
+		switch spec.Method {
+		case arch.MethodNone:
+			out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
+		case arch.MethodFT2:
+			f := core.Attach(m, spec.FT2Opts)
+			out = f.Generate(input.Prompt, spec.Dataset.GenTokens)
+			corr = f.Stats()
+			corr.NaN += f.FirstTokenNaNCount()
+			f.Detach()
+		default:
+			p := protect.ForMethod(spec.Method, spec.ModelCfg.Family, spec.OfflineBounds)
+			m.RegisterHook(p.Hook())
+			out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
+			corr = p.Stats
+		}
+	}
+	m.ClearHooks()
+
+	if !inj.Fired {
+		return trialOutcome{}, fmt.Errorf("campaign: injector never fired at %v", site)
+	}
+	return trialOutcome{
+		kind: site.Layer.Kind,
+		sdc:  !spec.Dataset.IsMasked(golden[input.ID], out),
+		corr: corr,
+	}, nil
+}
+
+// FaultFreeCorrectness measures, without any fault injection, the fraction
+// of inputs whose protected generation is still (semantically) correct —
+// the Figure 3 experiment. bounds are the profiled bounds to protect with;
+// method selects the coverage; mode selects the out-of-bound correction
+// target (the paper's Figure 3 applies the existing clip-to-zero range
+// restriction, which is what makes misaligned bounds destructive).
+func FaultFreeCorrectness(cfg model.Config, seed int64, d numerics.DType,
+	ds *data.Dataset, method arch.Method, bounds *protect.Store, mode protect.ClipMode) (stats.Proportion, protect.CorrectionStats, error) {
+
+	m, err := model.New(cfg, seed, d)
+	if err != nil {
+		return stats.Proportion{}, protect.CorrectionStats{}, err
+	}
+	var p stats.Proportion
+	var corr protect.CorrectionStats
+	for _, in := range ds.Inputs {
+		m.ClearHooks()
+		golden := m.Generate(in.Prompt, ds.GenTokens)
+
+		var out []int
+		switch method {
+		case arch.MethodNone:
+			out = golden
+		case arch.MethodFT2:
+			f := core.Attach(m, core.Defaults())
+			out = f.Generate(in.Prompt, ds.GenTokens)
+			st := f.Stats()
+			corr.OutOfBound += st.OutOfBound
+			corr.NaN += st.NaN
+			f.Detach()
+		default:
+			pr := protect.ForMethod(method, cfg.Family, bounds)
+			pr.Mode = mode
+			m.RegisterHook(pr.Hook())
+			out = m.Generate(in.Prompt, ds.GenTokens)
+			corr.OutOfBound += pr.Stats.OutOfBound
+			corr.NaN += pr.Stats.NaN
+			m.ClearHooks()
+		}
+		p.Trials++
+		if ds.IsMasked(golden, out) {
+			p.Successes++
+		}
+	}
+	return p, corr, nil
+}

@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"ft2/internal/arch"
+	"ft2/internal/model"
+	"ft2/internal/protect"
+)
+
+// Sweep runs one spec across several protection methods, profiling offline
+// bounds once and reusing them — the common pattern of the comparison
+// figures and of downstream users evaluating their own configurations.
+type Sweep struct {
+	// Base is the spec template; its Method and OfflineBounds fields are
+	// overwritten per run.
+	Base Spec
+	// ProfileInputs sizes the profiling split used for the offline methods
+	// (0 disables profiling, in which case offline methods error).
+	ProfileInputs int
+}
+
+// SweepResult pairs a method with its campaign outcome.
+type SweepResult struct {
+	Method arch.Method
+	Result Result
+}
+
+// Run executes the sweep over the given methods in order.
+func (s Sweep) Run(methods ...arch.Method) ([]SweepResult, error) {
+	var bounds *protect.Store
+	needProfile := false
+	for _, m := range methods {
+		spec := s.Base
+		spec.Method = m
+		if spec.needsOfflineBounds() {
+			needProfile = true
+		}
+	}
+	if needProfile && s.ProfileInputs > 0 {
+		m, err := model.New(s.Base.ModelCfg, s.Base.ModelSeed, s.Base.DType)
+		if err != nil {
+			return nil, err
+		}
+		split := s.Base.Dataset.ProfileSplit(s.ProfileInputs)
+		bounds = protect.OfflineProfile(m, split.Prompts(), s.Base.Dataset.GenTokens)
+	}
+
+	out := make([]SweepResult, 0, len(methods))
+	for _, method := range methods {
+		spec := s.Base
+		spec.Method = method
+		if spec.needsOfflineBounds() {
+			spec.OfflineBounds = bounds
+		}
+		res, err := Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepResult{Method: method, Result: res})
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+// Package core assembles the paper's contribution — the FT2 methodology:
+//
+//  1. identify critical layers from the architecture alone (the heuristic of
+//     Section 4.1.2, implemented in internal/arch);
+//  2. during the first token's prefill pass, correct NaN and record each
+//     critical layer's activation range (Section 4.2);
+//  3. for every following token, apply range restriction with the recorded
+//     bounds scaled by a factor (default 2), clipping out-of-bound values to
+//     the bound and NaN to zero (Section 4.3).
+//
+// No offline profiling, no training data: everything happens inside a single
+// inference.
+package core
+
+import (
+	"fmt"
+
+	"ft2/internal/arch"
+	"ft2/internal/model"
+	"ft2/internal/protect"
+	"ft2/internal/tensor"
+)
+
+// Options tune FT2; the zero value plus Defaults() reproduces the paper's
+// configuration. The knobs exist for the ablation studies (Fig. 9 scaling
+// sweep, clip-mode and coverage ablations).
+type Options struct {
+	// ScaleFactor widens the first-token bounds (paper default 2).
+	ScaleFactor float32
+	// Mode selects the out-of-bound correction target (paper: ClipToBound).
+	Mode protect.ClipMode
+	// FirstTokenNaNCorrection keeps NaN correction active while profiling
+	// the first token (paper: on; Fig. 11 ablates it).
+	FirstTokenNaNCorrection bool
+	// ProtectAllLayers covers every linear layer instead of only the
+	// critical ones (the "naïve" ~2× overhead configuration of Section 4.1).
+	ProtectAllLayers bool
+}
+
+// Defaults returns the paper's FT2 configuration.
+func Defaults() Options {
+	return Options{
+		ScaleFactor:             2,
+		Mode:                    protect.ClipToBound,
+		FirstTokenNaNCorrection: true,
+	}
+}
+
+// FT2 is an online protector attached to a model. Use Generate (not the
+// model's) so per-inference bounds reset correctly.
+type FT2 struct {
+	m      *model.Model
+	opts   Options
+	prof   *protect.FirstTokenProfiler
+	stats  protect.CorrectionStats
+	handle model.HookHandle
+	cover  map[arch.CoveragePoint]bool
+}
+
+// Attach registers FT2's forward hook on the model and returns the
+// controller. Call Detach to remove it.
+func Attach(m *model.Model, opts Options) *FT2 {
+	if opts.ScaleFactor < 1 {
+		panic(fmt.Sprintf("core: scale factor %g < 1 would tighten bounds", opts.ScaleFactor))
+	}
+	f := &FT2{
+		m:     m,
+		opts:  opts,
+		prof:  protect.NewFirstTokenProfiler(),
+		cover: arch.Coverage(arch.MethodFT2, m.Cfg.Family),
+	}
+	if opts.ProtectAllLayers {
+		f.cover = make(map[arch.CoveragePoint]bool)
+		for _, k := range m.Cfg.Family.LayerKinds() {
+			f.cover[arch.CoveragePoint{Kind: k, Site: model.SiteLinearOut}] = true
+		}
+	}
+	f.handle = m.RegisterHook(f.hook)
+	return f
+}
+
+// Detach removes FT2's hook from the model.
+func (f *FT2) Detach() { f.m.RemoveHook(f.handle) }
+
+// Stats returns the corrections applied since attach (following tokens
+// only; first-token NaN corrections are reported by FirstTokenNaNCount).
+func (f *FT2) Stats() protect.CorrectionStats { return f.stats }
+
+// FirstTokenNaNCount returns NaNs corrected during the last inference's
+// first-token pass.
+func (f *FT2) FirstTokenNaNCount() int { return f.prof.NaNCorrected }
+
+// Bounds exposes the raw (unscaled) bounds captured from the last
+// inference's first token.
+func (f *FT2) Bounds() *protect.Store { return f.prof.Store }
+
+// ProtectedSiteCount returns how many concrete layer instances FT2 protects
+// on this model.
+func (f *FT2) ProtectedSiteCount() int {
+	n := 0
+	for b := 0; b < f.m.Cfg.Blocks; b++ {
+		for _, k := range f.m.Cfg.Family.LayerKinds() {
+			if f.cover[arch.CoveragePoint{Kind: k, Site: model.SiteLinearOut}] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Generate runs a protected inference: bounds reset, first token profiled,
+// following tokens range-restricted.
+func (f *FT2) Generate(prompt []int, n int) []int {
+	f.prof.Reset()
+	return f.m.Generate(prompt, n)
+}
+
+func (f *FT2) hook(ctx model.HookCtx, out *tensor.Tensor) {
+	if !f.cover[arch.CoveragePoint{Kind: ctx.Layer.Kind, Site: ctx.Site}] {
+		return
+	}
+	key := protect.SiteKey{Layer: ctx.Layer, Site: ctx.Site}
+	if ctx.FirstToken {
+		if f.opts.FirstTokenNaNCorrection {
+			f.prof.NaNCorrected += protect.CorrectNaNOnly(out.Data)
+		}
+		f.prof.Store.Observe(key, out)
+		return
+	}
+	b, ok := f.prof.Store.Get(key)
+	if !ok {
+		// No bounds captured (should not happen in a Generate-driven run);
+		// fall back to NaN-only correction.
+		f.stats.NaN += protect.CorrectNaNOnly(out.Data)
+		return
+	}
+	st := protect.ClampCorrect(out.Data, b.Scale(f.opts.ScaleFactor), f.opts.Mode, true)
+	f.stats.OutOfBound += st.OutOfBound
+	f.stats.NaN += st.NaN
+}

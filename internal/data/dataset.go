@@ -1,0 +1,293 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ft2/internal/tokenizer"
+)
+
+// Task identifies the generative task type (Table 2).
+type Task int
+
+const (
+	// TaskQA is question answering (60 generated tokens).
+	TaskQA Task = iota
+	// TaskMath is mathematical reasoning (180 generated tokens).
+	TaskMath
+)
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	if t == TaskMath {
+		return "Math"
+	}
+	return "QA"
+}
+
+// Input is one inference instance.
+type Input struct {
+	ID     int
+	Prompt []int
+}
+
+// Dataset is a deterministic synthetic corpus plus the task parameters the
+// evaluation uses (generation length and answer span).
+type Dataset struct {
+	Name string
+	Task Task
+	// GenTokens is the number of tokens generated per inference (paper: 60
+	// for QA, 180 for Math — 120% of the last correct-answer position).
+	GenTokens int
+	// AnswerLo/AnswerHi delimit the answer span inside the fault-free
+	// generation; the reference answer for the Masked/SDC rule is that
+	// token span (paper: answers end at position 50 for QA, 150 for Math).
+	AnswerLo, AnswerHi int
+	Inputs             []Input
+
+	// Reference-workload metadata for the performance model (Fig. 4/10):
+	// the real dataset's typical prompt length and offline-profiling corpus
+	// size (20% of the training set / full validation set).
+	RefPromptTokens    int
+	RefProfilingInputs int
+
+	pool   *pool
+	seed   int64
+	minLen int
+	maxLen int
+}
+
+// pool is a weighted mixture of word groups defining a dataset's token
+// distribution.
+type pool struct {
+	groups  [][]string
+	weights []int
+	total   int
+}
+
+func newPool(pairs ...interface{}) *pool {
+	if len(pairs)%2 != 0 {
+		panic("data: newPool needs (group, weight) pairs")
+	}
+	p := &pool{}
+	for i := 0; i < len(pairs); i += 2 {
+		g := pairs[i].([]string)
+		w := pairs[i+1].(int)
+		p.groups = append(p.groups, g)
+		p.weights = append(p.weights, w)
+		p.total += w
+	}
+	return p
+}
+
+func (p *pool) draw(rng *rand.Rand) string {
+	r := rng.Intn(p.total)
+	for i, w := range p.weights {
+		if r < w {
+			g := p.groups[i]
+			return g[rng.Intn(len(g))]
+		}
+		r -= w
+	}
+	panic("data: unreachable")
+}
+
+// generate fills the dataset with n deterministic inputs.
+func (d *Dataset) generate(n int) {
+	tok := Vocab()
+	for id := 0; id < n; id++ {
+		rng := rand.New(rand.NewSource(d.seed + int64(id)*7919))
+		ln := d.minLen + rng.Intn(d.maxLen-d.minLen+1)
+		prompt := make([]int, 0, ln+1)
+		prompt = append(prompt, tokenizer.BOS)
+		for len(prompt) < ln {
+			prompt = append(prompt, tok.ID(d.pool.draw(rng)))
+		}
+		d.Inputs = append(d.Inputs, Input{ID: id, Prompt: prompt})
+	}
+}
+
+// ProfileSplit returns a dataset drawn from the same token distribution but
+// with inputs disjoint from the evaluation inputs — the stand-in for the
+// 20%-of-training-set profiling corpus the offline baselines use.
+func (d *Dataset) ProfileSplit(n int) *Dataset {
+	c := *d
+	c.Inputs = nil
+	c.seed += 500000
+	c.generate(n)
+	return &c
+}
+
+// Prompts returns the raw prompt token slices (for profilers).
+func (d *Dataset) Prompts() [][]int {
+	out := make([][]int, len(d.Inputs))
+	for i, in := range d.Inputs {
+		out[i] = in.Prompt
+	}
+	return out
+}
+
+// ReferenceAnswer extracts the answer span from a fault-free generation.
+func (d *Dataset) ReferenceAnswer(golden []int) []int {
+	if len(golden) < d.AnswerHi {
+		panic(fmt.Sprintf("data: generation of %d tokens shorter than answer span [%d,%d)",
+			len(golden), d.AnswerLo, d.AnswerHi))
+	}
+	return golden[d.AnswerLo:d.AnswerHi]
+}
+
+// IsMasked applies the paper's outcome rule: the faulty output is masked if
+// it is identical to the fault-free output, or if it still contains (a
+// semantically equivalent form of) the reference answer; otherwise SDC.
+func (d *Dataset) IsMasked(golden, faulty []int) bool {
+	if len(golden) == len(faulty) {
+		same := true
+		for i := range golden {
+			if golden[i] != faulty[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return Vocab().ContainsEquivalent(faulty, d.ReferenceAnswer(golden))
+}
+
+// SquadSim is the SQuAD 2.0 stand-in: English QA over topical text.
+func SquadSim(n int) *Dataset {
+	d := &Dataset{
+		Name: "squad-sim", Task: TaskQA,
+		GenTokens: 60, AnswerLo: 44, AnswerHi: 50,
+		RefPromptTokens: 512, RefProfilingInputs: 26000,
+		seed: 1001, minLen: 16, maxLen: 24,
+		pool: newPool(
+			commonWords, 35, questionWords, 10, topicWords, 40,
+			digitWords, 8, numberWords, 4, mathWords, 3,
+		),
+	}
+	d.generate(n)
+	return d
+}
+
+// XtremeSim is the Google XTREME stand-in: multilingual QA, with a token
+// distribution shifted toward the multilingual pool.
+func XtremeSim(n int) *Dataset {
+	d := &Dataset{
+		Name: "xtreme-sim", Task: TaskQA,
+		GenTokens: 60, AnswerLo: 44, AnswerHi: 50,
+		RefPromptTokens: 384, RefProfilingInputs: 122000,
+		seed: 2002, minLen: 16, maxLen: 24,
+		pool: newPool(
+			multilingualWords, 45, topicWords, 25, commonWords, 15,
+			questionWords, 8, digitWords, 5, numberWords, 2,
+		),
+	}
+	d.generate(n)
+	return d
+}
+
+// Gsm8kSim is the GSM8K stand-in: math word problems with long generations.
+func Gsm8kSim(n int) *Dataset {
+	d := &Dataset{
+		Name: "gsm8k-sim", Task: TaskMath,
+		GenTokens: 180, AnswerLo: 144, AnswerHi: 150,
+		RefPromptTokens: 192, RefProfilingInputs: 1500,
+		seed: 3003, minLen: 24, maxLen: 32,
+		pool: newPool(
+			mathWords, 40, digitWords, 20, numberWords, 10,
+			commonWords, 20, questionWords, 5, topicWords, 5,
+		),
+	}
+	d.generate(n)
+	return d
+}
+
+// Alternative profiling corpora (Figure 3). They are prompt sources only:
+// GenTokens matches the target task so profiling exercises the same steps.
+
+// ChatPromptsSim stands in for Awesome ChatGPT Prompts.
+func ChatPromptsSim(n int) *Dataset {
+	d := &Dataset{
+		Name: "chatprompts-sim", Task: TaskQA,
+		GenTokens: 60, AnswerLo: 44, AnswerHi: 50,
+		RefPromptTokens: 256, RefProfilingInputs: 150,
+		seed: 4004, minLen: 16, maxLen: 24,
+		pool: newPool(chatWords, 55, commonWords, 30, topicWords, 15),
+	}
+	d.generate(n)
+	return d
+}
+
+// TweetEvalSim stands in for TweetEval.
+func TweetEvalSim(n int) *Dataset {
+	d := &Dataset{
+		Name: "tweeteval-sim", Task: TaskQA,
+		GenTokens: 60, AnswerLo: 44, AnswerHi: 50,
+		RefPromptTokens: 64, RefProfilingInputs: 9000,
+		seed: 5005, minLen: 16, maxLen: 24,
+		pool: newPool(tweetWords, 60, commonWords, 25, topicWords, 15),
+	}
+	d.generate(n)
+	return d
+}
+
+// MbppSim stands in for MBPP (program synthesis prompts).
+func MbppSim(n int) *Dataset {
+	d := &Dataset{
+		Name: "mbpp-sim", Task: TaskQA,
+		GenTokens: 60, AnswerLo: 44, AnswerHi: 50,
+		RefPromptTokens: 128, RefProfilingInputs: 120,
+		seed: 6006, minLen: 16, maxLen: 24,
+		pool: newPool(codeWords, 60, commonWords, 20, digitWords, 10, mathWords, 10),
+	}
+	d.generate(n)
+	return d
+}
+
+// OpusSim stands in for OPUS-100 (translation pairs).
+func OpusSim(n int) *Dataset {
+	d := &Dataset{
+		Name: "opus-sim", Task: TaskQA,
+		GenTokens: 60, AnswerLo: 44, AnswerHi: 50,
+		RefPromptTokens: 96, RefProfilingInputs: 200000,
+		seed: 7007, minLen: 16, maxLen: 24,
+		pool: newPool(multilingualWords, 60, commonWords, 25, topicWords, 15),
+	}
+	d.generate(n)
+	return d
+}
+
+// ByName builds a dataset by its canonical name with n inputs.
+func ByName(name string, n int) (*Dataset, error) {
+	switch name {
+	case "squad-sim":
+		return SquadSim(n), nil
+	case "xtreme-sim":
+		return XtremeSim(n), nil
+	case "gsm8k-sim":
+		return Gsm8kSim(n), nil
+	case "chatprompts-sim":
+		return ChatPromptsSim(n), nil
+	case "tweeteval-sim":
+		return TweetEvalSim(n), nil
+	case "mbpp-sim":
+		return MbppSim(n), nil
+	case "opus-sim":
+		return OpusSim(n), nil
+	default:
+		return nil, fmt.Errorf("data: unknown dataset %q", name)
+	}
+}
+
+// EvalDatasets returns the three evaluation datasets of the paper with n
+// inputs each.
+func EvalDatasets(n int) []*Dataset {
+	return []*Dataset{SquadSim(n), XtremeSim(n), Gsm8kSim(n)}
+}
+
+// AlternativeDatasets returns the four Figure 3 profiling corpora.
+func AlternativeDatasets(n int) []*Dataset {
+	return []*Dataset{ChatPromptsSim(n), TweetEvalSim(n), MbppSim(n), OpusSim(n)}
+}

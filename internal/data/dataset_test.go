@@ -1,0 +1,276 @@
+package data
+
+import (
+	"testing"
+
+	"ft2/internal/tokenizer"
+)
+
+func TestVocabSingleton(t *testing.T) {
+	if Vocab() != Vocab() {
+		t.Error("Vocab must be a singleton")
+	}
+	if Vocab().VocabSize() < 300 {
+		t.Errorf("vocab too small: %d", Vocab().VocabSize())
+	}
+	if Vocab().VocabSize() > 512 {
+		t.Errorf("vocab %d exceeds the model zoo's 512-token id space", Vocab().VocabSize())
+	}
+}
+
+func TestVocabSynonyms(t *testing.T) {
+	tok := Vocab()
+	if !tok.Equivalent(tok.ID("5"), tok.ID("five")) {
+		t.Error("digit/word synonym missing")
+	}
+	if !tok.Equivalent(tok.ID("people"), tok.ID("persons")) {
+		t.Error("people/persons synonym missing")
+	}
+	if tok.Equivalent(tok.ID("5"), tok.ID("6")) {
+		t.Error("distinct digits must not be equivalent")
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a := SquadSim(10)
+	b := SquadSim(10)
+	if len(a.Inputs) != 10 {
+		t.Fatalf("want 10 inputs, got %d", len(a.Inputs))
+	}
+	for i := range a.Inputs {
+		pa, pb := a.Inputs[i].Prompt, b.Inputs[i].Prompt
+		if len(pa) != len(pb) {
+			t.Fatal("nondeterministic prompt length")
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatal("nondeterministic prompt contents")
+			}
+		}
+	}
+}
+
+func TestPromptsWellFormed(t *testing.T) {
+	for _, d := range EvalDatasets(8) {
+		for _, in := range d.Inputs {
+			if in.Prompt[0] != tokenizer.BOS {
+				t.Errorf("%s: prompt must start with BOS", d.Name)
+			}
+			if len(in.Prompt) < d.minLen || len(in.Prompt) > d.maxLen {
+				t.Errorf("%s: prompt length %d outside [%d,%d]", d.Name, len(in.Prompt), d.minLen, d.maxLen)
+			}
+			for _, tok := range in.Prompt {
+				if tok < 0 || tok >= Vocab().VocabSize() {
+					t.Errorf("%s: token %d out of vocab", d.Name, tok)
+				}
+			}
+		}
+	}
+}
+
+func TestTaskParameters(t *testing.T) {
+	sq := SquadSim(1)
+	if sq.Task != TaskQA || sq.GenTokens != 60 || sq.AnswerHi != 50 {
+		t.Errorf("squad-sim parameters wrong: %+v", sq)
+	}
+	g := Gsm8kSim(1)
+	if g.Task != TaskMath || g.GenTokens != 180 || g.AnswerHi != 150 {
+		t.Errorf("gsm8k-sim parameters wrong: %+v", g)
+	}
+	if TaskQA.String() != "QA" || TaskMath.String() != "Math" {
+		t.Error("Task strings wrong")
+	}
+}
+
+func TestDatasetDistributionsDiffer(t *testing.T) {
+	// The whole point of Fig. 3: different datasets have different token
+	// distributions. Compare token histograms of squad vs xtreme.
+	sq, xt := SquadSim(20), XtremeSim(20)
+	count := func(d *Dataset) map[int]int {
+		m := make(map[int]int)
+		for _, in := range d.Inputs {
+			for _, tok := range in.Prompt {
+				m[tok]++
+			}
+		}
+		return m
+	}
+	csq, cxt := count(sq), count(xt)
+	overlap := 0
+	union := 0
+	for tok := range csq {
+		union++
+		if cxt[tok] > 0 {
+			overlap++
+		}
+	}
+	for tok := range cxt {
+		if csq[tok] == 0 {
+			union++
+		}
+	}
+	if union == 0 || float64(overlap)/float64(union) > 0.6 {
+		t.Errorf("squad and xtreme token supports overlap too much: %d/%d", overlap, union)
+	}
+}
+
+func TestReferenceAnswer(t *testing.T) {
+	d := SquadSim(1)
+	golden := make([]int, 60)
+	for i := range golden {
+		golden[i] = 100 + i
+	}
+	ref := d.ReferenceAnswer(golden)
+	if len(ref) != 6 || ref[0] != 144 {
+		t.Errorf("ReferenceAnswer = %v", ref)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short generation must panic")
+		}
+	}()
+	d.ReferenceAnswer(golden[:10])
+}
+
+func TestIsMasked(t *testing.T) {
+	d := SquadSim(1)
+	golden := make([]int, 60)
+	for i := range golden {
+		golden[i] = tokenizer.FirstWordID + i // unique per position
+	}
+	// Identical output: masked.
+	if !d.IsMasked(golden, append([]int(nil), golden...)) {
+		t.Error("identical output must be masked")
+	}
+	// Different prefix but answer intact: masked.
+	faulty := append([]int(nil), golden...)
+	faulty[0] ^= 1
+	if !d.IsMasked(golden, faulty) {
+		t.Error("answer-preserving corruption must be masked")
+	}
+	// Answer destroyed: SDC.
+	bad := append([]int(nil), golden...)
+	for i := d.AnswerLo; i < d.AnswerHi; i++ {
+		bad[i] = tokenizer.FirstWordID
+	}
+	if d.IsMasked(golden, bad) {
+		t.Error("destroyed answer must be SDC")
+	}
+	// Answer moved elsewhere (containment rule): masked.
+	moved := make([]int, 60)
+	for i := range moved {
+		moved[i] = tokenizer.FirstWordID + 50
+	}
+	copy(moved[10:], d.ReferenceAnswer(golden))
+	if !d.IsMasked(golden, moved) {
+		t.Error("relocated answer must be masked (containment rule)")
+	}
+}
+
+func TestIsMaskedSynonymEquivalence(t *testing.T) {
+	d := SquadSim(1)
+	tok := Vocab()
+	golden := make([]int, 60)
+	for i := range golden {
+		golden[i] = tok.ID("the")
+	}
+	golden[45] = tok.ID("5")
+	golden[46] = tok.ID("people")
+	faulty := append([]int(nil), golden...)
+	faulty[45] = tok.ID("five")
+	faulty[46] = tok.ID("persons")
+	if !d.IsMasked(golden, faulty) {
+		t.Error("synonym-equivalent answer must be masked")
+	}
+	faulty[45] = tok.ID("6")
+	if d.IsMasked(golden, faulty) {
+		t.Error("numerically different answer must be SDC")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"squad-sim", "xtreme-sim", "gsm8k-sim", "chatprompts-sim", "tweeteval-sim", "mbpp-sim", "opus-sim"} {
+		d, err := ByName(name, 3)
+		if err != nil || d.Name != name || len(d.Inputs) != 3 {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}
+
+func TestPromptsAccessor(t *testing.T) {
+	d := SquadSim(5)
+	ps := d.Prompts()
+	if len(ps) != 5 || len(ps[0]) != len(d.Inputs[0].Prompt) {
+		t.Error("Prompts accessor wrong")
+	}
+}
+
+func TestAlternativeDatasets(t *testing.T) {
+	alts := AlternativeDatasets(2)
+	if len(alts) != 4 {
+		t.Fatalf("want 4 alternative datasets, got %d", len(alts))
+	}
+	names := map[string]bool{}
+	for _, d := range alts {
+		names[d.Name] = true
+		if len(d.Inputs) != 2 {
+			t.Errorf("%s: wrong input count", d.Name)
+		}
+	}
+	for _, want := range []string{"chatprompts-sim", "tweeteval-sim", "mbpp-sim", "opus-sim"} {
+		if !names[want] {
+			t.Errorf("missing alternative dataset %s", want)
+		}
+	}
+}
+
+func TestProfileSplitDisjoint(t *testing.T) {
+	d := SquadSim(10)
+	p := d.ProfileSplit(10)
+	if p.Name != d.Name || p.Task != d.Task || p.GenTokens != d.GenTokens {
+		t.Error("ProfileSplit must preserve task parameters")
+	}
+	if len(p.Inputs) != 10 {
+		t.Fatalf("split size %d", len(p.Inputs))
+	}
+	// Same distribution, different inputs: no prompt may be identical.
+	asKey := func(prompt []int) string {
+		b := make([]byte, 0, len(prompt)*2)
+		for _, tok := range prompt {
+			b = append(b, byte(tok), byte(tok>>8))
+		}
+		return string(b)
+	}
+	seen := map[string]bool{}
+	for _, in := range d.Inputs {
+		seen[asKey(in.Prompt)] = true
+	}
+	for _, in := range p.Inputs {
+		if seen[asKey(in.Prompt)] {
+			t.Error("profile split overlaps evaluation inputs")
+		}
+	}
+	// The original dataset must be untouched.
+	if len(d.Inputs) != 10 {
+		t.Error("ProfileSplit mutated the source dataset")
+	}
+}
+
+func TestProfileSplitDeterministic(t *testing.T) {
+	a := Gsm8kSim(3).ProfileSplit(5)
+	b := Gsm8kSim(3).ProfileSplit(5)
+	for i := range a.Inputs {
+		pa, pb := a.Inputs[i].Prompt, b.Inputs[i].Prompt
+		if len(pa) != len(pb) {
+			t.Fatal("nondeterministic split")
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatal("nondeterministic split contents")
+			}
+		}
+	}
+}

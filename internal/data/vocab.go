@@ -1,0 +1,122 @@
+// Package data provides the synthetic task generators standing in for the
+// paper's datasets (SQuAD 2.0, Google XTREME, GSM8K) and the four
+// alternative profiling corpora of Figure 3 (Awesome ChatGPT Prompts,
+// TweetEval, MBPP, OPUS-100). Each dataset draws prompts from its own token
+// distribution over a shared vocabulary, so bounds profiled on one dataset
+// are systematically misaligned with another — the mechanism behind the
+// paper's Figure 3 degradation.
+//
+// Reference answers are defined as the answer span of the fault-free
+// generation (the paper only keeps inputs every model answers correctly, so
+// fault-free output ≡ correct output), and the Masked/SDC rule is the
+// paper's containment test with synonym-class equivalence.
+package data
+
+import "ft2/internal/tokenizer"
+
+// Word groups of the shared vocabulary. The split into themed pools lets
+// each dataset weight its draws differently.
+var (
+	commonWords = []string{
+		"the", "a", "is", "of", "and", "to", "in", "that", "it", "was", "for",
+		"on", "are", "with", "as", "at", "by", "from", "up", "about", "into",
+		"over", "after", "between", "out", "against", "during", "without",
+		"before", "under", "around", "among", "answer", "question", "context",
+		"there", "here", "this", "these", "those", "then", "than", "so",
+		"because", "therefore", "thus", "first", "second", "third", "final",
+		"yes", "no", "not", "more", "less", "most", "least", "very", "quite",
+	}
+	questionWords = []string{
+		"who", "what", "where", "when", "why", "which", "how", "whose",
+		"many", "much", "did", "does", "do", "can", "could", "would", "should",
+	}
+	digitWords = []string{
+		"0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10",
+		"11", "12", "13", "14", "15", "16", "17", "18", "19", "20",
+	}
+	numberWords = []string{
+		"zero", "one", "two", "three", "four", "five", "six", "seven",
+		"eight", "nine", "ten", "eleven", "twelve", "thirteen", "fourteen",
+		"fifteen", "sixteen", "seventeen", "eighteen", "nineteen", "twenty",
+	}
+	mathWords = []string{
+		"number", "people", "persons", "total", "sum", "result", "equals",
+		"plus", "minus", "times", "divided", "each", "per", "cost", "costs",
+		"price", "dollars", "cents", "apples", "oranges", "books", "pages",
+		"hours", "minutes", "days", "weeks", "buys", "sells", "gives",
+		"takes", "left", "remaining", "altogether", "spends", "earns",
+		"twice", "half", "double", "triple", "equation", "solve", "step",
+	}
+	topicWords = []string{
+		"history", "science", "river", "mountain", "city", "country",
+		"president", "king", "queen", "empire", "war", "treaty", "battle",
+		"century", "year", "month", "population", "language", "culture",
+		"music", "art", "film", "book", "author", "scientist", "discovery",
+		"invention", "machine", "energy", "water", "earth", "moon", "star",
+		"planet", "animal", "plant", "forest", "ocean", "weather", "climate",
+		"school", "student", "teacher", "university", "company", "market",
+		"government", "law", "court", "election", "party", "leader",
+		"team", "game", "player", "season", "champion", "record", "medal",
+		"bridge", "road", "train", "plane", "ship", "engine", "building",
+		"museum", "library", "church", "castle", "garden", "field", "farm",
+	}
+	multilingualWords = []string{
+		"le", "la", "les", "un", "une", "des", "et", "ou", "est", "sont",
+		"der", "die", "das", "ein", "eine", "und", "oder", "ist", "sind",
+		"el", "los", "las", "uno", "una", "y", "o", "es", "son",
+		"il", "lo", "gli", "uno_it", "una_it", "e_it", "sono",
+		"de_nl", "het", "een", "en_nl", "of_nl", "zijn",
+		"qui", "que", "quoi", "ou_fr", "quand", "comment", "pourquoi",
+		"wer", "was_de", "wo", "wann", "wie", "warum",
+	}
+	chatWords = []string{
+		"act", "assistant", "prompt", "role", "play", "pretend", "imagine",
+		"write", "explain", "describe", "list", "generate", "create",
+		"helpful", "expert", "professional", "persona", "instruction",
+		"respond", "reply", "style", "tone", "format", "example",
+	}
+	tweetWords = []string{
+		"#happy", "#sad", "#angry", "#love", "#fail", "#win", "#news",
+		"@user", "@friend", "lol", "omg", "wow", "haha", "smh", "tbh",
+		"literally", "mood", "vibes", "trending", "viral", "retweet",
+		"follow", "like", "share", "post", "thread", "selfie",
+	}
+	codeWords = []string{
+		"def", "return", "if_kw", "else_kw", "for_kw", "while_kw", "print",
+		"lambda", "import", "class", "self", "len", "range", "list_kw",
+		"dict", "str", "int_kw", "float_kw", "true", "false", "none",
+		"assert", "test", "function", "argument", "variable", "loop",
+		"index", "value", "key", "append", "sorted", "reverse",
+	}
+)
+
+// sharedVocab is the singleton tokenizer every dataset uses.
+var sharedVocab = buildVocab()
+
+func buildVocab() *tokenizer.Tokenizer {
+	var words []string
+	words = append(words, commonWords...)
+	words = append(words, questionWords...)
+	words = append(words, digitWords...)
+	words = append(words, numberWords...)
+	words = append(words, mathWords...)
+	words = append(words, topicWords...)
+	words = append(words, multilingualWords...)
+	words = append(words, chatWords...)
+	words = append(words, tweetWords...)
+	words = append(words, codeWords...)
+	tok := tokenizer.New(words)
+
+	// Digit ↔ number-word synonym classes ("5" ≡ "five"): the paper's
+	// semantically-equivalent masked outcomes.
+	for i := range digitWords {
+		tok.DeclareSynonyms(digitWords[i], numberWords[i])
+	}
+	tok.DeclareSynonyms("people", "persons")
+	tok.DeclareSynonyms("total", "sum")
+	tok.DeclareSynonyms("result", "answer")
+	return tok
+}
+
+// Vocab returns the shared tokenizer.
+func Vocab() *tokenizer.Tokenizer { return sharedVocab }

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ft2/internal/data"
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/report"
+	"ft2/internal/stats"
+	"ft2/internal/tensor"
+)
+
+// Fig7 demonstrates the two abnormal-value mechanisms of the paper's
+// Figure 7 at the bit level: flipping the highest exponent bit of a small
+// value produces an extreme value; flipping it on a NaN-vulnerable value
+// produces NaN.
+func Fig7() *report.Table {
+	t := report.NewTable("Figure 7: FP16 bit-flip anatomy (flip of the highest exponent bit)",
+		"Input value", "Bits before", "Bits after", "Result", "Class")
+	cases := []float32{0.5, 0.0078125, 1.5, -1.25, 3.0}
+	for _, v := range cases {
+		before := numerics.F32ToF16Bits(v)
+		after := numerics.FlipBits16(before, []int{14})
+		out := numerics.F16BitsToF32(after)
+		class := "moderate"
+		switch {
+		case numerics.IsNaN16(after):
+			class = "NaN (NaN-vulnerable input)"
+		case out >= 16384 || out <= -16384:
+			class = "extreme out-of-bound"
+		}
+		t.AddRow(fmt.Sprintf("%g", v),
+			numerics.FormatBits16(before), numerics.FormatBits16(after),
+			fmt.Sprintf("%g", out), class)
+	}
+	return t
+}
+
+// layerValueStats runs one fault-free inference and collects per-layer-kind
+// activation statistics (first block, like the paper's block ID 1 plots).
+func layerValueStats(modelName, dsName string, p Params, kinds []model.LayerKind) (map[model.LayerKind]*layerStats, error) {
+	cfg, err := model.ConfigByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := data.ByName(dsName, 1)
+	if err != nil {
+		return nil, err
+	}
+	m, err := model.New(cfg, p.Seed, numerics.FP16)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[model.LayerKind]bool)
+	for _, k := range kinds {
+		want[k] = true
+	}
+	out := make(map[model.LayerKind]*layerStats)
+	m.RegisterHook(func(ctx model.HookCtx, tens *tensor.Tensor) {
+		if ctx.Site != model.SiteLinearOut || ctx.Layer.Block != 0 || !want[ctx.Layer.Kind] {
+			return
+		}
+		ls := out[ctx.Layer.Kind]
+		if ls == nil {
+			ls = &layerStats{hist: stats.NewHistogram(-8, 8, 32)}
+			out[ctx.Layer.Kind] = ls
+		}
+		ls.observe(tens)
+	})
+	m.Generate(ds.Inputs[0].Prompt, ds.GenTokens)
+	return out, nil
+}
+
+type layerStats struct {
+	hist          *stats.Histogram
+	total         int
+	nanVulnerable int
+	min, max      float32
+	init          bool
+}
+
+func (ls *layerStats) observe(t *tensor.Tensor) {
+	for _, v := range t.Data {
+		ls.hist.Add(float64(v))
+		ls.total++
+		if numerics.NaNVulnerableValue(v) {
+			ls.nanVulnerable++
+		}
+		if !ls.init {
+			ls.min, ls.max = v, v
+			ls.init = true
+			continue
+		}
+		if v < ls.min {
+			ls.min = v
+		}
+		if v > ls.max {
+			ls.max = v
+		}
+	}
+}
+
+func (ls *layerStats) nanVulnPct() float64 {
+	if ls.total == 0 {
+		return 0
+	}
+	return float64(ls.nanVulnerable) / float64(ls.total) * 100
+}
+
+// Fig8 reports the per-layer neuron value distributions and NaN-vulnerable
+// shares that explain layer criticality (OPT + SQuAD, block 0).
+func Fig8(p Params) (*report.Table, error) {
+	cfg, err := model.ConfigByName("opt-6.7b-sim")
+	if err != nil {
+		return nil, err
+	}
+	st, err := layerValueStats("opt-6.7b-sim", "squad-sim", p, cfg.Family.LayerKinds())
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 8: neuron value distribution per layer (opt-6.7b-sim block 0, squad-sim; histogram spans [-8,8])",
+		"Layer", "Critical?", "NaN-vulnerable %", "Min", "Max", "Distribution")
+	for _, k := range cfg.Family.LayerKinds() {
+		ls := st[k]
+		if ls == nil {
+			return nil, fmt.Errorf("experiments: no stats for %v", k)
+		}
+		crit := "N"
+		if k == model.VProj || k == model.OutProj || k == model.FC2 {
+			crit = "Y"
+		}
+		t.AddRow(k.String(), crit, ls.nanVulnPct(), ls.min, ls.max, ls.hist.Sparkline())
+	}
+	return t, nil
+}
+
+// Fig12 shows the Llama-family MLP value distributions with the large
+// outlier channels in DOWN_PROJ (Vicuna + SQuAD).
+func Fig12(p Params) (*report.Table, error) {
+	kinds := []model.LayerKind{model.DownProj, model.UpProj, model.GateProj}
+	st, err := layerValueStats("vicuna-7b-sim", "squad-sim", p, kinds)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 12: value distributions of Llama-family MLP layers (vicuna-7b-sim block 0, squad-sim)",
+		"Layer", "Min", "Max", "Distribution")
+	for _, k := range kinds {
+		ls := st[k]
+		if ls == nil {
+			return nil, fmt.Errorf("experiments: no stats for %v", k)
+		}
+		t.AddRow(k.String(), ls.min, ls.max, ls.hist.Sparkline())
+	}
+	return t, nil
+}

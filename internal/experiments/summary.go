@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"ft2/internal/report"
+)
+
+// Fig13Summary aggregates the main-comparison grid into the paper's
+// headline metrics: the average SDC-rate reduction of each protection
+// relative to the unprotected model, averaged over every
+// (model, dataset, fault) cell that has a non-zero unprotected rate.
+type Fig13Summary struct {
+	// AvgReduction maps protection name → mean SDC reduction in percent
+	// (the paper reports 92.92% for FT2).
+	AvgReduction map[string]float64
+	// AvgSDC maps protection name → mean SDC percentage across cells.
+	AvgSDC map[string]float64
+	// Cells is the number of (model, dataset, fault) groups aggregated.
+	Cells int
+}
+
+// SummarizeFig13 parses a Fig13 driver table (columns: Model, Dataset,
+// Fault, Protection, SDC %, CI).
+func SummarizeFig13(tb *report.Table) (Fig13Summary, error) {
+	type cellKey struct{ model, dataset, fault string }
+	unprotected := make(map[cellKey]float64)
+	byMethod := make(map[string]map[cellKey]float64)
+
+	for _, row := range tb.Rows {
+		if len(row) < 5 {
+			return Fig13Summary{}, fmt.Errorf("experiments: malformed fig13 row %v", row)
+		}
+		k := cellKey{row[0], row[1], row[2]}
+		sdc, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return Fig13Summary{}, fmt.Errorf("experiments: bad SDC value %q: %w", row[4], err)
+		}
+		method := row[3]
+		if method == "No Protection" {
+			unprotected[k] = sdc
+			continue
+		}
+		if byMethod[method] == nil {
+			byMethod[method] = make(map[cellKey]float64)
+		}
+		byMethod[method][k] = sdc
+	}
+
+	s := Fig13Summary{
+		AvgReduction: make(map[string]float64),
+		AvgSDC:       make(map[string]float64),
+	}
+	for method, cells := range byMethod {
+		var redSum, sdcSum float64
+		n, nRed := 0, 0
+		for k, sdc := range cells {
+			sdcSum += sdc
+			n++
+			if base, ok := unprotected[k]; ok && base > 0 {
+				redSum += (base - sdc) / base * 100
+				nRed++
+			}
+		}
+		if n > 0 {
+			s.AvgSDC[method] = sdcSum / float64(n)
+		}
+		if nRed > 0 {
+			s.AvgReduction[method] = redSum / float64(nRed)
+		}
+		if n > s.Cells {
+			s.Cells = n
+		}
+	}
+	return s, nil
+}
+
+// Table renders the summary as a report table.
+func (s Fig13Summary) Table() *report.Table {
+	t := report.NewTable(fmt.Sprintf("Figure 13 summary over %d cells (paper: FT2 achieves 92.92%% average SDC reduction)", s.Cells),
+		"Protection", "Avg SDC %", "Avg reduction vs unprotected %")
+	for _, m := range []string{"Ranger", "MaxiMals", "Global Clipper", "FT2", "FT2 (offline bounds)"} {
+		if _, ok := s.AvgSDC[m]; !ok {
+			continue
+		}
+		t.AddRow(m, s.AvgSDC[m], s.AvgReduction[m])
+	}
+	return t
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ft2/internal/report"
+)
+
+func synthFig13() *report.Table {
+	tb := report.NewTable("f13", "Model", "Dataset", "Fault", "Protection", "SDC %", "CI")
+	add := func(m, d, f, meth string, sdc float64) {
+		tb.AddRow(m, d, f, meth, sdc, 0.1)
+	}
+	// Two cells; FT2 reduces 10→1 (90%) and 4→0 (100%): avg 95%.
+	add("m1", "d1", "EXP", "No Protection", 10)
+	add("m1", "d1", "EXP", "FT2", 1)
+	add("m1", "d1", "EXP", "Ranger", 8)
+	add("m2", "d1", "1-bit", "No Protection", 4)
+	add("m2", "d1", "1-bit", "FT2", 0)
+	add("m2", "d1", "1-bit", "Ranger", 4)
+	// A zero-baseline cell must not contribute to reductions.
+	add("m3", "d2", "2-bit", "No Protection", 0)
+	add("m3", "d2", "2-bit", "FT2", 0)
+	return tb
+}
+
+func TestSummarizeFig13(t *testing.T) {
+	s, err := SummarizeFig13(synthFig13())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AvgReduction["FT2"]; got != 95 {
+		t.Errorf("FT2 avg reduction = %g, want 95", got)
+	}
+	if got := s.AvgReduction["Ranger"]; got != 10 {
+		t.Errorf("Ranger avg reduction = %g, want 10 ((20+0)/2)", got)
+	}
+	wantSDC := (1.0 + 0 + 0) / 3
+	if got := s.AvgSDC["FT2"]; got != wantSDC {
+		t.Errorf("FT2 avg SDC = %g, want %g", got, wantSDC)
+	}
+	if s.Cells != 3 {
+		t.Errorf("cells = %d, want 3", s.Cells)
+	}
+	out := s.Table().String()
+	if !strings.Contains(out, "FT2") || !strings.Contains(out, "92.92") {
+		t.Errorf("summary table missing content:\n%s", out)
+	}
+}
+
+func TestSummarizeFig13Malformed(t *testing.T) {
+	tb := report.NewTable("x", "a")
+	tb.AddRow("only-one-cell")
+	if _, err := SummarizeFig13(tb); err == nil {
+		t.Error("malformed rows must error")
+	}
+	tb2 := report.NewTable("x", "Model", "Dataset", "Fault", "Protection", "SDC %", "CI")
+	tb2.AddRow("m", "d", "f", "FT2", "not-a-number", "0")
+	if _, err := SummarizeFig13(tb2); err == nil {
+		t.Error("non-numeric SDC must error")
+	}
+}

@@ -1,0 +1,182 @@
+// Package fault implements the statistical fault-injection framework of the
+// paper (Section 2.3): uniform sampling of fault sites over every linear
+// layer output across an entire inference, and a forward-hook injector that
+// flips bits of the stored FP16/FP32 representation of one neuron —
+// PyTorchFI-style injection reimplemented on the Go engine.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/tensor"
+)
+
+// Site is one fault location: a generation step, a linear layer, a flat
+// element index into that layer's output tensor at that step, and the bit
+// positions to flip.
+type Site struct {
+	Step  int
+	Layer model.LayerRef
+	Elem  int
+	Bits  []int
+}
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	return fmt.Sprintf("step=%d %s elem=%d bits=%v", s.Step, s.Layer, s.Elem, s.Bits)
+}
+
+// Plan enumerates the fault-site space of one inference configuration and
+// samples sites so that fault *arrival is uniform in wall-clock time* on the
+// reference hardware: the prefill pass (which computes over the whole
+// prompt in parallel on a GPU) receives a time weight expressed in
+// decode-step equivalents, and every decode step weighs one. This matches
+// the paper's Section 4.2.2 argument that the first token generation is
+// exposed in proportion to its share of execution time (<9%, Fig. 10).
+// Within a step, the corrupted neuron is chosen uniformly over every linear
+// layer's output elements. Setting PrefillWeight equal to PromptLen
+// recovers plain neuron-uniform sampling.
+type Plan struct {
+	Cfg       model.Config
+	PromptLen int
+	GenTokens int
+	DType     numerics.DType
+	Model     numerics.FaultModel
+	// PrefillWeight is the execution-time weight of the prefill pass in
+	// decode-step equivalents (from perfmodel.PrefillStepWeight).
+	PrefillWeight float64
+
+	layers      []model.LayerRef
+	layerElems  []int // output width per layer (columns)
+	perTokenSum int   // Σ layer widths
+	virtualRows int   // promptLen + genTokens - 1
+}
+
+// NewPlan builds a sampling plan. prefillWeight <= 0 defaults to 1 (the
+// prefill weighs like one decode step). It panics on degenerate
+// configurations — campaign construction is programmer-controlled.
+func NewPlan(cfg model.Config, promptLen, genTokens int, d numerics.DType, fm numerics.FaultModel, prefillWeight float64) *Plan {
+	if promptLen <= 0 || genTokens <= 0 {
+		panic("fault: need a non-empty prompt and at least one generated token")
+	}
+	if prefillWeight <= 0 {
+		prefillWeight = 1
+	}
+	p := &Plan{
+		Cfg: cfg, PromptLen: promptLen, GenTokens: genTokens,
+		DType: d, Model: fm, PrefillWeight: prefillWeight,
+		layers: cfg.LinearLayers(),
+	}
+	for _, ref := range p.layers {
+		w := cfg.OutDim(ref.Kind)
+		p.layerElems = append(p.layerElems, w)
+		p.perTokenSum += w
+	}
+	p.virtualRows = promptLen + genTokens - 1
+	return p
+}
+
+// TotalElements returns the number of candidate fault sites (neuron
+// invocations across the whole inference), before the bit dimension.
+func (p *Plan) TotalElements() int64 {
+	return int64(p.virtualRows) * int64(p.perTokenSum)
+}
+
+// FirstTokenProbability returns the probability that a sampled fault lands
+// in the prefill pass under the time-uniform model.
+func (p *Plan) FirstTokenProbability() float64 {
+	return p.PrefillWeight / (p.PrefillWeight + float64(p.GenTokens-1))
+}
+
+// Sample draws a fault site: step by execution-time weight, then a uniform
+// neuron within the step, then bit positions per the fault model.
+func (p *Plan) Sample(rng *rand.Rand) Site {
+	if rng.Float64() < p.FirstTokenProbability() {
+		return p.SampleFirstToken(rng)
+	}
+	return p.SampleFollowing(rng)
+}
+
+// SampleFirstToken draws a site restricted to the prefill pass (step 0) —
+// the Figure 11 campaign.
+func (p *Plan) SampleFirstToken(rng *rand.Rand) Site {
+	elem := int(rng.Int63n(int64(p.PromptLen) * int64(p.perTokenSum)))
+	rowInStep := elem / p.perTokenSum
+	return p.buildSite(0, rowInStep, elem%p.perTokenSum, rng)
+}
+
+// SampleFollowing draws a site restricted to the following-token steps
+// (step >= 1), uniform over steps and neurons (every decode step has the
+// same element count and the same time weight).
+func (p *Plan) SampleFollowing(rng *rand.Rand) Site {
+	if p.GenTokens < 2 {
+		panic("fault: no following tokens to sample")
+	}
+	step := 1 + rng.Intn(p.GenTokens-1)
+	return p.buildSite(step, 0, rng.Intn(p.perTokenSum), rng)
+}
+
+// buildSite resolves a per-token element offset to (layer, element) and
+// draws the fault bits.
+func (p *Plan) buildSite(step, rowInStep, offset int, rng *rand.Rand) Site {
+	site := Site{Step: step}
+	for i, w := range p.layerElems {
+		if offset < w {
+			site.Layer = p.layers[i]
+			site.Elem = rowInStep*w + offset
+			break
+		}
+		offset -= w
+	}
+	site.Bits = p.Model.PickBits(p.DType, rng)
+	return site
+}
+
+// Injector corrupts exactly one neuron at the planned site. After the run,
+// Fired reports whether the site was reached and Original/Corrupted record
+// the value transition (for per-site forensics).
+type Injector struct {
+	Site  Site
+	DType numerics.DType
+
+	Fired     bool
+	Original  float32
+	Corrupted float32
+}
+
+// NewInjector builds an injector for a sampled site.
+func NewInjector(site Site, d numerics.DType) *Injector {
+	return &Injector{Site: site, DType: d}
+}
+
+// Reset clears the fired state so the injector can be reused across runs.
+func (inj *Injector) Reset() {
+	inj.Fired = false
+	inj.Original = 0
+	inj.Corrupted = 0
+}
+
+// Hook returns the forward hook performing the injection. It fires at most
+// once per inference (single-fault assumption, Section 2.3) and only on
+// linear-layer outputs.
+func (inj *Injector) Hook() model.Hook {
+	return func(ctx model.HookCtx, out *tensor.Tensor) {
+		if inj.Fired || ctx.Site != model.SiteLinearOut ||
+			ctx.Step != inj.Site.Step || ctx.Layer != inj.Site.Layer {
+			return
+		}
+		if inj.Site.Elem >= len(out.Data) {
+			// Defensive: a mis-planned element index must fail loudly, not
+			// silently skip the injection and bias the campaign.
+			panic(fmt.Sprintf("fault: element %d out of range %d at %v",
+				inj.Site.Elem, len(out.Data), inj.Site))
+		}
+		inj.Fired = true
+		inj.Original = out.Data[inj.Site.Elem]
+		inj.Corrupted = numerics.CorruptValue(inj.Original, inj.DType, inj.Site.Bits)
+		out.Data[inj.Site.Elem] = inj.Corrupted
+	}
+}

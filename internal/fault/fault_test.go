@@ -1,0 +1,279 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/tensor"
+)
+
+func testCfg(t *testing.T) model.Config {
+	t.Helper()
+	cfg, err := model.ConfigByName("opt-2.7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestPlanTotalElements(t *testing.T) {
+	cfg := testCfg(t)
+	p := NewPlan(cfg, 10, 5, numerics.FP16, numerics.SingleBit, 1)
+	perToken := 0
+	for _, ref := range cfg.LinearLayers() {
+		perToken += cfg.OutDim(ref.Kind)
+	}
+	want := int64(10+5-1) * int64(perToken)
+	if got := p.TotalElements(); got != want {
+		t.Errorf("TotalElements = %d, want %d", got, want)
+	}
+}
+
+func TestPlanPanicsOnDegenerate(t *testing.T) {
+	cfg := testCfg(t)
+	for _, bad := range [][2]int{{0, 5}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPlan(%v) must panic", bad)
+				}
+			}()
+			NewPlan(cfg, bad[0], bad[1], numerics.FP16, numerics.SingleBit, 1)
+		}()
+	}
+}
+
+func TestSampleSitesValid(t *testing.T) {
+	cfg := testCfg(t)
+	promptLen, gen := 8, 6
+	p := NewPlan(cfg, promptLen, gen, numerics.FP16, numerics.ExponentBit, 2.5)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		s := p.Sample(rng)
+		if s.Step < 0 || s.Step >= gen {
+			t.Fatalf("step %d out of range", s.Step)
+		}
+		rows := model.StepRows(promptLen, s.Step)
+		maxElem := rows * cfg.OutDim(s.Layer.Kind)
+		if s.Elem < 0 || s.Elem >= maxElem {
+			t.Fatalf("elem %d out of range %d at %v", s.Elem, maxElem, s)
+		}
+		if s.Layer.Block < 0 || s.Layer.Block >= cfg.Blocks {
+			t.Fatalf("block out of range: %v", s)
+		}
+		if len(s.Bits) != 1 || s.Bits[0] < 10 || s.Bits[0] > 14 {
+			t.Fatalf("EXP fault must flip one FP16 exponent bit, got %v", s.Bits)
+		}
+	}
+}
+
+func TestSampleCoversAllLayersAndSteps(t *testing.T) {
+	cfg := testCfg(t)
+	p := NewPlan(cfg, 6, 4, numerics.FP16, numerics.SingleBit, 2)
+	rng := rand.New(rand.NewSource(2))
+	layers := make(map[model.LayerRef]bool)
+	steps := make(map[int]bool)
+	for i := 0; i < 5000; i++ {
+		s := p.Sample(rng)
+		layers[s.Layer] = true
+		steps[s.Step] = true
+	}
+	if len(layers) != len(cfg.LinearLayers()) {
+		t.Errorf("sampling covered %d layers, want %d", len(layers), len(cfg.LinearLayers()))
+	}
+	for s := 0; s < 4; s++ {
+		if !steps[s] {
+			t.Errorf("step %d never sampled", s)
+		}
+	}
+}
+
+// The prefill step must receive samples in proportion to its element count
+// (promptLen rows vs 1 row per decode step).
+func TestSampleStepWeighting(t *testing.T) {
+	cfg := testCfg(t)
+	promptLen, gen := 20, 5
+	p := NewPlan(cfg, promptLen, gen, numerics.FP16, numerics.SingleBit, float64(promptLen))
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	step0 := 0
+	for i := 0; i < n; i++ {
+		if p.Sample(rng).Step == 0 {
+			step0++
+		}
+	}
+	wantFrac := float64(promptLen) / float64(promptLen+gen-1)
+	gotFrac := float64(step0) / float64(n)
+	if diff := gotFrac - wantFrac; diff > 0.02 || diff < -0.02 {
+		t.Errorf("prefill sampling fraction %g, want ~%g", gotFrac, wantFrac)
+	}
+}
+
+func TestSampleFirstTokenRestricted(t *testing.T) {
+	cfg := testCfg(t)
+	p := NewPlan(cfg, 8, 6, numerics.FP16, numerics.SingleBit, 1)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		if s := p.SampleFirstToken(rng); s.Step != 0 {
+			t.Fatalf("SampleFirstToken returned step %d", s.Step)
+		}
+	}
+}
+
+func TestSampleFollowingRestricted(t *testing.T) {
+	cfg := testCfg(t)
+	p := NewPlan(cfg, 8, 6, numerics.FP16, numerics.SingleBit, 1)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		if s := p.SampleFollowing(rng); s.Step == 0 {
+			t.Fatal("SampleFollowing returned step 0")
+		}
+	}
+	p1 := NewPlan(cfg, 8, 1, numerics.FP16, numerics.SingleBit, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleFollowing with one token must panic")
+		}
+	}()
+	p1.SampleFollowing(rng)
+}
+
+func TestInjectorFiresOnce(t *testing.T) {
+	cfg := testCfg(t)
+	m := model.MustNew(cfg, 7, numerics.FP16)
+	site := Site{Step: 1, Layer: model.LayerRef{Block: 0, Kind: model.FC2}, Elem: 3, Bits: []int{14}}
+	inj := NewInjector(site, numerics.FP16)
+	m.RegisterHook(inj.Hook())
+	m.Generate([]int{4, 5, 6}, 4)
+	if !inj.Fired {
+		t.Fatal("injector never fired")
+	}
+	want := numerics.CorruptValue(inj.Original, numerics.FP16, []int{14})
+	bothNaN := math.IsNaN(float64(want)) && math.IsNaN(float64(inj.Corrupted))
+	if inj.Corrupted != want && !bothNaN {
+		t.Errorf("corrupted=%g, want %g", inj.Corrupted, want)
+	}
+	inj.Reset()
+	if inj.Fired || inj.Original != 0 {
+		t.Error("Reset must clear state")
+	}
+}
+
+func TestInjectorChangesActivation(t *testing.T) {
+	cfg := testCfg(t)
+	m := model.MustNew(cfg, 7, numerics.FP16)
+	site := Site{Step: 0, Layer: model.LayerRef{Block: 1, Kind: model.VProj}, Elem: 10, Bits: []int{14}}
+	inj := NewInjector(site, numerics.FP16)
+
+	var observed float32
+	sawCorruption := false
+	m.RegisterHook(inj.Hook())
+	m.RegisterHook(func(ctx model.HookCtx, out *tensor.Tensor) {
+		if ctx.Layer == site.Layer && ctx.Step == 0 && ctx.Site == model.SiteLinearOut {
+			observed = out.Data[site.Elem]
+			sawCorruption = true
+		}
+	})
+	m.Generate([]int{4, 5, 6, 7}, 2)
+	if !sawCorruption {
+		t.Fatal("observer hook never fired")
+	}
+	bothNaN := math.IsNaN(float64(observed)) && math.IsNaN(float64(inj.Corrupted))
+	if observed != inj.Corrupted && !bothNaN {
+		t.Errorf("downstream hook saw %g, injector wrote %g", observed, inj.Corrupted)
+	}
+}
+
+func TestInjectorPanicsOnBadElem(t *testing.T) {
+	cfg := testCfg(t)
+	m := model.MustNew(cfg, 7, numerics.FP16)
+	site := Site{Step: 1, Layer: model.LayerRef{Block: 0, Kind: model.FC2}, Elem: 10_000_000, Bits: []int{0}}
+	m.RegisterHook(NewInjector(site, numerics.FP16).Hook())
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range element must panic")
+		}
+	}()
+	m.Generate([]int{4, 5, 6}, 4)
+}
+
+func TestSiteString(t *testing.T) {
+	s := Site{Step: 2, Layer: model.LayerRef{Block: 1, Kind: model.VProj}, Elem: 7, Bits: []int{3, 9}}
+	if s.String() == "" {
+		t.Error("Site.String empty")
+	}
+}
+
+func TestSamplingDeterministicWithSeed(t *testing.T) {
+	cfg := testCfg(t)
+	p := NewPlan(cfg, 8, 6, numerics.FP16, numerics.DoubleBit, 3)
+	a := rand.New(rand.NewSource(99))
+	b := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		sa, sb := p.Sample(a), p.Sample(b)
+		if sa.Step != sb.Step || sa.Layer != sb.Layer || sa.Elem != sb.Elem {
+			t.Fatal("sampling not deterministic under fixed seed")
+		}
+	}
+}
+
+// Time-weighted sampling: with prefill weight w, P(step 0) = w/(w+gen-1),
+// matching the first-token execution-time fraction of Fig. 10.
+func TestSampleTimeWeightedPrefill(t *testing.T) {
+	cfg := testCfg(t)
+	p := NewPlan(cfg, 20, 61, numerics.FP16, numerics.SingleBit, 3.2)
+	wantP := 3.2 / (3.2 + 60)
+	if got := p.FirstTokenProbability(); got != wantP {
+		t.Fatalf("FirstTokenProbability = %g, want %g", got, wantP)
+	}
+	rng := rand.New(rand.NewSource(6))
+	n := 30000
+	step0 := 0
+	for i := 0; i < n; i++ {
+		if p.Sample(rng).Step == 0 {
+			step0++
+		}
+	}
+	got := float64(step0) / float64(n)
+	if diff := got - wantP; diff > 0.01 || diff < -0.01 {
+		t.Errorf("prefill sampling fraction %g, want ~%g", got, wantP)
+	}
+}
+
+func TestNewPlanDefaultsWeight(t *testing.T) {
+	cfg := testCfg(t)
+	p := NewPlan(cfg, 8, 6, numerics.FP16, numerics.SingleBit, 0)
+	if p.PrefillWeight != 1 {
+		t.Errorf("default prefill weight = %g, want 1", p.PrefillWeight)
+	}
+}
+
+// Within a step, the corrupted layer must be chosen in proportion to its
+// output width (uniform over neurons).
+func TestSampleLayerProportionalToWidth(t *testing.T) {
+	cfg, err := model.ConfigByName("llama2-7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(cfg, 8, 4, numerics.FP16, numerics.SingleBit, 1)
+	rng := rand.New(rand.NewSource(8))
+	counts := make(map[model.LayerKind]int)
+	n := 30000
+	for i := 0; i < n; i++ {
+		counts[p.SampleFollowing(rng).Layer.Kind]++
+	}
+	perToken := 0
+	for _, ref := range cfg.LinearLayers() {
+		perToken += cfg.OutDim(ref.Kind)
+	}
+	for _, kind := range cfg.Family.LayerKinds() {
+		want := float64(cfg.OutDim(kind)*cfg.Blocks) / float64(perToken)
+		got := float64(counts[kind]) / float64(n)
+		if diff := got - want; diff > 0.015 || diff < -0.015 {
+			t.Errorf("%v sampled at %.3f, want %.3f", kind, got, want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package model
+
+import "ft2/internal/tensor"
+
+// Site distinguishes where in the block a hook fires. Fault injection and
+// most protections interpose on linear-layer outputs; Ranger protects
+// activation outputs instead, so the engine exposes both sites.
+type Site int
+
+const (
+	// SiteLinearOut fires on the raw output of a linear layer.
+	SiteLinearOut Site = iota
+	// SiteActivationOut fires on the output of the MLP activation that
+	// follows FC1 (OPT/GPT-J) or GateProj (Llama family).
+	SiteActivationOut
+)
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	if s == SiteActivationOut {
+		return "act_out"
+	}
+	return "linear_out"
+}
+
+// HookCtx describes the layer invocation a forward hook observes.
+type HookCtx struct {
+	Layer LayerRef
+	Site  Site
+	// Input is the tensor the layer consumed (nil at activation sites).
+	// Redundant-execution protections recompute the layer output from it.
+	Input *tensor.Tensor
+	// Step is the generation step: 0 is the prefill pass that produces the
+	// first token; step s>0 processes the s-th generated token.
+	Step int
+	// FirstToken is true during the prefill pass (Step == 0); FT2 profiles
+	// bounds then and protects afterwards.
+	FirstToken bool
+}
+
+// Hook observes — and may mutate in place — the output tensor of a linear
+// layer, mirroring PyTorch forward hooks (the interposition point of
+// PyTorchFI and of all the range-restriction protections). The tensor has
+// one row per sequence position processed in this pass and one column per
+// output neuron.
+type Hook func(ctx HookCtx, out *tensor.Tensor)
+
+// hookEntry pairs a hook with a registration handle for removal.
+type hookEntry struct {
+	id int
+	fn Hook
+}
+
+// HookHandle identifies a registered hook for removal.
+type HookHandle int
+
+// RegisterHook appends a forward hook. Hooks run in registration order after
+// every linear layer's output has been computed and passed through the
+// precision gate — so an injector registered before a protector corrupts the
+// value first and the protector then gets a chance to detect it, exactly the
+// paper's fault/protection interleaving.
+func (m *Model) RegisterHook(h Hook) HookHandle {
+	m.nextHookID++
+	m.hooks = append(m.hooks, hookEntry{id: m.nextHookID, fn: h})
+	return HookHandle(m.nextHookID)
+}
+
+// RemoveHook unregisters a hook by handle; unknown handles are ignored.
+func (m *Model) RemoveHook(h HookHandle) {
+	for i, e := range m.hooks {
+		if e.id == int(h) {
+			m.hooks = append(m.hooks[:i], m.hooks[i+1:]...)
+			return
+		}
+	}
+}
+
+// ClearHooks removes every registered hook.
+func (m *Model) ClearHooks() { m.hooks = m.hooks[:0] }
+
+// HookCount returns the number of registered hooks.
+func (m *Model) HookCount() int { return len(m.hooks) }
+
+func (m *Model) runHooks(ref LayerRef, site Site, in, out *tensor.Tensor) {
+	if len(m.hooks) == 0 {
+		return
+	}
+	ctx := HookCtx{Layer: ref, Site: site, Input: in, Step: m.step, FirstToken: m.step == 0}
+	for _, e := range m.hooks {
+		e.fn(ctx, out)
+	}
+}

@@ -1,0 +1,117 @@
+// Package model implements the decoder-only transformer inference engine
+// the FT2 reproduction runs on: the three architecture families of the
+// paper's model zoo (OPT-style, GPT-J-style, Llama-style), greedy generation
+// with a KV cache, an FP16/FP32 precision gate on every linear-layer output,
+// and a PyTorch-style forward-hook mechanism that the fault injector and the
+// protection layer interpose on.
+package model
+
+import "fmt"
+
+// LayerKind identifies a linear layer's role inside a decoder block, the
+// granularity at which the paper assesses criticality (Table 1 / Figure 6).
+type LayerKind int
+
+const (
+	// KProj is the attention key projection.
+	KProj LayerKind = iota
+	// QProj is the attention query projection.
+	QProj
+	// VProj is the attention value projection.
+	VProj
+	// OutProj is the attention output projection.
+	OutProj
+	// FC1 is the first MLP linear layer (OPT/GPT-J family).
+	FC1
+	// FC2 is the second MLP linear layer (OPT/GPT-J family).
+	FC2
+	// GateProj is the SiLU-gated branch of the Llama-family MLP.
+	GateProj
+	// UpProj is the up-projection branch of the Llama-family MLP.
+	UpProj
+	// DownProj is the Llama-family MLP output projection.
+	DownProj
+	numLayerKinds
+)
+
+// String implements fmt.Stringer with the paper's layer names.
+func (k LayerKind) String() string {
+	switch k {
+	case KProj:
+		return "K_PROJ"
+	case QProj:
+		return "Q_PROJ"
+	case VProj:
+		return "V_PROJ"
+	case OutProj:
+		return "OUT_PROJ"
+	case FC1:
+		return "FC1"
+	case FC2:
+		return "FC2"
+	case GateProj:
+		return "GATE_PROJ"
+	case UpProj:
+		return "UP_PROJ"
+	case DownProj:
+		return "DOWN_PROJ"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// AllLayerKinds lists every layer kind in declaration order.
+var AllLayerKinds = []LayerKind{KProj, QProj, VProj, OutProj, FC1, FC2, GateProj, UpProj, DownProj}
+
+// Family identifies one of the paper's three architecture families
+// (Figure 1): they differ in normalization, position encoding, MLP shape
+// and the parallel-vs-sequential arrangement of attention and MLP.
+type Family int
+
+const (
+	// FamilyOPT: LayerNorm, learned positions, sequential attention→MLP,
+	// fc1/fc2 with ReLU (OPT-6.7B, OPT-2.7B).
+	FamilyOPT Family = iota
+	// FamilyGPTJ: LayerNorm, rotary positions, attention and MLP computed in
+	// parallel from the same normalized input, fc1/fc2 with GELU (GPT-J-6B).
+	FamilyGPTJ
+	// FamilyLlama: RMSNorm, rotary positions, sequential attention→MLP,
+	// gate/up/down with SiLU (Llama2-7B, Vicuna-7B, Qwen2-7B, Qwen2-1.5B).
+	FamilyLlama
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamilyOPT:
+		return "opt"
+	case FamilyGPTJ:
+		return "gptj"
+	case FamilyLlama:
+		return "llama"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// LayerKinds returns the linear layer kinds present in one decoder block of
+// this family, in forward-pass order.
+func (f Family) LayerKinds() []LayerKind {
+	switch f {
+	case FamilyOPT, FamilyGPTJ:
+		return []LayerKind{KProj, QProj, VProj, OutProj, FC1, FC2}
+	case FamilyLlama:
+		return []LayerKind{KProj, QProj, VProj, OutProj, GateProj, UpProj, DownProj}
+	default:
+		panic("model: unknown family")
+	}
+}
+
+// LayerRef addresses one linear layer instance inside a model.
+type LayerRef struct {
+	Block int
+	Kind  LayerKind
+}
+
+// String implements fmt.Stringer.
+func (r LayerRef) String() string { return fmt.Sprintf("block%d.%s", r.Block, r.Kind) }

@@ -1,0 +1,537 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ft2/internal/numerics"
+	"ft2/internal/tensor"
+)
+
+// linear is one weight matrix (out×in, PyTorch layout) plus optional bias.
+type linear struct {
+	w *tensor.Tensor
+	b []float32
+}
+
+// norm holds LayerNorm (gamma+beta) or RMSNorm (gamma only) parameters.
+type norm struct {
+	gamma, beta []float32
+}
+
+// block is one decoder block. Layers not used by the family stay nil.
+type block struct {
+	ln1, ln2                     norm
+	kProj, qProj, vProj, outProj linear
+	fc1, fc2                     linear // OPT / GPT-J
+	gateProj, upProj, downProj   linear // Llama family
+}
+
+// Model is an initialized decoder-only transformer ready for greedy
+// generation. It is not safe for concurrent Generate calls; campaigns clone
+// one model per worker (weights are shared read-only, KV state is per-call).
+type Model struct {
+	Cfg    Config
+	DType  numerics.DType
+	embed  *tensor.Tensor // vocab × hidden (tied LM head)
+	posEmb *tensor.Tensor // maxSeq × hidden (OPT only)
+	blocks []*block
+	lnF    norm
+
+	// teacher is a seeded random cycle over the non-special token ids
+	// implementing the TeacherWeight next-token prior (see Config), and
+	// streamNorm is the calibrated norm of a sane residual stream: the
+	// teacher component is injected at that fixed scale, so a corrupted
+	// stream whose norm has exploded swamps it under the final
+	// normalization — confident margins for sane states, divergence for
+	// extreme corruption, matching trained-model behaviour under faults.
+	teacher        []int
+	streamNorm     float32
+	lastStreamNorm float32
+
+	hooks      []hookEntry
+	nextHookID int
+
+	// generation state
+	step int
+	kv   []kvCache
+}
+
+// kvCache stores the per-block key/value rows accumulated across steps.
+type kvCache struct {
+	k, v [][]float32
+}
+
+// New builds a model from cfg with seeded deterministic weights and the
+// given activation dtype. The same (cfg, seed) always yields identical
+// weights regardless of GOMAXPROCS.
+func New(cfg Config, seed int64, dtype numerics.DType) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{Cfg: cfg, DType: dtype}
+	h := cfg.Hidden
+
+	m.embed = tensor.New(cfg.Vocab, h)
+	m.embed.RandNormal(rng, 0.08)
+	// Give token groups structured channel signatures: tokens from one
+	// vocabulary region carry extra energy in a group-specific channel
+	// block. Different corpora (different token mixes) then excite
+	// different activation subspaces, so per-layer activation ranges — and
+	// hence profiled bounds — are genuinely dataset-dependent, the
+	// phenomenon behind the paper's Figure 3 (real LLMs route different
+	// content through different channels).
+	const groupSpan = 32
+	blockWidth := h / 4
+	for tok := 0; tok < cfg.Vocab; tok++ {
+		g := tok / groupSpan
+		start := (g * 13 * blockWidth / 4) % h
+		row := m.embed.Row(tok)
+		for j := 0; j < blockWidth; j++ {
+			row[(start+j)%h] += float32(rng.NormFloat64() * 0.18)
+		}
+	}
+	if cfg.Family == FamilyOPT {
+		m.posEmb = tensor.New(cfg.MaxSeq, h)
+		m.posEmb.RandNormal(rng, 0.02)
+	}
+
+	for b := 0; b < cfg.Blocks; b++ {
+		blk := &block{}
+		blk.ln1 = newNorm(cfg, h)
+		blk.ln2 = newNorm(cfg, h)
+		for _, kind := range cfg.Family.LayerKinds() {
+			l := m.initLinear(cfg, kind, rng)
+			switch kind {
+			case KProj:
+				blk.kProj = l
+			case QProj:
+				blk.qProj = l
+			case VProj:
+				blk.vProj = l
+			case OutProj:
+				blk.outProj = l
+			case FC1:
+				blk.fc1 = l
+			case FC2:
+				blk.fc2 = l
+			case GateProj:
+				blk.gateProj = l
+			case UpProj:
+				blk.upProj = l
+			case DownProj:
+				blk.downProj = l
+			}
+		}
+		m.blocks = append(m.blocks, blk)
+	}
+	m.lnF = newNorm(cfg, h)
+
+	// Teacher map over ids [4, vocab): a single random cycle, so there are
+	// no fixed points (no degenerate "x x x ..." generations), no special
+	// tokens, and the orbit from any start covers the whole real vocabulary.
+	const firstRealToken = 4
+	order := rng.Perm(cfg.Vocab - firstRealToken)
+	m.teacher = make([]int, cfg.Vocab)
+	n := len(order)
+	for i, tok := range order {
+		m.teacher[firstRealToken+tok] = firstRealToken + order[(i+1)%n]
+	}
+	for i := 0; i < firstRealToken; i++ {
+		m.teacher[i] = firstRealToken + order[i%n]
+	}
+
+	// Calibrate the sane residual-stream norm on a fixed probe sequence
+	// (teacher disabled: streamNorm is still zero here, so forward takes
+	// the plain readout path).
+	probe := make([]int, 8)
+	for i := range probe {
+		probe[i] = firstRealToken + (i*37)%(cfg.Vocab-firstRealToken)
+	}
+	m.Generate(probe, 4)
+	m.streamNorm = m.lastStreamNorm
+	m.resetState()
+	return m, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config, seed int64, dtype numerics.DType) *Model {
+	m, err := New(cfg, seed, dtype)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func newNorm(cfg Config, width int) norm {
+	n := norm{gamma: make([]float32, width)}
+	for i := range n.gamma {
+		n.gamma[i] = 1
+	}
+	if cfg.Family != FamilyLlama {
+		n.beta = make([]float32, width)
+	}
+	return n
+}
+
+// initLinear draws a weight matrix whose output scale reproduces the
+// per-layer-kind value distributions of Figure 8: wide distributions (with a
+// sizeable NaN-vulnerable fraction in ±(1,2)) for K/Q/FC1/GATE/UP, and tight
+// near-zero distributions for V/OUT/FC2/DOWN. DOWN_PROJ additionally gets a
+// few planted outlier rows reproducing the large-value channels of Figure 12
+// (a documented property of trained Llama-family models).
+func (m *Model) initLinear(cfg Config, kind LayerKind, rng *rand.Rand) linear {
+	in, out := cfg.InDim(kind), cfg.OutDim(kind)
+	w := tensor.New(out, in)
+
+	// Inputs to each linear layer are normalized (post-LN) with roughly unit
+	// RMS, so output std ≈ weightStd·sqrt(in). Choose weightStd to target the
+	// desired output std per kind.
+	var targetStd float64
+	switch kind {
+	case KProj, QProj:
+		targetStd = 1.3 // wide: a large fraction of |values| in (1,2)
+	case FC1, GateProj, UpProj:
+		targetStd = 1.1
+	case VProj:
+		targetStd = 0.30 // tight near zero (critical layers, Fig. 8)
+	case OutProj, FC2, DownProj:
+		targetStd = 0.35
+	}
+	w.RandNormal(rng, targetStd/math.Sqrt(float64(in)))
+
+	switch kind {
+	case VProj, OutProj, FC2, DownProj:
+		// Plant a handful of outlier output channels — dense rows with a
+		// large weight scale, so the channel is *persistently* large across
+		// tokens (the documented outlier-channel phenomenon of trained
+		// transformers; Figure 12 shows it for DOWN_PROJ). Dense rows keep
+		// the channel's distribution Gaussian: the first token's max is a
+		// good bound estimate and the 2× scaled bound almost never clips
+		// legitimate later values. The outliers also widen the profiled
+		// bounds of the critical layers, which is what makes an uncorrected
+		// extreme value destructive even after a downstream layer clamps
+		// the fallout (the V_PROJ criticality mechanism of Figure 6).
+		nOutliers := out / 32
+		if nOutliers < 2 {
+			nOutliers = 2
+		}
+		// V's outliers stay moderate (its corruption is clamped at the
+		// source when covered); the residual-stream writers get larger
+		// outlier channels so their profiled bounds admit genuinely
+		// destructive clamped rows when a critical layer is left exposed.
+		outlierScale := 30.0
+		if kind == VProj {
+			outlierScale = 6
+		}
+		outlierStd := outlierScale * targetStd / math.Sqrt(float64(in))
+		for i := 0; i < nOutliers; i++ {
+			row := rng.Intn(out)
+			for j := 0; j < in; j++ {
+				w.Set(row, j, float32(rng.NormFloat64()*outlierStd))
+			}
+		}
+	}
+
+	l := linear{w: w}
+	if cfg.layerHasBias(kind) {
+		l.b = make([]float32, out)
+		for i := range l.b {
+			l.b[i] = float32(rng.NormFloat64() * 0.01)
+		}
+	}
+	return l
+}
+
+// linearByRef resolves a layer reference to its parameters.
+func (m *Model) linearByRef(ref LayerRef) linear {
+	blk := m.blocks[ref.Block]
+	switch ref.Kind {
+	case KProj:
+		return blk.kProj
+	case QProj:
+		return blk.qProj
+	case VProj:
+		return blk.vProj
+	case OutProj:
+		return blk.outProj
+	case FC1:
+		return blk.fc1
+	case FC2:
+		return blk.fc2
+	case GateProj:
+		return blk.gateProj
+	case UpProj:
+		return blk.upProj
+	case DownProj:
+		return blk.downProj
+	default:
+		panic("model: unknown layer kind")
+	}
+}
+
+// RecomputeLinear re-executes a linear layer on the given input and returns
+// the freshly computed, precision-gated output — the redundant execution a
+// duplication-in-place protection compares against. It does not run hooks.
+func (m *Model) RecomputeLinear(ref LayerRef, x *tensor.Tensor) *tensor.Tensor {
+	if ref.Block < 0 || ref.Block >= len(m.blocks) {
+		panic(fmt.Sprintf("model: RecomputeLinear block %d out of range", ref.Block))
+	}
+	l := m.linearByRef(ref)
+	if l.w == nil {
+		panic(fmt.Sprintf("model: layer %v not present in family %v", ref, m.Cfg.Family))
+	}
+	out := tensor.Linear(x, l.w, l.b)
+	out.Quantize(m.DType)
+	return out
+}
+
+// applyLinear computes the layer output, passes it through the precision
+// gate, and runs the forward hooks.
+func (m *Model) applyLinear(ref LayerRef, l linear, x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.Linear(x, l.w, l.b)
+	out.Quantize(m.DType)
+	m.runHooks(ref, SiteLinearOut, x, out)
+	return out
+}
+
+func (m *Model) applyNorm(n norm, x *tensor.Tensor) *tensor.Tensor {
+	if m.Cfg.Family == FamilyLlama {
+		return tensor.RMSNorm(x, n.gamma, 1e-6)
+	}
+	return tensor.LayerNorm(x, n.gamma, n.beta, 1e-5)
+}
+
+// attention runs multi-head causal self-attention for the rows of x (the
+// positions processed this pass), appending K/V to the block's cache.
+// positions gives the absolute position of each row.
+func (m *Model) attention(bIdx int, blk *block, x *tensor.Tensor, positions []int) *tensor.Tensor {
+	cfg := m.Cfg
+	d := cfg.HeadDim()
+
+	k := m.applyLinear(LayerRef{bIdx, KProj}, blk.kProj, x)
+	q := m.applyLinear(LayerRef{bIdx, QProj}, blk.qProj, x)
+	v := m.applyLinear(LayerRef{bIdx, VProj}, blk.vProj, x)
+
+	if cfg.Family != FamilyOPT {
+		// Rotary embeddings per head on q and k.
+		for h := 0; h < cfg.Heads; h++ {
+			qh := q.SliceCols(h*d, (h+1)*d)
+			kh := k.SliceCols(h*d, (h+1)*d)
+			tensor.RotaryEmbed(qh, positions, d, 10000)
+			tensor.RotaryEmbed(kh, positions, d, 10000)
+			for r := 0; r < x.Rows; r++ {
+				copy(q.Row(r)[h*d:(h+1)*d], qh.Row(r))
+				copy(k.Row(r)[h*d:(h+1)*d], kh.Row(r))
+			}
+		}
+	}
+
+	// Append to the KV cache.
+	cache := &m.kv[bIdx]
+	for r := 0; r < x.Rows; r++ {
+		cache.k = append(cache.k, append([]float32(nil), k.Row(r)...))
+		cache.v = append(cache.v, append([]float32(nil), v.Row(r)...))
+	}
+	total := len(cache.k)
+	base := total - x.Rows // absolute position of x's first row
+
+	// Per-head scaled dot-product attention with causal masking.
+	ctxOut := tensor.New(x.Rows, cfg.Hidden)
+	scale := float32(1 / math.Sqrt(float64(d)))
+	scores := make([]float32, total)
+	for h := 0; h < cfg.Heads; h++ {
+		lo := h * d
+		for r := 0; r < x.Rows; r++ {
+			qrow := q.Row(r)[lo : lo+d]
+			limit := base + r + 1 // causal: attend to positions <= own
+			maxv := float32(math.Inf(-1))
+			for j := 0; j < limit; j++ {
+				s := tensor.Dot(qrow, cache.k[j][lo:lo+d]) * scale
+				scores[j] = s
+				if !math.IsNaN(float64(s)) && s > maxv {
+					maxv = s
+				}
+			}
+			var sum float32
+			for j := 0; j < limit; j++ {
+				e := float32(math.Exp(float64(scores[j] - maxv)))
+				scores[j] = e
+				sum += e
+			}
+			orow := ctxOut.Row(r)[lo : lo+d]
+			if sum > 0 {
+				inv := 1 / sum
+				for j := 0; j < limit; j++ {
+					wgt := scores[j] * inv
+					if wgt == 0 {
+						continue
+					}
+					vrow := cache.v[j][lo : lo+d]
+					for t := 0; t < d; t++ {
+						orow[t] += wgt * vrow[t]
+					}
+				}
+			}
+		}
+	}
+	ctxOut.Quantize(m.DType)
+	return m.applyLinear(LayerRef{bIdx, OutProj}, blk.outProj, ctxOut)
+}
+
+// mlp runs the family-specific MLP.
+func (m *Model) mlp(bIdx int, blk *block, x *tensor.Tensor) *tensor.Tensor {
+	switch m.Cfg.Family {
+	case FamilyOPT, FamilyGPTJ:
+		h := m.applyLinear(LayerRef{bIdx, FC1}, blk.fc1, x)
+		m.Cfg.Activation.Apply(h)
+		h.Quantize(m.DType)
+		m.runHooks(LayerRef{bIdx, FC1}, SiteActivationOut, nil, h)
+		return m.applyLinear(LayerRef{bIdx, FC2}, blk.fc2, h)
+	case FamilyLlama:
+		gate := m.applyLinear(LayerRef{bIdx, GateProj}, blk.gateProj, x)
+		up := m.applyLinear(LayerRef{bIdx, UpProj}, blk.upProj, x)
+		m.Cfg.Activation.Apply(gate)
+		tensor.MulInPlace(gate, up)
+		gate.Quantize(m.DType)
+		m.runHooks(LayerRef{bIdx, GateProj}, SiteActivationOut, nil, gate)
+		return m.applyLinear(LayerRef{bIdx, DownProj}, blk.downProj, gate)
+	default:
+		panic("model: unknown family")
+	}
+}
+
+// forward processes the rows of tokens (absolute positions given) and
+// returns the logits of the final row.
+func (m *Model) forward(tokens []int, positions []int) []float32 {
+	cfg := m.Cfg
+	x := tensor.New(len(tokens), cfg.Hidden)
+	for r, tok := range tokens {
+		if tok < 0 || tok >= cfg.Vocab {
+			panic(fmt.Sprintf("model: token %d out of vocab %d", tok, cfg.Vocab))
+		}
+		copy(x.Row(r), m.embed.Row(tok))
+		if cfg.Family == FamilyOPT {
+			pos := positions[r]
+			if pos >= cfg.MaxSeq {
+				panic(fmt.Sprintf("model: position %d exceeds max seq %d", pos, cfg.MaxSeq))
+			}
+			row := x.Row(r)
+			for c, pv := range m.posEmb.Row(pos) {
+				row[c] += pv
+			}
+		}
+	}
+	x.Quantize(m.DType)
+
+	for bIdx, blk := range m.blocks {
+		switch cfg.Family {
+		case FamilyGPTJ:
+			// Parallel attention+MLP from the same normalized input.
+			normed := m.applyNorm(blk.ln1, x)
+			attn := m.attention(bIdx, blk, normed, positions)
+			ffn := m.mlp(bIdx, blk, normed)
+			tensor.AddInPlace(x, attn)
+			tensor.AddInPlace(x, ffn)
+		default:
+			normed := m.applyNorm(blk.ln1, x)
+			attn := m.attention(bIdx, blk, normed, positions)
+			tensor.AddInPlace(x, attn)
+			normed2 := m.applyNorm(blk.ln2, x)
+			ffn := m.mlp(bIdx, blk, normed2)
+			tensor.AddInPlace(x, ffn)
+		}
+		x.Quantize(m.DType)
+	}
+
+	last := x.SliceRows(x.Rows-1, x.Rows)
+	var ss float64
+	for _, v := range last.Data {
+		ss += float64(v) * float64(v)
+	}
+	m.lastStreamNorm = float32(math.Sqrt(ss))
+
+	if cfg.TeacherWeight > 0 && m.streamNorm > 0 {
+		// Inject the next-token prior as a stream component of fixed
+		// reference norm: β·R·t̂ added to the pre-norm state. A sane stream
+		// (‖x‖ ≈ R) is dominated by it; a corrupted stream whose norm has
+		// exploded drowns it, and the readout diverges.
+		emb := m.embed.Row(m.teacher[tokens[len(tokens)-1]])
+		var tn float64
+		for _, v := range emb {
+			tn += float64(v) * float64(v)
+		}
+		if tn > 0 {
+			scale := cfg.TeacherWeight * m.streamNorm / float32(math.Sqrt(tn))
+			for i, v := range emb {
+				last.Data[i] += scale * v
+			}
+		}
+	}
+
+	final := m.applyNorm(m.lnF, last)
+	logits := tensor.MatMulT(final, m.embed)
+	logits.Scale(cfg.LogitScale)
+	return logits.Row(0)
+}
+
+// resetState clears the KV cache and step counter for a fresh generation.
+func (m *Model) resetState() {
+	m.kv = make([]kvCache, m.Cfg.Blocks)
+	m.step = 0
+}
+
+// Generate greedily decodes n tokens after the prompt, invoking forward
+// hooks at every linear layer. The prompt itself is processed in a single
+// prefill pass (the paper's "first token generation"); each following token
+// is a single-row pass against the KV cache.
+func (m *Model) Generate(prompt []int, n int) []int {
+	if len(prompt) == 0 {
+		panic("model: empty prompt")
+	}
+	if len(prompt)+n > m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("model: prompt %d + generate %d exceeds max seq %d", len(prompt), n, m.Cfg.MaxSeq))
+	}
+	m.resetState()
+	out := make([]int, 0, n)
+
+	positions := make([]int, len(prompt))
+	for i := range positions {
+		positions[i] = i
+	}
+	logits := m.forward(prompt, positions)
+	tok := argmax(logits)
+	out = append(out, tok)
+
+	for s := 1; s < n; s++ {
+		m.step = s
+		pos := len(prompt) + s - 1
+		logits = m.forward([]int{tok}, []int{pos})
+		tok = argmax(logits)
+		out = append(out, tok)
+	}
+	return out
+}
+
+// StepRows returns the number of sequence rows processed at generation step
+// `step` for a prompt of the given length: the prefill pass processes the
+// whole prompt, every later step one token.
+func StepRows(promptLen, step int) int {
+	if step == 0 {
+		return promptLen
+	}
+	return 1
+}
+
+func argmax(xs []float32) int {
+	best, bestV := 0, float32(math.Inf(-1))
+	for i, v := range xs {
+		if !math.IsNaN(float64(v)) && v > bestV {
+			bestV = v
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,202 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ft2/internal/numerics"
+)
+
+// Checkpoint format: a little-endian binary stream carrying the config
+// dimensions needed for validation followed by every parameter tensor in a
+// fixed order. Models are seeded and cheap to rebuild, but checkpoints make
+// experiments portable across processes without replaying seeds (and they
+// are how a real deployment would ship calibrated weights).
+const (
+	checkpointMagic   = 0x46543243 // "FT2C"
+	checkpointVersion = 1
+)
+
+// Save writes the model's parameters to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := []uint32{
+		checkpointMagic, checkpointVersion,
+		uint32(m.Cfg.Family), uint32(m.Cfg.Vocab), uint32(m.Cfg.Hidden),
+		uint32(m.Cfg.Heads), uint32(m.Cfg.FFN), uint32(m.Cfg.Blocks),
+		uint32(m.Cfg.MaxSeq),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(m.streamNorm)); err != nil {
+		return err
+	}
+	for _, tok := range m.teacher {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(tok)); err != nil {
+			return err
+		}
+	}
+	write := func(data []float32) error {
+		for _, v := range data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(m.embed.Data); err != nil {
+		return err
+	}
+	if m.posEmb != nil {
+		if err := write(m.posEmb.Data); err != nil {
+			return err
+		}
+	}
+	for _, blk := range m.blocks {
+		for _, n := range []norm{blk.ln1, blk.ln2} {
+			if err := write(n.gamma); err != nil {
+				return err
+			}
+			if err := write(n.beta); err != nil {
+				return err
+			}
+		}
+		for _, kind := range m.Cfg.Family.LayerKinds() {
+			l := m.linearByRef(LayerRef{Block: blockIndexOf(m, blk), Kind: kind})
+			if err := write(l.w.Data); err != nil {
+				return err
+			}
+			if err := write(l.b); err != nil {
+				return err
+			}
+		}
+	}
+	if err := write(m.lnF.gamma); err != nil {
+		return err
+	}
+	if err := write(m.lnF.beta); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func blockIndexOf(m *Model, blk *block) int {
+	for i, b := range m.blocks {
+		if b == blk {
+			return i
+		}
+	}
+	panic("model: block not found")
+}
+
+// Load restores a model from a checkpoint written by Save. cfg must match
+// the checkpoint's dimensions (the name/metadata fields are the caller's).
+func Load(cfg Config, dtype numerics.DType, r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var header [9]uint32
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("model: reading checkpoint header: %w", err)
+		}
+	}
+	if header[0] != checkpointMagic {
+		return nil, fmt.Errorf("model: not an FT2 checkpoint (magic %#x)", header[0])
+	}
+	if header[1] != checkpointVersion {
+		return nil, fmt.Errorf("model: unsupported checkpoint version %d", header[1])
+	}
+	got := Config{
+		Family: Family(header[2]), Vocab: int(header[3]), Hidden: int(header[4]),
+		Heads: int(header[5]), FFN: int(header[6]), Blocks: int(header[7]),
+		MaxSeq: int(header[8]),
+	}
+	if got.Family != cfg.Family || got.Vocab != cfg.Vocab || got.Hidden != cfg.Hidden ||
+		got.Heads != cfg.Heads || got.FFN != cfg.FFN || got.Blocks != cfg.Blocks ||
+		got.MaxSeq != cfg.MaxSeq {
+		return nil, fmt.Errorf("model: checkpoint dimensions %+v do not match config %s", got, cfg.Name)
+	}
+
+	// Build an empty model with the right shapes (seed irrelevant — every
+	// parameter is overwritten), then fill it from the stream.
+	m, err := New(cfg, 0, dtype)
+	if err != nil {
+		return nil, err
+	}
+	var bits uint32
+	if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+		return nil, err
+	}
+	m.streamNorm = math.Float32frombits(bits)
+	for i := range m.teacher {
+		var tok uint32
+		if err := binary.Read(br, binary.LittleEndian, &tok); err != nil {
+			return nil, err
+		}
+		if int(tok) >= cfg.Vocab {
+			return nil, fmt.Errorf("model: teacher entry %d out of vocab", tok)
+		}
+		m.teacher[i] = int(tok)
+	}
+	read := func(data []float32) error {
+		for i := range data {
+			var b uint32
+			if err := binary.Read(br, binary.LittleEndian, &b); err != nil {
+				return err
+			}
+			data[i] = math.Float32frombits(b)
+		}
+		return nil
+	}
+	if err := read(m.embed.Data); err != nil {
+		return nil, err
+	}
+	if m.posEmb != nil {
+		if err := read(m.posEmb.Data); err != nil {
+			return nil, err
+		}
+	}
+	for bIdx, blk := range m.blocks {
+		for _, n := range []norm{blk.ln1, blk.ln2} {
+			if err := read(n.gamma); err != nil {
+				return nil, err
+			}
+			if err := read(n.beta); err != nil {
+				return nil, err
+			}
+		}
+		for _, kind := range cfg.Family.LayerKinds() {
+			l := m.linearByRef(LayerRef{Block: bIdx, Kind: kind})
+			if err := read(l.w.Data); err != nil {
+				return nil, err
+			}
+			if err := read(l.b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := read(m.lnF.gamma); err != nil {
+		return nil, err
+	}
+	if err := read(m.lnF.beta); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParamTensors returns the total number of parameter tensors (for tests and
+// tooling that want to sanity-check checkpoints).
+func (m *Model) ParamTensors() int {
+	n := 1 // embed
+	if m.posEmb != nil {
+		n++
+	}
+	n += len(m.blocks) * (4 + len(m.Cfg.Family.LayerKinds())*2)
+	n += 2 // final norm
+	return n
+}

@@ -1,0 +1,87 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"ft2/internal/numerics"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, f := range []Family{FamilyOPT, FamilyGPTJ, FamilyLlama} {
+		cfg := smallCfg(f)
+		cfg.TeacherWeight = 4
+		orig := MustNew(cfg, 1234, numerics.FP16)
+		prompt := []int{1, 5, 9, 13}
+		want := orig.Generate(prompt, 10)
+
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatalf("%v: Save: %v", f, err)
+		}
+		loaded, err := Load(cfg, numerics.FP16, &buf)
+		if err != nil {
+			t.Fatalf("%v: Load: %v", f, err)
+		}
+		got := loaded.Generate(prompt, 10)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: loaded model diverges at %d: %v vs %v", f, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongConfig(t *testing.T) {
+	cfg := smallCfg(FamilyOPT)
+	m := MustNew(cfg, 1, numerics.FP16)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrong := cfg
+	wrong.Hidden = 64
+	wrong.Heads = 8
+	if _, err := Load(wrong, numerics.FP16, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("mismatched config must be rejected")
+	}
+	wrongFam := smallCfg(FamilyLlama)
+	if _, err := Load(wrongFam, numerics.FP16, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("mismatched family must be rejected")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	cfg := smallCfg(FamilyOPT)
+	if _, err := Load(cfg, numerics.FP16, bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated stream must be rejected")
+	}
+	bad := make([]byte, 64)
+	if _, err := Load(cfg, numerics.FP16, bytes.NewReader(bad)); err == nil {
+		t.Error("wrong magic must be rejected")
+	}
+}
+
+func TestCheckpointTruncatedBody(t *testing.T) {
+	cfg := smallCfg(FamilyOPT)
+	m := MustNew(cfg, 1, numerics.FP16)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(cfg, numerics.FP16, bytes.NewReader(half)); err == nil {
+		t.Error("truncated body must be rejected")
+	}
+}
+
+func TestParamTensors(t *testing.T) {
+	cfg := smallCfg(FamilyLlama)
+	m := MustNew(cfg, 1, numerics.FP16)
+	// llama: no posEmb; per block 2 norms(=4 tensors counting gamma+beta
+	// slots) + 7 layers ×2; final norm 2.
+	want := 1 + cfg.Blocks*(4+7*2) + 2
+	if got := m.ParamTensors(); got != want {
+		t.Errorf("ParamTensors = %d, want %d", got, want)
+	}
+}

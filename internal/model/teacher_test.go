@@ -1,0 +1,127 @@
+package model
+
+import (
+	"testing"
+
+	"ft2/internal/numerics"
+	"ft2/internal/tensor"
+)
+
+// The teacher map must be a single cycle over the non-special ids: no fixed
+// points (degenerate repetition) and full coverage.
+func TestTeacherMapIsFullCycle(t *testing.T) {
+	cfg := smallCfg(FamilyOPT)
+	cfg.TeacherWeight = 4
+	m := MustNew(cfg, 7, numerics.FP16)
+	const first = 4
+	n := cfg.Vocab - first
+
+	seen := make(map[int]bool)
+	tok := first
+	for i := 0; i < n; i++ {
+		next := m.teacher[tok]
+		if next < first || next >= cfg.Vocab {
+			t.Fatalf("teacher maps %d to out-of-range %d", tok, next)
+		}
+		if next == tok {
+			t.Fatalf("teacher has a fixed point at %d", tok)
+		}
+		if seen[tok] {
+			t.Fatalf("cycle shorter than vocab: revisited %d after %d steps", tok, i)
+		}
+		seen[tok] = true
+		tok = next
+	}
+	if tok != first {
+		t.Error("orbit does not close into a single cycle")
+	}
+	// Special ids must map into the real-token range.
+	for i := 0; i < first; i++ {
+		if m.teacher[i] < first {
+			t.Errorf("special id %d maps to special id %d", i, m.teacher[i])
+		}
+	}
+}
+
+func TestStreamNormCalibrated(t *testing.T) {
+	for _, name := range []string{"opt-6.7b-sim", "gptj-6b-sim", "llama2-7b-sim"} {
+		cfg, err := ConfigByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := MustNew(cfg, 42, numerics.FP16)
+		if m.streamNorm <= 0 {
+			t.Errorf("%s: stream norm %g not calibrated", name, m.streamNorm)
+		}
+		if m.streamNorm > 1e4 {
+			t.Errorf("%s: stream norm %g implausibly large", name, m.streamNorm)
+		}
+	}
+}
+
+// A catastrophic stream corruption must overwhelm the teacher prior and
+// change the generated tokens — the mechanism behind SDC outcomes — while
+// the same generation without corruption is stable.
+func TestTeacherOverwhelmedByStreamExplosion(t *testing.T) {
+	cfg, err := ConfigByName("opt-6.7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(cfg, 42, numerics.FP16)
+	prompt := []int{4, 9, 14, 19, 24}
+	clean := m.Generate(prompt, 12)
+
+	m.RegisterHook(func(ctx HookCtx, out *tensor.Tensor) {
+		if ctx.Layer == (LayerRef{1, OutProj}) && ctx.Step == 2 && ctx.Site == SiteLinearOut {
+			// Non-uniform wipe: a constant vector would be cancelled exactly
+			// by LayerNorm's mean subtraction.
+			for i := range out.Data {
+				out.Data[i] = float32((i%7 - 3)) * 10000
+			}
+		}
+	})
+	corrupted := m.Generate(prompt, 12)
+	m.ClearHooks()
+
+	same := true
+	for i := 3; i < len(clean); i++ {
+		if clean[i] != corrupted[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("a full stream wipe must derail the generation despite the teacher prior")
+	}
+	// Tokens before the fault step must be identical.
+	for i := 0; i < 2; i++ {
+		if clean[i] != corrupted[i] {
+			t.Errorf("token %d changed before the fault step", i)
+		}
+	}
+}
+
+// A small single-value perturbation must NOT change the generation — the
+// confidence margin that separates in-bound corruption from SDCs.
+func TestTeacherMasksSmallPerturbation(t *testing.T) {
+	cfg, err := ConfigByName("opt-6.7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(cfg, 42, numerics.FP16)
+	prompt := []int{4, 9, 14, 19, 24}
+	clean := m.Generate(prompt, 12)
+
+	m.RegisterHook(func(ctx HookCtx, out *tensor.Tensor) {
+		if ctx.Layer == (LayerRef{1, OutProj}) && ctx.Step == 2 && ctx.Site == SiteLinearOut {
+			out.Data[0] += 0.05
+		}
+	})
+	corrupted := m.Generate(prompt, 12)
+	m.ClearHooks()
+
+	for i := range clean {
+		if clean[i] != corrupted[i] {
+			t.Fatalf("a 0.05 perturbation flipped token %d — confidence margins miscalibrated", i)
+		}
+	}
+}

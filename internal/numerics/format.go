@@ -1,0 +1,36 @@
+package numerics
+
+import "strings"
+
+// FormatBits16 renders a binary16 pattern as "s|eeeee|mmmmmmmmmm" — the
+// sign/exponent/mantissa grouping of the paper's Figure 7 diagrams.
+func FormatBits16(h uint16) string {
+	var b strings.Builder
+	for i := 15; i >= 0; i-- {
+		if h&(1<<uint(i)) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+		if i == 15 || i == 10 {
+			b.WriteByte('|')
+		}
+	}
+	return b.String()
+}
+
+// FormatBits32 renders a binary32 pattern as "s|eeeeeeee|m...".
+func FormatBits32(w uint32) string {
+	var b strings.Builder
+	for i := 31; i >= 0; i-- {
+		if w&(1<<uint(i)) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+		if i == 31 || i == 23 {
+			b.WriteByte('|')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+// Package numerics implements the floating-point substrate of the FT2
+// reproduction: software IEEE-754 binary16 (half precision) emulation,
+// bit-level classification of float16 and float32 words, and the
+// NaN-vulnerability analysis the paper's layer-criticality study relies on.
+//
+// The paper's fault model is a literal bit flip in the stored FP16 (or FP32)
+// representation of a neuron value. All of that behaviour — exponent-flip
+// blow-ups, the NaN encoding space, the (±1, ±2) NaN-vulnerable interval —
+// is a property of the bit layout, so this package works directly on the
+// binary16/binary32 bit patterns.
+package numerics
+
+import "math"
+
+// Binary16 layout constants (1 sign, 5 exponent, 10 mantissa bits).
+const (
+	F16SignBits     = 1
+	F16ExpBits      = 5
+	F16MantissaBits = 10
+	F16TotalBits    = 16
+
+	f16SignMask     = 0x8000
+	f16ExpMask      = 0x7C00
+	f16MantissaMask = 0x03FF
+	f16ExpBias      = 15
+
+	// F16MaxValue is the largest finite binary16 value (65504).
+	F16MaxValue = 65504.0
+	// F16MinNormal is the smallest positive normal binary16 value (2^-14).
+	F16MinNormal = 6.103515625e-05
+)
+
+// F32ToF16Bits converts a float32 to the nearest binary16 bit pattern using
+// round-to-nearest-even, the IEEE-754 default (and what GPU hardware does).
+func F32ToF16Bits(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & f16SignMask
+	exp := int32(b>>23) & 0xFF
+	man := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if man != 0 {
+			// NaN: preserve a quiet NaN with some payload.
+			return sign | f16ExpMask | 0x0200 | uint16(man>>13)&f16MantissaMask
+		}
+		return sign | f16ExpMask // Inf
+	case exp == 0 && man == 0: // signed zero
+		return sign
+	}
+
+	// Re-bias the exponent from binary32 (bias 127) to binary16 (bias 15).
+	e := exp - 127 + f16ExpBias
+	switch {
+	case e >= 0x1F:
+		// Overflow to infinity.
+		return sign | f16ExpMask
+	case e >= 1:
+		// Normal number: round the 23-bit mantissa to 10 bits.
+		m := man >> 13
+		rem := man & 0x1FFF
+		if rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			m++
+			if m == 0x400 { // mantissa overflow carries into exponent
+				m = 0
+				e++
+				if e >= 0x1F {
+					return sign | f16ExpMask
+				}
+			}
+		}
+		return sign | uint16(e<<10) | uint16(m)
+	case e >= -10:
+		// Subnormal half: shift in the implicit leading 1, then round.
+		m := (man | 0x800000) >> uint(1-e+13)
+		shifted := (man | 0x800000) << uint(32-(1-e+13))
+		if shifted > 0x80000000 || (shifted == 0x80000000 && m&1 == 1) {
+			m++
+			// A carry out of the subnormal mantissa lands exactly on the
+			// smallest normal, which the bit pattern encodes naturally.
+		}
+		return sign | uint16(m)
+	default:
+		// Underflow to signed zero.
+		return sign
+	}
+}
+
+// F16BitsToF32 expands a binary16 bit pattern to float32 exactly (binary16 is
+// a subset of binary32, so this conversion is lossless).
+func F16BitsToF32(h uint16) float32 {
+	sign := uint32(h&f16SignMask) << 16
+	exp := uint32(h&f16ExpMask) >> 10
+	man := uint32(h & f16MantissaMask)
+
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		if man != 0 {
+			return math.Float32frombits(sign | 0x7F800000 | man<<13 | 0x400000)
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - f16ExpBias + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= f16MantissaMask
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp-f16ExpBias+127)<<23 | man<<13)
+	}
+}
+
+// RoundF16 round-trips a float32 through binary16, yielding the value the
+// hardware would actually have stored in an FP16 tensor.
+func RoundF16(f float32) float32 { return F16BitsToF32(F32ToF16Bits(f)) }
+
+// IsNaN16 reports whether the binary16 bit pattern encodes a NaN
+// (all exponent bits set and a non-zero mantissa).
+func IsNaN16(h uint16) bool {
+	return h&f16ExpMask == f16ExpMask && h&f16MantissaMask != 0
+}
+
+// IsInf16 reports whether the binary16 bit pattern encodes ±Inf.
+func IsInf16(h uint16) bool {
+	return h&f16ExpMask == f16ExpMask && h&f16MantissaMask == 0
+}
+
+// IsSubnormal16 reports whether the pattern encodes a non-zero subnormal.
+func IsSubnormal16(h uint16) bool {
+	return h&f16ExpMask == 0 && h&f16MantissaMask != 0
+}
+
+// NaNVulnerable16 reports whether a value sits in the paper's
+// "NaN-vulnerable area": the intervals (-2,-1) and (1,2), i.e. binary16
+// values whose exponent field is exactly 01111 (unbiased exponent 0) with a
+// non-zero mantissa. Flipping the high exponent bit of such a value
+// (0x3C00-class exponent 01111 → 11111) yields all-ones exponent with a
+// non-zero fraction — a NaN.
+func NaNVulnerable16(h uint16) bool {
+	return h&f16ExpMask == 0x3C00 && h&f16MantissaMask != 0
+}
+
+// NaNVulnerableValue reports whether the float32 value, once stored as
+// binary16, falls into the NaN-vulnerable interval.
+func NaNVulnerableValue(f float32) bool { return NaNVulnerable16(F32ToF16Bits(f)) }

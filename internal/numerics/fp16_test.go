@@ -1,0 +1,276 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestF32ToF16BitsKnownValues(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{-2, 0xC000},
+		{0.5, 0x3800},
+		{1.5, 0x3E00},
+		{65504, 0x7BFF},                 // max finite half
+		{-65504, 0xFBFF},                // min finite half
+		{6.103515625e-05, 0x0400},       // smallest normal
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+		{float32(math.Inf(1)), 0x7C00},
+		{float32(math.Inf(-1)), 0xFC00},
+	}
+	for _, c := range cases {
+		if got := F32ToF16Bits(c.in); got != c.want {
+			t.Errorf("F32ToF16Bits(%g) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestF16BitsToF32KnownValues(t *testing.T) {
+	cases := []struct {
+		in   uint16
+		want float32
+	}{
+		{0x0000, 0},
+		{0x3C00, 1},
+		{0xBC00, -1},
+		{0x4000, 2},
+		{0x3800, 0.5},
+		{0x7BFF, 65504},
+		{0x0400, 6.103515625e-05},
+		{0x0001, 5.960464477539063e-08},
+	}
+	for _, c := range cases {
+		if got := F16BitsToF32(c.in); got != c.want {
+			t.Errorf("F16BitsToF32(%#04x) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestF16InfinityAndNaN(t *testing.T) {
+	if !math.IsInf(float64(F16BitsToF32(0x7C00)), 1) {
+		t.Error("0x7C00 should decode to +Inf")
+	}
+	if !math.IsInf(float64(F16BitsToF32(0xFC00)), -1) {
+		t.Error("0xFC00 should decode to -Inf")
+	}
+	if !math.IsNaN(float64(F16BitsToF32(0x7C01))) {
+		t.Error("0x7C01 should decode to NaN")
+	}
+	if !math.IsNaN(float64(F16BitsToF32(0xFE00))) {
+		t.Error("0xFE00 should decode to NaN")
+	}
+	nan := float32(math.NaN())
+	if !IsNaN16(F32ToF16Bits(nan)) {
+		t.Error("encoding a float32 NaN must produce a binary16 NaN")
+	}
+}
+
+func TestF16OverflowToInf(t *testing.T) {
+	if got := F32ToF16Bits(70000); got != 0x7C00 {
+		t.Errorf("70000 should overflow to +Inf, got %#04x", got)
+	}
+	if got := F32ToF16Bits(-70000); got != 0xFC00 {
+		t.Errorf("-70000 should overflow to -Inf, got %#04x", got)
+	}
+	// 65520 rounds up to 65536 which is out of range -> Inf per IEEE RNE.
+	if got := F32ToF16Bits(65520); got != 0x7C00 {
+		t.Errorf("65520 should round to +Inf, got %#04x", got)
+	}
+	// 65519.999 rounds down to 65504.
+	if got := F32ToF16Bits(65519); got != 0x7BFF {
+		t.Errorf("65519 should round to max finite, got %#04x", got)
+	}
+}
+
+func TestF16UnderflowToZero(t *testing.T) {
+	tiny := float32(1e-10)
+	if got := F32ToF16Bits(tiny); got != 0 {
+		t.Errorf("1e-10 should underflow to +0, got %#04x", got)
+	}
+	if got := F32ToF16Bits(-tiny); got != 0x8000 {
+		t.Errorf("-1e-10 should underflow to -0, got %#04x", got)
+	}
+}
+
+func TestF16RoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; RNE keeps the even
+	// mantissa (1.0).
+	halfway := float32(1) + float32(math.Ldexp(1, -11))
+	if got := F32ToF16Bits(halfway); got != 0x3C00 {
+		t.Errorf("RNE tie should round to even: got %#04x want 0x3C00", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; RNE rounds to the
+	// even mantissa 2 (pattern 0x3C02).
+	halfway2 := float32(1) + 3*float32(math.Ldexp(1, -11))
+	if got := F32ToF16Bits(halfway2); got != 0x3C02 {
+		t.Errorf("RNE tie should round to even: got %#04x want 0x3C02", got)
+	}
+}
+
+// Round-tripping any binary16 bit pattern through float32 must be exact.
+func TestF16RoundTripExhaustive(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		h := uint16(i)
+		f := F16BitsToF32(h)
+		back := F32ToF16Bits(f)
+		if IsNaN16(h) {
+			if !IsNaN16(back) {
+				t.Fatalf("NaN pattern %#04x did not round-trip to a NaN (got %#04x)", h, back)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("pattern %#04x -> %g -> %#04x did not round-trip", h, f, back)
+		}
+	}
+}
+
+// Property: RoundF16 is idempotent — rounding twice equals rounding once.
+func TestRoundF16Idempotent(t *testing.T) {
+	f := func(x float32) bool {
+		once := RoundF16(x)
+		twice := RoundF16(once)
+		if math.IsNaN(float64(once)) {
+			return math.IsNaN(float64(twice))
+		}
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RoundF16 never increases magnitude beyond the next representable
+// half value; in particular |RoundF16(x)| <= 65504 for finite results.
+func TestRoundF16Bounded(t *testing.T) {
+	f := func(x float32) bool {
+		r := RoundF16(x)
+		if math.IsInf(float64(r), 0) || math.IsNaN(float64(r)) {
+			return true
+		}
+		return r >= -F16MaxValue && r <= F16MaxValue
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RoundF16 preserves sign (treating ±0 as equal-signed to input 0).
+func TestRoundF16PreservesSign(t *testing.T) {
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) {
+			return true
+		}
+		r := RoundF16(x)
+		if x == 0 || r == 0 {
+			return true
+		}
+		return (x > 0) == (r > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaNVulnerableInterval(t *testing.T) {
+	cases := []struct {
+		v    float32
+		want bool
+	}{
+		{1.5, true},
+		{-1.5, true},
+		{1.0009765625, true}, // 1 + 2^-10, smallest value above 1
+		{1.999, true},
+		{-1.25, true},
+		{1.0, false},  // mantissa zero -> flips to Inf, not NaN
+		{-1.0, false}, // same
+		{2.0, false},
+		{0.75, false},
+		{2.5, false},
+		{0, false},
+	}
+	for _, c := range cases {
+		if got := NaNVulnerableValue(c.v); got != c.want {
+			t.Errorf("NaNVulnerableValue(%g) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+// Property: flipping the top exponent bit of a NaN-vulnerable value yields a
+// NaN; the paper's Figure 7(b) mechanism.
+func TestNaNVulnerableFlipYieldsNaN(t *testing.T) {
+	f := func(x float32) bool {
+		h := F32ToF16Bits(x)
+		if !NaNVulnerable16(h) {
+			return true
+		}
+		flipped := FlipBits16(h, []int{14}) // highest exponent bit
+		return IsNaN16(flipped)
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// And deterministically:
+	if !IsNaN16(FlipBits16(F32ToF16Bits(1.5), []int{14})) {
+		t.Error("flipping bit 14 of 1.5 must give NaN")
+	}
+}
+
+// Figure 7(a): flipping the highest exponent bit of a small value in (0,1)
+// creates an extremely large value.
+func TestExponentFlipBlowup(t *testing.T) {
+	v := float32(0.5) // exponent 01110
+	corrupted := F16BitsToF32(FlipBits16(F32ToF16Bits(v), []int{14}))
+	if corrupted < 16384 {
+		t.Errorf("exponent flip of 0.5 should blow up, got %g", corrupted)
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	if !IsInf16(0x7C00) || !IsInf16(0xFC00) {
+		t.Error("IsInf16 failed on infinity patterns")
+	}
+	if IsInf16(0x7C01) {
+		t.Error("IsInf16 must reject NaN patterns")
+	}
+	if !IsSubnormal16(0x0001) || !IsSubnormal16(0x83FF) {
+		t.Error("IsSubnormal16 failed on subnormal patterns")
+	}
+	if IsSubnormal16(0x0000) || IsSubnormal16(0x0400) {
+		t.Error("IsSubnormal16 must reject zero and normals")
+	}
+}
+
+func TestFormatBits16(t *testing.T) {
+	cases := map[uint16]string{
+		0x3C00: "0|01111|0000000000", // 1.0
+		0xBC00: "1|01111|0000000000", // -1.0
+		0x7C01: "0|11111|0000000001", // NaN
+		0x0000: "0|00000|0000000000", // +0
+	}
+	for h, want := range cases {
+		if got := FormatBits16(h); got != want {
+			t.Errorf("FormatBits16(%#04x) = %s, want %s", h, got, want)
+		}
+	}
+}
+
+func TestFormatBits32(t *testing.T) {
+	got := FormatBits32(math.Float32bits(1.0))
+	want := "0|01111111|00000000000000000000000"
+	if got != want {
+		t.Errorf("FormatBits32(1.0) = %s, want %s", got, want)
+	}
+	if len(FormatBits32(0)) != 34 { // 32 bits + 2 separators
+		t.Error("FormatBits32 length wrong")
+	}
+}

@@ -1,0 +1,127 @@
+// Package perfmodel is an analytic roofline-style performance model of LLM
+// inference on the paper's two GPUs (NVIDIA A100 and H100). It supplies the
+// quantities the evaluation needs that are properties of the *reference*
+// hardware, not of the scaled-down Go engine:
+//
+//   - offline bound-profiling cost in hours (Figure 4),
+//   - the first-token share of total inference time (Figure 10),
+//   - the execution-time weight of the prefill pass used by the fault
+//     sampler (faults arrive uniformly in time, so the prefill's share of
+//     fault exposure is its share of wall-clock time — the argument of
+//     Section 4.2.2).
+//
+// Prefill is modeled as compute-bound (2·P·T FLOPs at an effective MFU) and
+// single-token decode as memory-bound (P·bytes of weights per token at an
+// effective bandwidth utilization). The utilization constants are calibrated
+// so the model reproduces the paper's reported times: per-inference latency
+// 1.35–6.4 s (Sec. 5.2.2), first-token fractions 1.89–8.33% (QA) and
+// 0.6–2.66% (Math) on A100, 1.75–2% / 0.59–0.61% on H100 (Fig. 10), and
+// profiling costs up to 217.5 h on A100 vs 36.7 h on H100 (Fig. 4).
+package perfmodel
+
+import (
+	"time"
+
+	"ft2/internal/numerics"
+)
+
+// GPU describes one hardware configuration.
+type GPU struct {
+	Name string
+	// Peak dense throughput in TFLOP/s by dtype.
+	FP16TFLOPS float64
+	FP32TFLOPS float64
+	// Peak HBM bandwidth in GB/s.
+	MemBWGBs float64
+	// MFU is the effective fraction of peak compute achieved by the
+	// batch-1 prefill pass (framework + kernel efficiency).
+	MFU float64
+	// MBU is the effective fraction of peak bandwidth achieved by batch-1
+	// decode.
+	MBU float64
+}
+
+// The two evaluation platforms (Sec. 5.1). Peak numbers are the published
+// dense specs; MFU/MBU are calibrated against the paper's reported times.
+var (
+	A100 = GPU{Name: "A100", FP16TFLOPS: 312, FP32TFLOPS: 19.5, MemBWGBs: 1555, MFU: 0.20, MBU: 0.12}
+	H100 = GPU{Name: "H100", FP16TFLOPS: 989, FP32TFLOPS: 67, MemBWGBs: 3350, MFU: 0.55, MBU: 0.22}
+)
+
+// GPUs lists the two platforms in paper order.
+var GPUs = []GPU{A100, H100}
+
+func (g GPU) tflops(d numerics.DType) float64 {
+	if d == numerics.FP32 {
+		return g.FP32TFLOPS
+	}
+	return g.FP16TFLOPS
+}
+
+// Workload is a reference inference configuration.
+type Workload struct {
+	// Params is the reference model's parameter count (e.g. 6.74e9).
+	Params float64
+	// PromptTokens is the reference prompt length.
+	PromptTokens int
+	// GenTokens is the number of generated tokens (60 QA / 180 Math).
+	GenTokens int
+	// DType selects weight precision (bytes moved per decode step).
+	DType numerics.DType
+}
+
+// PrefillTime models the compute-bound prefill pass: 2·P FLOPs per prompt
+// token at the GPU's effective MFU.
+func PrefillTime(g GPU, w Workload) time.Duration {
+	flops := 2 * w.Params * float64(w.PromptTokens)
+	sec := flops / (g.tflops(w.DType) * 1e12 * g.MFU)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// DecodeTimePerToken models a memory-bound decode step: every weight byte
+// is streamed once per token.
+func DecodeTimePerToken(g GPU, w Workload) time.Duration {
+	bytes := w.Params * float64(w.DType.Bits()/8)
+	sec := bytes / (g.MemBWGBs * 1e9 * g.MBU)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// InferenceTime is the full generation latency: one prefill plus
+// GenTokens-1 decode steps (the first token comes out of the prefill).
+func InferenceTime(g GPU, w Workload) time.Duration {
+	return PrefillTime(g, w) + time.Duration(w.GenTokens-1)*DecodeTimePerToken(g, w)
+}
+
+// FirstTokenFraction returns the first-token generation's share of total
+// inference time (Figure 10).
+func FirstTokenFraction(g GPU, w Workload) float64 {
+	p := PrefillTime(g, w).Seconds()
+	total := InferenceTime(g, w).Seconds()
+	if total == 0 {
+		return 0
+	}
+	return p / total
+}
+
+// PrefillStepWeight expresses the prefill pass's execution time in units of
+// decode steps — the weight the fault sampler gives step 0 so that fault
+// arrival is uniform in time.
+func PrefillStepWeight(g GPU, w Workload) float64 {
+	d := DecodeTimePerToken(g, w).Seconds()
+	if d == 0 {
+		return 1
+	}
+	return PrefillTime(g, w).Seconds() / d
+}
+
+// ProfilingTime is the offline bound-profiling cost: numInputs full
+// inferences (Figure 4; 20% of the training set, full generations so every
+// token step's activations contribute).
+func ProfilingTime(g GPU, w Workload, numInputs int) time.Duration {
+	return time.Duration(numInputs) * InferenceTime(g, w)
+}
+
+// ProfilingHours is ProfilingTime in hours, the unit of Figure 4.
+func ProfilingHours(g GPU, w Workload, numInputs int) float64 {
+	return ProfilingTime(g, w, numInputs).Hours()
+}

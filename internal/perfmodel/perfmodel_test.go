@@ -1,0 +1,121 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"ft2/internal/numerics"
+)
+
+func llamaQA() Workload {
+	return Workload{Params: 6.74e9, PromptTokens: 1024, GenTokens: 60, DType: numerics.FP16}
+}
+
+func llamaMath() Workload {
+	return Workload{Params: 6.74e9, PromptTokens: 512, GenTokens: 180, DType: numerics.FP16}
+}
+
+func TestInferenceTimeInPaperRange(t *testing.T) {
+	// Paper Sec 5.2.2: per-inference latency 1.35 – 6.4 s on A100.
+	for _, w := range []Workload{llamaQA(), llamaMath()} {
+		sec := InferenceTime(A100, w).Seconds()
+		if sec < 1.0 || sec > 15 {
+			t.Errorf("A100 inference time %.2fs outside plausible range", sec)
+		}
+	}
+	qa := InferenceTime(A100, llamaQA()).Seconds()
+	if qa < 1.35 || qa > 6.4 {
+		t.Errorf("A100 QA inference %.2fs outside the paper's 1.35-6.4s", qa)
+	}
+}
+
+func TestFirstTokenFractionMatchesFig10(t *testing.T) {
+	// A100: QA 1.89–8.33%, Math 0.6–2.66%.
+	qa := FirstTokenFraction(A100, llamaQA())
+	if qa < 0.0189 || qa > 0.0833 {
+		t.Errorf("A100 QA first-token fraction %.4f outside paper range", qa)
+	}
+	math := FirstTokenFraction(A100, llamaMath())
+	if math < 0.006 || math > 0.0266 {
+		t.Errorf("A100 Math first-token fraction %.4f outside paper range", math)
+	}
+	// H100: QA 1.75–2%, Math 0.59–0.61% (we accept a looser band: the model
+	// captures the ordering, not the exact calibration).
+	qaH := FirstTokenFraction(H100, llamaQA())
+	if qaH < 0.01 || qaH > 0.035 {
+		t.Errorf("H100 QA first-token fraction %.4f outside loose band", qaH)
+	}
+	if FirstTokenFraction(H100, llamaMath()) >= qaH {
+		t.Error("Math first-token fraction must be below QA (3× more decode steps)")
+	}
+	// The paper's headline: first token is always <10% of execution time.
+	for _, g := range GPUs {
+		for _, w := range []Workload{llamaQA(), llamaMath()} {
+			if f := FirstTokenFraction(g, w); f >= 0.10 {
+				t.Errorf("%s: first-token fraction %.3f >= 10%%", g.Name, f)
+			}
+		}
+	}
+}
+
+func TestH100FasterThanA100(t *testing.T) {
+	for _, w := range []Workload{llamaQA(), llamaMath()} {
+		if InferenceTime(H100, w) >= InferenceTime(A100, w) {
+			t.Error("H100 must be faster than A100")
+		}
+	}
+	speedup := InferenceTime(A100, llamaQA()).Seconds() / InferenceTime(H100, llamaQA()).Seconds()
+	// Paper Fig 4: 217.5h -> 36.7h is ~5.9×; our calibration lands 3–6×.
+	if speedup < 2.5 || speedup > 7 {
+		t.Errorf("A100→H100 speedup %.1f× outside plausible calibration", speedup)
+	}
+}
+
+func TestProfilingHoursShape(t *testing.T) {
+	// Fig 4: profiling reaches up to ~217.5h on A100 and tens of hours on
+	// H100. XTREME-like corpus: 122k inputs.
+	xtremeA := ProfilingHours(A100, Workload{Params: 6.74e9, PromptTokens: 768, GenTokens: 60, DType: numerics.FP16}, 122000)
+	if xtremeA < 50 || xtremeA > 400 {
+		t.Errorf("A100 XTREME-scale profiling %.1fh outside the paper's order of magnitude", xtremeA)
+	}
+	gsmA := ProfilingHours(A100, Workload{Params: 6.74e9, PromptTokens: 512, GenTokens: 180, DType: numerics.FP16}, 1500)
+	if gsmA < 2 || gsmA > 30 {
+		t.Errorf("A100 GSM8K-scale profiling %.1fh outside the paper's order of magnitude", gsmA)
+	}
+	if gsmA >= xtremeA {
+		t.Error("GSM8K profiling must be far cheaper than XTREME (corpus size)")
+	}
+}
+
+func TestPrefillStepWeight(t *testing.T) {
+	w := llamaQA()
+	weight := PrefillStepWeight(A100, w)
+	if weight <= 0 {
+		t.Fatal("prefill weight must be positive")
+	}
+	// Consistency: weight/(weight + gen-1) == FirstTokenFraction.
+	frac := weight / (weight + float64(w.GenTokens-1))
+	if diff := frac - FirstTokenFraction(A100, w); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("prefill weight inconsistent with first-token fraction: %g vs %g", frac, FirstTokenFraction(A100, w))
+	}
+}
+
+func TestFP32SlowerThanFP16(t *testing.T) {
+	w16 := llamaQA()
+	w32 := w16
+	w32.DType = numerics.FP32
+	if DecodeTimePerToken(A100, w32) <= DecodeTimePerToken(A100, w16) {
+		t.Error("FP32 decode must be slower (twice the bytes)")
+	}
+	if PrefillTime(A100, w32) <= PrefillTime(A100, w16) {
+		t.Error("FP32 prefill must be slower (lower TFLOPS)")
+	}
+}
+
+func TestDegenerateWorkloads(t *testing.T) {
+	if PrefillStepWeight(GPU{Name: "zero"}, llamaQA()) != 1 {
+		t.Error("zero-bandwidth GPU must fall back to weight 1")
+	}
+	if FirstTokenFraction(GPU{Name: "zero"}, Workload{}) != 0 {
+		t.Error("empty workload fraction must be 0")
+	}
+}

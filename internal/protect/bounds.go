@@ -1,0 +1,193 @@
+// Package protect implements range-restriction protection for the
+// transformer engine: per-layer activation bounds, the fused
+// clamp+NaN-correction operator (the paper's torch.clamp/nan_to_num fusion),
+// an offline bound profiler (the expensive baseline workflow), and
+// hook-based protectors configured per method coverage.
+package protect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/tensor"
+)
+
+// Bounds is the protected range of one layer's activations. Only two scalar
+// values per layer are stored — the paper's 288–512 byte total memory
+// overhead.
+type Bounds struct {
+	Lo, Hi float32
+}
+
+// Contains reports whether v lies inside the bounds (NaN never does).
+func (b Bounds) Contains(v float32) bool {
+	return v >= b.Lo && v <= b.Hi // NaN comparisons are false
+}
+
+// Scale widens the bounds by factor s ≥ 1 — the paper's bound scaling
+// (Section 4.2.1, factor 2 in FT2). The interval always grows: a negative
+// lower bound is multiplied by s, a positive one divided by s (and
+// symmetrically for the upper bound), so limited first-token data never
+// yields a *tighter* range after scaling.
+func (b Bounds) Scale(s float32) Bounds {
+	out := b
+	if out.Lo <= 0 {
+		out.Lo *= s
+	} else {
+		out.Lo /= s
+	}
+	if out.Hi >= 0 {
+		out.Hi *= s
+	} else {
+		out.Hi /= s
+	}
+	return out
+}
+
+// Widen returns bounds covering both b and o.
+func (b Bounds) Widen(o Bounds) Bounds {
+	out := b
+	if o.Lo < out.Lo {
+		out.Lo = o.Lo
+	}
+	if o.Hi > out.Hi {
+		out.Hi = o.Hi
+	}
+	return out
+}
+
+// Store maps protected sites to bounds. A zero-value Store is empty and
+// ready to use through Observe/Set.
+type Store struct {
+	mu sync.RWMutex
+	m  map[SiteKey]Bounds
+}
+
+// SiteKey addresses a protected site (layer instance + hook site).
+type SiteKey struct {
+	Layer model.LayerRef
+	Site  model.Site
+}
+
+// NewStore returns an empty bounds store.
+func NewStore() *Store { return &Store{m: make(map[SiteKey]Bounds)} }
+
+// Set stores bounds for a site.
+func (s *Store) Set(k SiteKey, b Bounds) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[SiteKey]Bounds)
+	}
+	s.m[k] = b
+}
+
+// Get returns the bounds for a site and whether they exist.
+func (s *Store) Get(k SiteKey) (Bounds, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.m[k]
+	return b, ok
+}
+
+// Observe widens the stored bounds of a site to cover every finite value in
+// the tensor. NaNs are skipped (they are corrected, not learned).
+func (s *Store) Observe(k SiteKey, t *tensor.Tensor) {
+	var lo, hi float32
+	first := true
+	for _, v := range t.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if first {
+		return // nothing finite to learn
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[SiteKey]Bounds)
+	}
+	if cur, ok := s.m[k]; ok {
+		s.m[k] = cur.Widen(Bounds{lo, hi})
+	} else {
+		s.m[k] = Bounds{lo, hi}
+	}
+}
+
+// Len returns the number of sites with recorded bounds.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Reset clears every recorded bound.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[SiteKey]Bounds)
+}
+
+// Scaled returns a copy of the store with every bound scaled by factor.
+func (s *Store) Scaled(factor float32) *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := NewStore()
+	for k, b := range s.m {
+		out.m[k] = b.Scale(factor)
+	}
+	return out
+}
+
+// MemoryBytes reports the storage footprint of the bounds when held in the
+// model's dtype (2 values per protected layer), the paper's Section 5.2.2
+// memory-overhead accounting.
+func (s *Store) MemoryBytes(d numerics.DType) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m) * 2 * d.Bits() / 8
+}
+
+// String renders the store contents sorted by site for stable output.
+func (s *Store) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]SiteKey, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Layer.Block != b.Layer.Block {
+			return a.Layer.Block < b.Layer.Block
+		}
+		if a.Layer.Kind != b.Layer.Kind {
+			return a.Layer.Kind < b.Layer.Kind
+		}
+		return a.Site < b.Site
+	})
+	var sb strings.Builder
+	for _, k := range keys {
+		b := s.m[k]
+		fmt.Fprintf(&sb, "%s/%s: [%g, %g]\n", k.Layer, k.Site, b.Lo, b.Hi)
+	}
+	return sb.String()
+}

@@ -1,0 +1,150 @@
+package protect
+
+import (
+	"testing"
+
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/tensor"
+)
+
+func TestDMRCorrectsAnyLinearFault(t *testing.T) {
+	m := testModel(t)
+	prompt := []int{4, 5, 6, 7}
+	clean := m.Generate(prompt, 8)
+
+	// Inject an *in-bound* small corruption — undetectable by range
+	// restriction, but DMR's recompute catches it.
+	m.RegisterHook(func(ctx model.HookCtx, out *tensor.Tensor) {
+		if ctx.Layer == (model.LayerRef{Block: 0, Kind: model.VProj}) && ctx.Step == 1 && ctx.Site == model.SiteLinearOut {
+			out.Data[0] += 0.25
+		}
+	})
+	d := NewDMR(m)
+	m.RegisterHook(d.Hook())
+	protected := m.Generate(prompt, 8)
+	m.ClearHooks()
+
+	for i := range clean {
+		if clean[i] != protected[i] {
+			t.Fatalf("DMR failed to restore the clean generation at %d", i)
+		}
+	}
+	if d.Detected != 1 {
+		t.Errorf("DMR detected %d corruptions, want exactly 1", d.Detected)
+	}
+}
+
+func TestDMRCoverageRestriction(t *testing.T) {
+	m := testModel(t)
+	prompt := []int{4, 5, 6}
+
+	// Corrupt FC2 but only cover V_PROJ: the fault must slip through.
+	m.RegisterHook(func(ctx model.HookCtx, out *tensor.Tensor) {
+		if ctx.Layer.Kind == model.FC2 && ctx.Step == 1 && ctx.Site == model.SiteLinearOut {
+			out.Data[0] = 30000
+		}
+	})
+	d := NewDMR(m, model.VProj)
+	m.RegisterHook(d.Hook())
+	m.Generate(prompt, 4)
+	m.ClearHooks()
+	if d.Detected != 0 {
+		t.Errorf("restricted DMR corrected %d values outside its coverage", d.Detected)
+	}
+}
+
+func TestDMRFaultFreeSilent(t *testing.T) {
+	m := testModel(t)
+	d := NewDMR(m)
+	m.RegisterHook(d.Hook())
+	m.Generate([]int{4, 5, 6, 7}, 8)
+	m.ClearHooks()
+	if d.Detected != 0 {
+		t.Errorf("DMR flagged %d values in a fault-free run (recompute must be bit-identical)", d.Detected)
+	}
+}
+
+func TestRecomputeLinearMatchesForward(t *testing.T) {
+	m := testModel(t)
+	var captured *tensor.Tensor
+	var capturedIn *tensor.Tensor
+	ref := model.LayerRef{Block: 1, Kind: model.FC1}
+	m.RegisterHook(func(ctx model.HookCtx, out *tensor.Tensor) {
+		if ctx.Layer == ref && ctx.Step == 0 && ctx.Site == model.SiteLinearOut {
+			captured = out.Clone()
+			capturedIn = ctx.Input.Clone()
+		}
+	})
+	m.Generate([]int{4, 5, 6}, 1)
+	m.ClearHooks()
+	if captured == nil {
+		t.Fatal("hook never captured the layer")
+	}
+	re := m.RecomputeLinear(ref, capturedIn)
+	if !re.Equal(captured) {
+		t.Error("RecomputeLinear must reproduce the forward output exactly")
+	}
+}
+
+func TestRecomputeLinearPanics(t *testing.T) {
+	m := testModel(t)
+	x := tensor.New(1, m.Cfg.Hidden)
+	for name, ref := range map[string]model.LayerRef{
+		"bad block":   {Block: 99, Kind: model.VProj},
+		"absent kind": {Block: 0, Kind: model.DownProj}, // OPT family has no DownProj
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			m.RecomputeLinear(ref, x)
+		}()
+	}
+}
+
+func BenchmarkDMRGenerate(b *testing.B) {
+	cfg, err := model.ConfigByName("llama2-7b-sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.MustNew(cfg, 1, numerics.FP16)
+	d := NewDMR(m)
+	m.RegisterHook(d.Hook())
+	prompt := []int{4, 5, 6, 7, 8, 9, 10, 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Generate(prompt, 16)
+	}
+}
+
+func TestDMRCorrectsExtremeAndNaN(t *testing.T) {
+	m := testModel(t)
+	prompt := []int{4, 5, 6, 7}
+	clean := m.Generate(prompt, 8)
+
+	nan := float32(0)
+	nan /= nan
+	for name, v := range map[string]float32{"extreme": 48000, "NaN": nan} {
+		m.ClearHooks()
+		m.RegisterHook(func(ctx model.HookCtx, out *tensor.Tensor) {
+			if ctx.Layer.Kind == model.OutProj && ctx.Layer.Block == 1 && ctx.Step == 2 && ctx.Site == model.SiteLinearOut {
+				out.Data[3] = v
+			}
+		})
+		d := NewDMR(m)
+		m.RegisterHook(d.Hook())
+		got := m.Generate(prompt, 8)
+		m.ClearHooks()
+		for i := range clean {
+			if got[i] != clean[i] {
+				t.Fatalf("%s: DMR failed to restore generation", name)
+			}
+		}
+		if d.Detected != 1 {
+			t.Errorf("%s: detected %d, want 1", name, d.Detected)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package protect
+
+import (
+	"ft2/internal/arch"
+	"ft2/internal/model"
+	"ft2/internal/tensor"
+)
+
+// Protector applies a range-restriction method as a forward hook. The zero
+// value is unusable; construct with ForMethod or assemble the fields
+// directly for ablations.
+type Protector struct {
+	// Coverage lists the hook sites this protector acts on.
+	Coverage map[arch.CoveragePoint]bool
+	// BoundsFor resolves the bounds for a site; a false return skips range
+	// checking there (NaN correction still applies if enabled).
+	BoundsFor func(SiteKey) (Bounds, bool)
+	// Mode selects the out-of-bound correction target.
+	Mode ClipMode
+	// CorrectNaN enables NaN→0 correction at covered sites.
+	CorrectNaN bool
+	// Stats accumulates correction counts across invocations.
+	Stats CorrectionStats
+}
+
+// ForMethod builds a protector for one of the paper's methods over a
+// statically profiled bounds store. All methods clamp out-of-bound values
+// to the violated bound (the original Ranger behaviour; clip-to-zero is
+// kept as an explicit ablation via the Mode field). MaxiMals additionally
+// applies its own 1.25× bound scaling, the technique FT2's bound scaling is
+// inspired by (Sec. 4.2.1). FT2's online variant is assembled in
+// internal/core instead (its bounds come from the first token of each
+// inference, not from a static store).
+func ForMethod(m arch.Method, family model.Family, bounds *Store) *Protector {
+	if m == arch.MethodMaxiMals {
+		bounds = bounds.Scaled(1.25)
+	}
+	return &Protector{
+		Coverage:   arch.Coverage(m, family),
+		BoundsFor:  bounds.Get,
+		Mode:       ClipToBound,
+		CorrectNaN: arch.CorrectsNaN(m),
+	}
+}
+
+// Hook returns the model forward hook implementing the protection.
+func (p *Protector) Hook() model.Hook {
+	return func(ctx model.HookCtx, out *tensor.Tensor) {
+		if !p.Coverage[arch.CoveragePoint{Kind: ctx.Layer.Kind, Site: ctx.Site}] {
+			return
+		}
+		key := SiteKey{Layer: ctx.Layer, Site: ctx.Site}
+		if b, ok := p.BoundsFor(key); ok {
+			st := ClampCorrect(out.Data, b, p.Mode, p.CorrectNaN)
+			p.Stats.OutOfBound += st.OutOfBound
+			p.Stats.NaN += st.NaN
+		} else if p.CorrectNaN {
+			p.Stats.NaN += CorrectNaNOnly(out.Data)
+		}
+	}
+}
+
+// ProtectedSites enumerates the concrete sites the protector covers for a
+// model config (each covered kind in every block) — the paper counts these
+// per model ("72 - 128 protected layers").
+func (p *Protector) ProtectedSites(cfg model.Config) []SiteKey {
+	var out []SiteKey
+	for b := 0; b < cfg.Blocks; b++ {
+		for _, k := range cfg.Family.LayerKinds() {
+			for _, site := range []model.Site{model.SiteLinearOut, model.SiteActivationOut} {
+				if p.Coverage[arch.CoveragePoint{Kind: k, Site: site}] {
+					out = append(out, SiteKey{Layer: model.LayerRef{Block: b, Kind: k}, Site: site})
+				}
+			}
+		}
+	}
+	return out
+}

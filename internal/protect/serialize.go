@@ -1,0 +1,110 @@
+package protect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ft2/internal/model"
+)
+
+// boundsFile is the on-disk JSON schema of a bounds store. Offline
+// profiling is expensive (Figure 4: up to hundreds of GPU-hours on the
+// reference hardware), so persisting the result is part of the baseline
+// workflow this package reproduces.
+type boundsFile struct {
+	Version int           `json:"version"`
+	Entries []boundsEntry `json:"entries"`
+}
+
+type boundsEntry struct {
+	Block int     `json:"block"`
+	Kind  string  `json:"kind"`
+	Site  string  `json:"site"`
+	Lo    float32 `json:"lo"`
+	Hi    float32 `json:"hi"`
+}
+
+const boundsFileVersion = 1
+
+// Save writes the store as JSON, sorted for reproducible output.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	entries := make([]boundsEntry, 0, len(s.m))
+	for k, b := range s.m {
+		entries = append(entries, boundsEntry{
+			Block: k.Layer.Block,
+			Kind:  k.Layer.Kind.String(),
+			Site:  k.Site.String(),
+			Lo:    b.Lo,
+			Hi:    b.Hi,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Site < b.Site
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(boundsFile{Version: boundsFileVersion, Entries: entries})
+}
+
+// LoadStore reads a store previously written by Save. Unknown layer kinds
+// or sites are an error: bounds protect specific hook points, and silently
+// dropping one would weaken coverage.
+func LoadStore(r io.Reader) (*Store, error) {
+	var f boundsFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("protect: decoding bounds: %w", err)
+	}
+	if f.Version != boundsFileVersion {
+		return nil, fmt.Errorf("protect: unsupported bounds file version %d", f.Version)
+	}
+	s := NewStore()
+	for _, e := range f.Entries {
+		kind, err := parseLayerKind(e.Kind)
+		if err != nil {
+			return nil, err
+		}
+		site, err := parseSite(e.Site)
+		if err != nil {
+			return nil, err
+		}
+		if e.Lo > e.Hi {
+			return nil, fmt.Errorf("protect: inverted bounds [%g,%g] for %s/%s", e.Lo, e.Hi, e.Kind, e.Site)
+		}
+		s.Set(SiteKey{
+			Layer: model.LayerRef{Block: e.Block, Kind: kind},
+			Site:  site,
+		}, Bounds{Lo: e.Lo, Hi: e.Hi})
+	}
+	return s, nil
+}
+
+func parseLayerKind(s string) (model.LayerKind, error) {
+	for _, k := range model.AllLayerKinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("protect: unknown layer kind %q", s)
+}
+
+func parseSite(s string) (model.Site, error) {
+	switch s {
+	case model.SiteLinearOut.String():
+		return model.SiteLinearOut, nil
+	case model.SiteActivationOut.String():
+		return model.SiteActivationOut, nil
+	default:
+		return 0, fmt.Errorf("protect: unknown site %q", s)
+	}
+}

@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "Name", "SDC")
+	tb.AddRow("FT2", 0.204)
+	tb.AddRow("Ranger", 2.83)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "FT2") {
+		t.Errorf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "0.204") {
+		t.Error("float formatting wrong")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "A", "LongHeader")
+	tb.AddRow("xxxxxxxx", 1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and row must place column 2 at the same offset.
+	hIdx := strings.Index(lines[0], "LongHeader")
+	rIdx := strings.Index(lines[2], "1")
+	if hIdx != rIdx {
+		t.Errorf("columns misaligned: header@%d row@%d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", "he said \"hi\"")
+	tb.AddRow(1, 2)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Error("comma cell must be quoted")
+	}
+	if !strings.Contains(out, `"he said ""hi"""`) {
+		t.Error("quote cell must be escaped")
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Error("header row wrong")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("", "only")
+	if out := tb.String(); !strings.Contains(out, "only") {
+		t.Error("empty table must still render headers")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write failed" }
+
+func TestRenderPropagatesWriteErrors(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow(1)
+	if err := tb.Render(&failWriter{}); err == nil {
+		t.Error("Render must propagate writer errors")
+	}
+	if err := tb.CSV(&failWriter{}); err == nil {
+		t.Error("CSV must propagate writer errors")
+	}
+}
+
+func TestRowsWiderThanHeaders(t *testing.T) {
+	tb := NewTable("", "only")
+	tb.AddRow("a", "extra", "columns")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "columns") {
+		t.Errorf("extra cells must still render:\n%s", out)
+	}
+}
+
+func TestFloat32Formatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(float32(1.5))
+	if !strings.Contains(tb.String(), "1.500") {
+		t.Error("float32 must format with 3 decimals")
+	}
+}

@@ -1,0 +1,101 @@
+package tensor
+
+import "math"
+
+// ReLU applies max(0, x) in place — OPT's MLP activation.
+func ReLU(t *Tensor) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit in place —
+// GPT-J's MLP activation.
+func GELU(t *Tensor) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range t.Data {
+		x := float64(v)
+		t.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+}
+
+// SiLU applies x·sigmoid(x) in place — the Llama/Qwen gate activation.
+func SiLU(t *Tensor) {
+	for i, v := range t.Data {
+		x := float64(v)
+		t.Data[i] = float32(x / (1 + math.Exp(-x)))
+	}
+}
+
+// ActivationKind identifies an activation function by name; the
+// architecture analyzer uses it when classifying layer criticality.
+type ActivationKind int
+
+const (
+	// ActNone marks the absence of an activation.
+	ActNone ActivationKind = iota
+	// ActReLU is the rectified linear unit.
+	ActReLU
+	// ActGELU is the Gaussian error linear unit (tanh approximation).
+	ActGELU
+	// ActSiLU is the sigmoid linear unit (a.k.a. swish).
+	ActSiLU
+)
+
+// String implements fmt.Stringer.
+func (a ActivationKind) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActReLU:
+		return "relu"
+	case ActGELU:
+		return "gelu"
+	case ActSiLU:
+		return "silu"
+	default:
+		return "unknown"
+	}
+}
+
+// Apply runs the activation in place.
+func (a ActivationKind) Apply(t *Tensor) {
+	switch a {
+	case ActNone:
+	case ActReLU:
+		ReLU(t)
+	case ActGELU:
+		GELU(t)
+	case ActSiLU:
+		SiLU(t)
+	default:
+		panic("tensor: unknown activation")
+	}
+}
+
+// RotaryEmbed applies rotary position embeddings (RoPE) in place to a
+// row-major [seq × dim] tensor whose rows are per-position head vectors
+// laid out as interleaved (even, odd) pairs over rotDim dimensions.
+// positions gives the absolute position of each row.
+func RotaryEmbed(t *Tensor, positions []int, rotDim int, base float64) {
+	if rotDim > t.Cols {
+		panic("tensor: RotaryEmbed rotDim exceeds width")
+	}
+	if len(positions) != t.Rows {
+		panic("tensor: RotaryEmbed positions length mismatch")
+	}
+	half := rotDim / 2
+	for r := 0; r < t.Rows; r++ {
+		row := t.Row(r)
+		pos := float64(positions[r])
+		for i := 0; i < half; i++ {
+			theta := pos / math.Pow(base, 2*float64(i)/float64(rotDim))
+			sin, cos := math.Sincos(theta)
+			a, b := float64(row[2*i]), float64(row[2*i+1])
+			row[2*i] = float32(a*cos - b*sin)
+			row[2*i+1] = float32(a*sin + b*cos)
+		}
+	}
+}

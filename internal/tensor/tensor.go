@@ -1,0 +1,137 @@
+// Package tensor provides the dense numeric kernels of the FT2 reproduction:
+// row-major float32 matrices with parallel blocked matrix multiplication,
+// the normalization and activation functions used by the transformer engine,
+// and a binary16 precision gate that mirrors FP16 storage on GPUs.
+//
+// Tensors are deliberately simple — a shape plus a flat float32 buffer — so
+// that the fault injector and the protection layer can address individual
+// neurons by flat index exactly the way the paper addresses fault sites
+// (layer ID, neuron ID, bit position).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ft2/internal/numerics"
+)
+
+// Tensor is a row-major dense matrix of float32 values. Rank is 1 or 2:
+// vectors are represented as 1×n matrices.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zeroed rows×cols tensor.
+func New(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %d×%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols tensor.
+func FromSlice(rows, cols int, data []float32) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match %d×%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// At returns the element at (r, c).
+func (t *Tensor) At(r, c int) float32 { return t.Data[r*t.Cols+c] }
+
+// Set stores v at (r, c).
+func (t *Tensor) Set(r, c int, v float32) { t.Data[r*t.Cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the tensor's storage.
+func (t *Tensor) Row(r int) []float32 { return t.Data[r*t.Cols : (r+1)*t.Cols] }
+
+// Numel returns the number of elements.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// RandNormal fills the tensor with N(0, std²) draws from rng.
+func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// Quantize rounds every element through the given dtype's storage format.
+// For FP16 this is the precision gate the paper's FP16 models pass every
+// activation through; for FP32 it is the identity.
+func (t *Tensor) Quantize(d numerics.DType) {
+	if d != numerics.FP16 {
+		return
+	}
+	for i, v := range t.Data {
+		t.Data[i] = numerics.RoundF16(v)
+	}
+}
+
+// HasNaN reports whether any element is NaN.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.Data {
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+	}
+	return false
+}
+
+// MinMax returns the smallest and largest finite elements. NaNs are skipped;
+// if every element is NaN it returns (0, 0).
+func (t *Tensor) MinMax() (lo, hi float32) {
+	first := true
+	for _, v := range t.Data {
+		if math.IsNaN(float64(v)) {
+			continue
+		}
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Equal reports exact element-wise equality of shape and contents.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if t.Rows != o.Rows || t.Cols != o.Cols {
+		return false
+	}
+	for i, v := range t.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description for debugging.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%d×%d)", t.Rows, t.Cols)
+}
