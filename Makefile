@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-json ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector pass covers the two packages with goroutine fan-out:
+# the tensor kernels' row-parallel paths and the campaign worker pool.
+race:
+	$(GO) test -race ./internal/tensor/... ./internal/campaign/...
+
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkGenerate(Unprotected|FT2)' -benchmem .
+	$(GO) test -run XXX -bench BenchmarkDecodeStep -benchmem ./internal/model/
+
+bench-json:
+	$(GO) run ./cmd/ft2bench -bench-json BENCH_decode.json
+
+ci: vet build test race

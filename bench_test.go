@@ -82,10 +82,12 @@ func BenchmarkGenerateUnprotected(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Generate(ds.Inputs[0].Prompt, ds.GenTokens)
 	}
+	b.ReportMetric(float64(b.N*ds.GenTokens)/b.Elapsed().Seconds(), "tokens/s")
 }
 
 func BenchmarkGenerateFT2(b *testing.B) {
@@ -103,8 +105,10 @@ func BenchmarkGenerateFT2(b *testing.B) {
 	}
 	p := ft2.Protect(m, ft2.DefaultOptions())
 	defer p.Detach()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Generate(ds.Inputs[0].Prompt, ds.GenTokens)
 	}
+	b.ReportMetric(float64(b.N*ds.GenTokens)/b.Elapsed().Seconds(), "tokens/s")
 }

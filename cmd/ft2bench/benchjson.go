@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ft2/internal/arch"
+	"ft2/internal/campaign"
+	"ft2/internal/core"
+	"ft2/internal/data"
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+)
+
+// benchModelResult is one model's decode-throughput measurement: a full
+// greedy generation (prefill + decode) over the squad-sim reference prompt,
+// normalized per generated token.
+type benchModelResult struct {
+	Model        string  `json:"model"`
+	GenTokens    int     `json:"gen_tokens"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	NsPerToken   float64 `json:"ns_per_token"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// benchCampaignResult is the end-to-end fault-injection throughput of the
+// campaign engine (sampling, injection, generation, classification).
+type benchCampaignResult struct {
+	Model        string  `json:"model"`
+	Method       string  `json:"method"`
+	Trials       int     `json:"trials"`
+	Seconds      float64 `json:"seconds"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+type benchReport struct {
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Models     []benchModelResult    `json:"models"`
+	FT2        benchModelResult      `json:"ft2_protected"`
+	Campaigns  []benchCampaignResult `json:"campaigns"`
+}
+
+// runBenchJSON measures decode and campaign throughput and writes the
+// machine-readable report to path (the BENCH_decode.json artifact).
+func runBenchJSON(path string, seed int64) error {
+	ds, err := data.ByName("squad-sim", 1)
+	if err != nil {
+		return err
+	}
+	prompt := ds.Inputs[0].Prompt
+	rep := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	measure := func(name string, gen func(prompt []int, n int) []int) benchModelResult {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gen(prompt, ds.GenTokens)
+			}
+		})
+		perOp := float64(res.NsPerOp())
+		return benchModelResult{
+			Model:        name,
+			GenTokens:    ds.GenTokens,
+			TokensPerSec: float64(ds.GenTokens) / (perOp / 1e9),
+			NsPerToken:   perOp / float64(ds.GenTokens),
+			AllocsPerOp:  res.AllocsPerOp(),
+			BytesPerOp:   res.AllocedBytesPerOp(),
+		}
+	}
+
+	for _, name := range []string{"opt-6.7b-sim", "gptj-6b-sim", "llama2-7b-sim"} {
+		cfg, err := model.ConfigByName(name)
+		if err != nil {
+			return err
+		}
+		m, err := model.New(cfg, seed, numerics.FP16)
+		if err != nil {
+			return err
+		}
+		rep.Models = append(rep.Models, measure(name, m.Generate))
+	}
+
+	// FT2-protected decode on the llama config: the overhead the paper's
+	// Fig. 14 normalizes against the unprotected numbers above.
+	cfg, err := model.ConfigByName("llama2-7b-sim")
+	if err != nil {
+		return err
+	}
+	m, err := model.New(cfg, seed, numerics.FP16)
+	if err != nil {
+		return err
+	}
+	f := core.Attach(m, core.Defaults())
+	rep.FT2 = measure("llama2-7b-sim", f.Generate)
+	f.Detach()
+
+	for _, method := range []arch.Method{arch.MethodNone, arch.MethodFT2} {
+		spec := campaign.Spec{
+			ModelCfg: cfg, ModelSeed: seed, DType: numerics.FP16,
+			Fault: numerics.ExponentBit, Method: method,
+			FT2Opts: core.Defaults(), Dataset: ds,
+			Trials: 48, BaseSeed: seed + 1000,
+		}
+		start := time.Now()
+		if _, err := campaign.Run(spec); err != nil {
+			return err
+		}
+		secs := time.Since(start).Seconds()
+		rep.Campaigns = append(rep.Campaigns, benchCampaignResult{
+			Model: cfg.Name, Method: method.String(), Trials: spec.Trials,
+			Seconds: secs, TrialsPerSec: float64(spec.Trials) / secs,
+		})
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

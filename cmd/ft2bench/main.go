@@ -30,7 +30,16 @@ func main() {
 	profile := flag.Int("profile", 0, "override profiling-split size")
 	seed := flag.Int64("seed", 42, "base seed")
 	quick := flag.Bool("quick", false, "use the quick (smoke-test) sizes")
+	benchJSON := flag.String("bench-json", "", "measure decode and campaign throughput, write the JSON report to this path, and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ft2bench: bench-json failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, d := range experiments.Registry() {

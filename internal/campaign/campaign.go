@@ -220,12 +220,12 @@ func goldenOutputs(spec Spec) ([][]int, error) {
 
 // worker runs trials pulled from trialIdx on its own model replica.
 func worker(spec Spec, golden [][]int, trialIdx <-chan int, outcomes chan<- trialOutcome) error {
-	m, err := model.New(spec.ModelCfg, spec.ModelSeed, spec.DType)
+	r, err := newTrialRunner(spec, golden)
 	if err != nil {
 		return err
 	}
 	for idx := range trialIdx {
-		o, err := runTrial(spec, m, golden, idx)
+		o, err := r.run(idx)
 		if err != nil {
 			return err
 		}
@@ -234,69 +234,114 @@ func worker(spec Spec, golden [][]int, trialIdx <-chan int, outcomes chan<- tria
 	return nil
 }
 
-func runTrial(spec Spec, m *model.Model, golden [][]int, idx int) (trialOutcome, error) {
-	input := spec.Dataset.Inputs[idx%len(spec.Dataset.Inputs)]
-	rng := rand.New(rand.NewSource(spec.BaseSeed + int64(idx)*0x9E3779B9 + 1))
+// trialRunner owns one model replica plus every piece of per-trial state
+// that survives across trials: the reseedable RNG, sampling plans keyed by
+// prompt length, the single-fault injector, and the protection objects for
+// the spec's fixed method. Reusing them keeps the steady-state trial cost
+// at the generate pass itself — the model's scratch arena already makes
+// that pass allocation-free — instead of rebuilding plans, RNG state and
+// protector scratch on every trial.
+type trialRunner struct {
+	spec   Spec
+	golden [][]int
+	m      *model.Model
+	rng    *rand.Rand
+	weight float64             // prefill weight, resolved once
+	plans  map[int]*fault.Plan // keyed by prompt length
+	inj    fault.Injector
+	dmr    *protect.DMR       // non-nil iff spec.UseDMR
+	prot   *protect.Protector // non-nil for bounds-based methods
+}
 
-	plan := fault.NewPlan(spec.ModelCfg, len(input.Prompt), spec.Dataset.GenTokens, spec.DType, spec.Fault, spec.prefillWeight())
-	var site fault.Site
-	switch spec.Window {
-	case WindowFirstToken:
-		site = plan.SampleFirstToken(rng)
-	case WindowFollowing:
-		site = plan.SampleFollowing(rng)
-	default:
-		site = plan.Sample(rng)
+func newTrialRunner(spec Spec, golden [][]int) (*trialRunner, error) {
+	m, err := model.New(spec.ModelCfg, spec.ModelSeed, spec.DType)
+	if err != nil {
+		return nil, err
 	}
-	inj := fault.NewInjector(site, spec.DType)
-
-	// Hook order matters: the injector corrupts the layer output first, the
-	// protection then gets its chance to detect/correct.
-	m.ClearHooks()
-	m.RegisterHook(inj.Hook())
-
-	var out []int
-	var corr protect.CorrectionStats
+	r := &trialRunner{
+		spec:   spec,
+		golden: golden,
+		m:      m,
+		rng:    rand.New(rand.NewSource(1)),
+		weight: spec.prefillWeight(),
+		plans:  make(map[int]*fault.Plan),
+	}
 	if spec.UseDMR {
-		d := protect.NewDMR(m)
-		m.RegisterHook(d.Hook())
-		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
-		corr.OutOfBound = d.Detected
+		r.dmr = protect.NewDMR(m)
 	} else if spec.CustomCoverage != nil {
-		p := &protect.Protector{
+		r.prot = &protect.Protector{
 			Coverage:   spec.CustomCoverage,
 			BoundsFor:  spec.OfflineBounds.Get,
 			Mode:       protect.ClipToBound,
 			CorrectNaN: true,
 		}
-		m.RegisterHook(p.Hook())
-		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
-		corr = p.Stats
 	} else {
 		switch spec.Method {
-		case arch.MethodNone:
-			out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
-		case arch.MethodFT2:
-			f := core.Attach(m, spec.FT2Opts)
-			out = f.Generate(input.Prompt, spec.Dataset.GenTokens)
-			corr = f.Stats()
-			corr.NaN += f.FirstTokenNaNCount()
-			f.Detach()
+		case arch.MethodNone, arch.MethodFT2:
 		default:
-			p := protect.ForMethod(spec.Method, spec.ModelCfg.Family, spec.OfflineBounds)
-			m.RegisterHook(p.Hook())
-			out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
-			corr = p.Stats
+			r.prot = protect.ForMethod(spec.Method, spec.ModelCfg.Family, spec.OfflineBounds)
 		}
+	}
+	return r, nil
+}
+
+func (r *trialRunner) run(idx int) (trialOutcome, error) {
+	spec := r.spec
+	m := r.m
+	input := spec.Dataset.Inputs[idx%len(spec.Dataset.Inputs)]
+	r.rng.Seed(spec.BaseSeed + int64(idx)*0x9E3779B9 + 1)
+
+	plan := r.plans[len(input.Prompt)]
+	if plan == nil {
+		plan = fault.NewPlan(spec.ModelCfg, len(input.Prompt), spec.Dataset.GenTokens, spec.DType, spec.Fault, r.weight)
+		r.plans[len(input.Prompt)] = plan
+	}
+	var site fault.Site
+	switch spec.Window {
+	case WindowFirstToken:
+		site = plan.SampleFirstToken(r.rng)
+	case WindowFollowing:
+		site = plan.SampleFollowing(r.rng)
+	default:
+		site = plan.Sample(r.rng)
+	}
+	r.inj = fault.Injector{Site: site, DType: spec.DType}
+
+	// Hook order matters: the injector corrupts the layer output first, the
+	// protection then gets its chance to detect/correct.
+	m.ClearHooks()
+	m.RegisterHook(r.inj.Hook())
+
+	var out []int
+	var corr protect.CorrectionStats
+	switch {
+	case r.dmr != nil:
+		r.dmr.Detected = 0
+		m.RegisterHook(r.dmr.Hook())
+		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
+		corr.OutOfBound = r.dmr.Detected
+	case r.prot != nil:
+		r.prot.Stats = protect.CorrectionStats{}
+		m.RegisterHook(r.prot.Hook())
+		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
+		corr = r.prot.Stats
+	case spec.Method == arch.MethodFT2:
+		f := core.Attach(m, spec.FT2Opts)
+		out = f.Generate(input.Prompt, spec.Dataset.GenTokens)
+		corr = f.Stats()
+		corr.NaN += f.FirstTokenNaNCount()
+		f.Detach()
+	default: // arch.MethodNone
+		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
 	}
 	m.ClearHooks()
 
-	if !inj.Fired {
+	if !r.inj.Fired {
 		return trialOutcome{}, fmt.Errorf("campaign: injector never fired at %v", site)
 	}
 	return trialOutcome{
 		kind: site.Layer.Kind,
-		sdc:  !spec.Dataset.IsMasked(golden[input.ID], out),
+		sdc:  !spec.Dataset.IsMasked(r.golden[input.ID], out),
 		corr: corr,
 	}, nil
 }

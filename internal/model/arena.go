@@ -1,0 +1,56 @@
+package model
+
+import "ft2/internal/tensor"
+
+// arena holds the per-model scratch buffers the forward pass reuses across
+// steps, so a decode step performs zero heap allocations. Every buffer is
+// sized at construction for the worst case (a MaxSeq-row prefill pass) and
+// resliced per pass via Tensor.Reuse.
+//
+// Ownership: the arena belongs to exactly one Model, and a Model is
+// documented single-goroutine (campaigns clone one model per worker), so no
+// synchronization is needed. Tensors handed to forward hooks alias these
+// buffers — they are valid only for the duration of the hook call, and
+// hooks that want to keep activations must copy them (every in-tree hook
+// already does).
+type arena struct {
+	x       *tensor.Tensor // residual stream, rows × hidden
+	normed  *tensor.Tensor // ln1 output
+	normed2 *tensor.Tensor // ln2 output
+	q, k, v *tensor.Tensor // attention projections, rows × hidden
+	ctx     *tensor.Tensor // pre-out_proj attention context
+	attn    *tensor.Tensor // out_proj output
+	ffnA    *tensor.Tensor // fc1 / gate_proj output, rows × ffn
+	ffnB    *tensor.Tensor // up_proj output, rows × ffn
+	ffnOut  *tensor.Tensor // fc2 / down_proj output, rows × hidden
+	last    *tensor.Tensor // final-position residual copy, 1 × hidden
+	final   *tensor.Tensor // final-norm output, 1 × hidden
+	logits  *tensor.Tensor // readout, 1 × vocab
+
+	scores    []float32 // attention score row, maxSeq
+	positions []int     // absolute positions for Generate, maxSeq
+	stepTok   [1]int    // single-token slice for decode steps
+	stepPos   [1]int    // single-position slice for decode steps
+}
+
+func newArena(cfg Config) *arena {
+	s, h, f := cfg.MaxSeq, cfg.Hidden, cfg.FFN
+	return &arena{
+		x:         tensor.New(s, h),
+		normed:    tensor.New(s, h),
+		normed2:   tensor.New(s, h),
+		q:         tensor.New(s, h),
+		k:         tensor.New(s, h),
+		v:         tensor.New(s, h),
+		ctx:       tensor.New(s, h),
+		attn:      tensor.New(s, h),
+		ffnA:      tensor.New(s, f),
+		ffnB:      tensor.New(s, f),
+		ffnOut:    tensor.New(s, h),
+		last:      tensor.New(1, h),
+		final:     tensor.New(1, h),
+		logits:    tensor.New(1, cfg.Vocab),
+		scores:    make([]float32, s),
+		positions: make([]int, s),
+	}
+}

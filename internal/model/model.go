@@ -56,11 +56,22 @@ type Model struct {
 	// generation state
 	step int
 	kv   []kvCache
+
+	// rope caches the rotary sin/cos factors for non-OPT families.
+	rope *tensor.RopeTable
+	// scratch is the reusable forward-pass buffer arena; see arena.go.
+	scratch *arena
 }
 
-// kvCache stores the per-block key/value rows accumulated across steps.
+// kvCache stores one block's accumulated key/value state in two contiguous
+// slabs preallocated to Heads×MaxSeq×HeadDim (= MaxSeq×Hidden) floats. The
+// layout is head-blocked — element (head h, position p, channel c) lives at
+// (h*MaxSeq+p)*HeadDim+c — so the attention inner loop streams one head's
+// keys/values as a single contiguous run instead of hopping between
+// per-position heap rows.
 type kvCache struct {
-	k, v [][]float32
+	k, v []float32
+	rows int // positions filled so far
 }
 
 // New builds a model from cfg with seeded deterministic weights and the
@@ -283,73 +294,103 @@ func (m *Model) RecomputeLinear(ref LayerRef, x *tensor.Tensor) *tensor.Tensor {
 	if l.w == nil {
 		panic(fmt.Sprintf("model: layer %v not present in family %v", ref, m.Cfg.Family))
 	}
-	out := tensor.Linear(x, l.w, l.b)
-	out.Quantize(m.DType)
-	return out
+	return m.recomputeLinear(tensor.New(x.Rows, l.w.Rows), ref, l, x)
 }
 
-// applyLinear computes the layer output, passes it through the precision
-// gate, and runs the forward hooks.
-func (m *Model) applyLinear(ref LayerRef, l linear, x *tensor.Tensor) *tensor.Tensor {
-	out := tensor.Linear(x, l.w, l.b)
-	out.Quantize(m.DType)
-	m.runHooks(ref, SiteLinearOut, x, out)
-	return out
-}
-
-func (m *Model) applyNorm(n norm, x *tensor.Tensor) *tensor.Tensor {
-	if m.Cfg.Family == FamilyLlama {
-		return tensor.RMSNorm(x, n.gamma, 1e-6)
+// RecomputeLinearInto is RecomputeLinear writing into a caller-owned
+// scratch tensor (reshaped as needed), so redundant-execution protections
+// can run allocation-free on the decode hot path.
+func (m *Model) RecomputeLinearInto(out *tensor.Tensor, ref LayerRef, x *tensor.Tensor) *tensor.Tensor {
+	if ref.Block < 0 || ref.Block >= len(m.blocks) {
+		panic(fmt.Sprintf("model: RecomputeLinear block %d out of range", ref.Block))
 	}
-	return tensor.LayerNorm(x, n.gamma, n.beta, 1e-5)
+	l := m.linearByRef(ref)
+	if l.w == nil {
+		panic(fmt.Sprintf("model: layer %v not present in family %v", ref, m.Cfg.Family))
+	}
+	return m.recomputeLinear(out.Reuse(x.Rows, l.w.Rows), ref, l, x)
+}
+
+func (m *Model) recomputeLinear(out *tensor.Tensor, ref LayerRef, l linear, x *tensor.Tensor) *tensor.Tensor {
+	tensor.LinearInto(out, x, l.w, l.b)
+	out.Quantize(m.DType)
+	return out
+}
+
+// applyLinearInto computes the layer output into dst (resliced to fit),
+// passes it through the precision gate, and runs the forward hooks.
+func (m *Model) applyLinearInto(dst *tensor.Tensor, ref LayerRef, l linear, x *tensor.Tensor) *tensor.Tensor {
+	dst.Reuse(x.Rows, l.w.Rows)
+	tensor.LinearInto(dst, x, l.w, l.b)
+	dst.Quantize(m.DType)
+	m.runHooks(ref, SiteLinearOut, x, dst)
+	return dst
+}
+
+func (m *Model) applyNormInto(dst *tensor.Tensor, n norm, x *tensor.Tensor) *tensor.Tensor {
+	dst.Reuse(x.Rows, x.Cols)
+	if m.Cfg.Family == FamilyLlama {
+		return tensor.RMSNormInto(dst, x, n.gamma, 1e-6)
+	}
+	return tensor.LayerNormInto(dst, x, n.gamma, n.beta, 1e-5)
 }
 
 // attention runs multi-head causal self-attention for the rows of x (the
-// positions processed this pass), appending K/V to the block's cache.
-// positions gives the absolute position of each row.
+// positions processed this pass), appending K/V to the block's slab cache.
+// positions gives the absolute position of each row. The returned tensor
+// aliases the scratch arena and is valid until the next attention call.
 func (m *Model) attention(bIdx int, blk *block, x *tensor.Tensor, positions []int) *tensor.Tensor {
 	cfg := m.Cfg
 	d := cfg.HeadDim()
+	maxSeq := cfg.MaxSeq
+	sc := m.scratch
 
-	k := m.applyLinear(LayerRef{bIdx, KProj}, blk.kProj, x)
-	q := m.applyLinear(LayerRef{bIdx, QProj}, blk.qProj, x)
-	v := m.applyLinear(LayerRef{bIdx, VProj}, blk.vProj, x)
+	k := m.applyLinearInto(sc.k, LayerRef{bIdx, KProj}, blk.kProj, x)
+	q := m.applyLinearInto(sc.q, LayerRef{bIdx, QProj}, blk.qProj, x)
+	v := m.applyLinearInto(sc.v, LayerRef{bIdx, VProj}, blk.vProj, x)
 
 	if cfg.Family != FamilyOPT {
-		// Rotary embeddings per head on q and k.
-		for h := 0; h < cfg.Heads; h++ {
-			qh := q.SliceCols(h*d, (h+1)*d)
-			kh := k.SliceCols(h*d, (h+1)*d)
-			tensor.RotaryEmbed(qh, positions, d, 10000)
-			tensor.RotaryEmbed(kh, positions, d, 10000)
-			for r := 0; r < x.Rows; r++ {
-				copy(q.Row(r)[h*d:(h+1)*d], qh.Row(r))
-				copy(k.Row(r)[h*d:(h+1)*d], kh.Row(r))
+		// Rotary embeddings per head on q and k, straight on the strided
+		// head slices with precomputed sin/cos factors.
+		for r := 0; r < x.Rows; r++ {
+			pos := positions[r]
+			qrow, krow := q.Row(r), k.Row(r)
+			for h := 0; h < cfg.Heads; h++ {
+				m.rope.Apply(qrow[h*d:(h+1)*d], pos)
+				m.rope.Apply(krow[h*d:(h+1)*d], pos)
 			}
 		}
 	}
 
-	// Append to the KV cache.
+	// Append to the KV cache, transposing rows into the head-blocked slabs.
 	cache := &m.kv[bIdx]
+	base := cache.rows // absolute position of x's first row
 	for r := 0; r < x.Rows; r++ {
-		cache.k = append(cache.k, append([]float32(nil), k.Row(r)...))
-		cache.v = append(cache.v, append([]float32(nil), v.Row(r)...))
+		krow, vrow := k.Row(r), v.Row(r)
+		for h := 0; h < cfg.Heads; h++ {
+			off := (h*maxSeq + base + r) * d
+			copy(cache.k[off:off+d], krow[h*d:(h+1)*d])
+			copy(cache.v[off:off+d], vrow[h*d:(h+1)*d])
+		}
 	}
-	total := len(cache.k)
-	base := total - x.Rows // absolute position of x's first row
+	cache.rows += x.Rows
 
-	// Per-head scaled dot-product attention with causal masking.
-	ctxOut := tensor.New(x.Rows, cfg.Hidden)
+	// Per-head scaled dot-product attention with causal masking, walking
+	// each head's contiguous K/V run in the slabs.
+	ctxOut := sc.ctx.Reuse(x.Rows, cfg.Hidden)
+	ctxOut.Zero()
 	scale := float32(1 / math.Sqrt(float64(d)))
-	scores := make([]float32, total)
+	scores := sc.scores[:cache.rows]
 	for h := 0; h < cfg.Heads; h++ {
 		lo := h * d
+		kh := cache.k[h*maxSeq*d:]
+		vh := cache.v[h*maxSeq*d:]
 		for r := 0; r < x.Rows; r++ {
 			qrow := q.Row(r)[lo : lo+d]
 			limit := base + r + 1 // causal: attend to positions <= own
 			maxv := float32(math.Inf(-1))
 			for j := 0; j < limit; j++ {
-				s := tensor.Dot(qrow, cache.k[j][lo:lo+d]) * scale
+				s := tensor.Dot(qrow, kh[j*d:(j+1)*d]) * scale
 				scores[j] = s
 				if !math.IsNaN(float64(s)) && s > maxv {
 					maxv = s
@@ -369,7 +410,7 @@ func (m *Model) attention(bIdx int, blk *block, x *tensor.Tensor, positions []in
 					if wgt == 0 {
 						continue
 					}
-					vrow := cache.v[j][lo : lo+d]
+					vrow := vh[j*d : (j+1)*d]
 					for t := 0; t < d; t++ {
 						orow[t] += wgt * vrow[t]
 					}
@@ -378,26 +419,28 @@ func (m *Model) attention(bIdx int, blk *block, x *tensor.Tensor, positions []in
 		}
 	}
 	ctxOut.Quantize(m.DType)
-	return m.applyLinear(LayerRef{bIdx, OutProj}, blk.outProj, ctxOut)
+	return m.applyLinearInto(sc.attn, LayerRef{bIdx, OutProj}, blk.outProj, ctxOut)
 }
 
-// mlp runs the family-specific MLP.
+// mlp runs the family-specific MLP. The returned tensor aliases the scratch
+// arena and is valid until the next mlp call.
 func (m *Model) mlp(bIdx int, blk *block, x *tensor.Tensor) *tensor.Tensor {
+	sc := m.scratch
 	switch m.Cfg.Family {
 	case FamilyOPT, FamilyGPTJ:
-		h := m.applyLinear(LayerRef{bIdx, FC1}, blk.fc1, x)
+		h := m.applyLinearInto(sc.ffnA, LayerRef{bIdx, FC1}, blk.fc1, x)
 		m.Cfg.Activation.Apply(h)
 		h.Quantize(m.DType)
 		m.runHooks(LayerRef{bIdx, FC1}, SiteActivationOut, nil, h)
-		return m.applyLinear(LayerRef{bIdx, FC2}, blk.fc2, h)
+		return m.applyLinearInto(sc.ffnOut, LayerRef{bIdx, FC2}, blk.fc2, h)
 	case FamilyLlama:
-		gate := m.applyLinear(LayerRef{bIdx, GateProj}, blk.gateProj, x)
-		up := m.applyLinear(LayerRef{bIdx, UpProj}, blk.upProj, x)
+		gate := m.applyLinearInto(sc.ffnA, LayerRef{bIdx, GateProj}, blk.gateProj, x)
+		up := m.applyLinearInto(sc.ffnB, LayerRef{bIdx, UpProj}, blk.upProj, x)
 		m.Cfg.Activation.Apply(gate)
 		tensor.MulInPlace(gate, up)
 		gate.Quantize(m.DType)
 		m.runHooks(LayerRef{bIdx, GateProj}, SiteActivationOut, nil, gate)
-		return m.applyLinear(LayerRef{bIdx, DownProj}, blk.downProj, gate)
+		return m.applyLinearInto(sc.ffnOut, LayerRef{bIdx, DownProj}, blk.downProj, gate)
 	default:
 		panic("model: unknown family")
 	}
@@ -407,7 +450,8 @@ func (m *Model) mlp(bIdx int, blk *block, x *tensor.Tensor) *tensor.Tensor {
 // returns the logits of the final row.
 func (m *Model) forward(tokens []int, positions []int) []float32 {
 	cfg := m.Cfg
-	x := tensor.New(len(tokens), cfg.Hidden)
+	sc := m.scratch
+	x := sc.x.Reuse(len(tokens), cfg.Hidden)
 	for r, tok := range tokens {
 		if tok < 0 || tok >= cfg.Vocab {
 			panic(fmt.Sprintf("model: token %d out of vocab %d", tok, cfg.Vocab))
@@ -430,23 +474,24 @@ func (m *Model) forward(tokens []int, positions []int) []float32 {
 		switch cfg.Family {
 		case FamilyGPTJ:
 			// Parallel attention+MLP from the same normalized input.
-			normed := m.applyNorm(blk.ln1, x)
+			normed := m.applyNormInto(sc.normed, blk.ln1, x)
 			attn := m.attention(bIdx, blk, normed, positions)
 			ffn := m.mlp(bIdx, blk, normed)
 			tensor.AddInPlace(x, attn)
 			tensor.AddInPlace(x, ffn)
 		default:
-			normed := m.applyNorm(blk.ln1, x)
+			normed := m.applyNormInto(sc.normed, blk.ln1, x)
 			attn := m.attention(bIdx, blk, normed, positions)
 			tensor.AddInPlace(x, attn)
-			normed2 := m.applyNorm(blk.ln2, x)
+			normed2 := m.applyNormInto(sc.normed2, blk.ln2, x)
 			ffn := m.mlp(bIdx, blk, normed2)
 			tensor.AddInPlace(x, ffn)
 		}
 		x.Quantize(m.DType)
 	}
 
-	last := x.SliceRows(x.Rows-1, x.Rows)
+	last := sc.last
+	copy(last.Data, x.Row(x.Rows-1))
 	var ss float64
 	for _, v := range last.Data {
 		ss += float64(v) * float64(v)
@@ -471,15 +516,34 @@ func (m *Model) forward(tokens []int, positions []int) []float32 {
 		}
 	}
 
-	final := m.applyNorm(m.lnF, last)
-	logits := tensor.MatMulT(final, m.embed)
+	final := m.applyNormInto(sc.final, m.lnF, last)
+	logits := tensor.MatMulTInto(sc.logits, final, m.embed)
 	logits.Scale(cfg.LogitScale)
 	return logits.Row(0)
 }
 
-// resetState clears the KV cache and step counter for a fresh generation.
+// resetState clears the KV cache and step counter for a fresh generation,
+// lazily building the slab cache and scratch arena on first use. The slabs
+// are preallocated once to MaxSeq capacity and only their fill counters
+// reset, so repeated generations never touch the allocator.
 func (m *Model) resetState() {
-	m.kv = make([]kvCache, m.Cfg.Blocks)
+	if m.scratch == nil {
+		m.scratch = newArena(m.Cfg)
+	}
+	if m.rope == nil && m.Cfg.Family != FamilyOPT {
+		m.rope = tensor.NewRopeTable(m.Cfg.MaxSeq, m.Cfg.HeadDim(), 10000)
+	}
+	if m.kv == nil {
+		m.kv = make([]kvCache, m.Cfg.Blocks)
+		slab := m.Cfg.MaxSeq * m.Cfg.Hidden
+		for i := range m.kv {
+			m.kv[i].k = make([]float32, slab)
+			m.kv[i].v = make([]float32, slab)
+		}
+	}
+	for i := range m.kv {
+		m.kv[i].rows = 0
+	}
 	m.step = 0
 }
 
@@ -497,7 +561,7 @@ func (m *Model) Generate(prompt []int, n int) []int {
 	m.resetState()
 	out := make([]int, 0, n)
 
-	positions := make([]int, len(prompt))
+	positions := m.scratch.positions[:len(prompt)]
 	for i := range positions {
 		positions[i] = i
 	}
@@ -505,10 +569,12 @@ func (m *Model) Generate(prompt []int, n int) []int {
 	tok := argmax(logits)
 	out = append(out, tok)
 
+	sc := m.scratch
 	for s := 1; s < n; s++ {
 		m.step = s
-		pos := len(prompt) + s - 1
-		logits = m.forward([]int{tok}, []int{pos})
+		sc.stepTok[0] = tok
+		sc.stepPos[0] = len(prompt) + s - 1
+		logits = m.forward(sc.stepTok[:], sc.stepPos[:])
 		tok = argmax(logits)
 		out = append(out, tok)
 	}

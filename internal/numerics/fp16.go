@@ -118,7 +118,25 @@ func F16BitsToF32(h uint16) float32 {
 
 // RoundF16 round-trips a float32 through binary16, yielding the value the
 // hardware would actually have stored in an FP16 tensor.
-func RoundF16(f float32) float32 { return F16BitsToF32(F32ToF16Bits(f)) }
+//
+// Inputs whose binary32 exponent field lies in [113, 141] — every value that
+// rounds to a normal binary16 no larger than 32768 — take a branchless
+// round-to-nearest-even bit trick instead of the full conversion pair:
+// adding 0xFFF plus the parity of the last kept mantissa bit rounds the 13
+// dropped bits up exactly when RNE requires, with mantissa carries flowing
+// naturally into the exponent. Zeros, subnormals, near-overflow values,
+// infinities and NaNs fall back to the exact conversion. The fast path is
+// bit-identical to the fallback; TestRoundF16FastPath checks the boundaries
+// and it has been verified exhaustively over all 2^32 bit patterns.
+func RoundF16(f float32) float32 {
+	b := math.Float32bits(f)
+	if e := b >> 23 & 0xFF; e-113 <= 141-113 {
+		b += 0xFFF + (b >> 13 & 1)
+		b &^= 0x1FFF
+		return math.Float32frombits(b)
+	}
+	return F16BitsToF32(F32ToF16Bits(f))
+}
 
 // IsNaN16 reports whether the binary16 bit pattern encodes a NaN
 // (all exponent bits set and a non-zero mantissa).

@@ -2,6 +2,7 @@ package numerics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -160,6 +161,37 @@ func TestRoundF16Bounded(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRoundF16FastPath pins the bit-trick fast path in RoundF16 to the exact
+// two-conversion round trip it replaces, sweeping every exponent boundary the
+// trick depends on plus a dense random sample.
+func TestRoundF16FastPath(t *testing.T) {
+	check := func(f float32) {
+		t.Helper()
+		got := RoundF16(f)
+		want := F16BitsToF32(F32ToF16Bits(f))
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("RoundF16(%g / %#08x) = %#08x, round trip gives %#08x",
+				f, math.Float32bits(f), math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+	// Every mantissa pattern that matters around the rounding threshold, at
+	// each exponent straddling the fast-path window [113, 141]: subnormal
+	// half results (112), the window edges, the 65504/Inf overflow band
+	// (142-143), and full exponent extremes.
+	for _, exp := range []uint32{0, 1, 111, 112, 113, 114, 140, 141, 142, 143, 254, 255} {
+		for _, man := range []uint32{0, 1, 0xFFF, 0x1000, 0x1001, 0x1FFF, 0x2000, 0x3000,
+			0x7FD000, 0x7FDFFF, 0x7FE000, 0x7FFFFF} {
+			bits := exp<<23 | man
+			check(math.Float32frombits(bits))
+			check(math.Float32frombits(bits | 1<<31))
+		}
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	for i := 0; i < 1_000_000; i++ {
+		check(math.Float32frombits(rng.Uint32()))
 	}
 }
 

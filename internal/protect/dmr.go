@@ -25,12 +25,17 @@ type DMR struct {
 	Covered map[model.LayerKind]bool
 	// Detected counts mismatching values corrected so far.
 	Detected int
+	// scratch receives every redundant execution; it is resized per layer by
+	// RecomputeLinearInto and reused across calls, keeping DMR off the decode
+	// hot path's allocation budget. Safe because a DMR is bound to a single
+	// model and hooks run on the model's goroutine.
+	scratch *tensor.Tensor
 }
 
 // NewDMR builds a duplication-in-place protector for the model. kinds
 // restricts coverage; pass nothing to duplicate every linear layer.
 func NewDMR(m *model.Model, kinds ...model.LayerKind) *DMR {
-	d := &DMR{m: m}
+	d := &DMR{m: m, scratch: tensor.New(1, 1)}
 	if len(kinds) > 0 {
 		d.Covered = make(map[model.LayerKind]bool, len(kinds))
 		for _, k := range kinds {
@@ -49,7 +54,7 @@ func (d *DMR) Hook() model.Hook {
 		if d.Covered != nil && !d.Covered[ctx.Layer.Kind] {
 			return
 		}
-		clean := d.m.RecomputeLinear(ctx.Layer, ctx.Input)
+		clean := d.m.RecomputeLinearInto(d.scratch, ctx.Layer, ctx.Input)
 		for i, v := range out.Data {
 			c := clean.Data[i]
 			if v != c && !(math.IsNaN(float64(v)) && math.IsNaN(float64(c))) {

@@ -75,6 +75,48 @@ func (a ActivationKind) Apply(t *Tensor) {
 	}
 }
 
+// RopeTable caches the sin/cos factors of rotary position embeddings for
+// every (position, frequency) pair, so the decode hot path rotates with two
+// table lookups instead of a math.Pow and math.Sincos per pair. The factors
+// are kept in float64 and the rotation applied in float64 exactly as in
+// RotaryEmbed, so table-driven and direct application are bit-identical.
+type RopeTable struct {
+	half     int
+	sin, cos []float64 // indexed pos*half + i
+}
+
+// NewRopeTable precomputes rotation factors for positions [0, maxPos) over
+// rotDim interleaved dimensions with the given frequency base.
+func NewRopeTable(maxPos, rotDim int, base float64) *RopeTable {
+	half := rotDim / 2
+	rt := &RopeTable{
+		half: half,
+		sin:  make([]float64, maxPos*half),
+		cos:  make([]float64, maxPos*half),
+	}
+	for pos := 0; pos < maxPos; pos++ {
+		for i := 0; i < half; i++ {
+			theta := float64(pos) / math.Pow(base, 2*float64(i)/float64(rotDim))
+			s, c := math.Sincos(theta)
+			rt.sin[pos*half+i] = s
+			rt.cos[pos*half+i] = c
+		}
+	}
+	return rt
+}
+
+// Apply rotates the first 2*half elements of row (interleaved even/odd
+// pairs) in place for absolute position pos.
+func (rt *RopeTable) Apply(row []float32, pos int) {
+	base := pos * rt.half
+	for i := 0; i < rt.half; i++ {
+		sin, cos := rt.sin[base+i], rt.cos[base+i]
+		a, b := float64(row[2*i]), float64(row[2*i+1])
+		row[2*i] = float32(a*cos - b*sin)
+		row[2*i+1] = float32(a*sin + b*cos)
+	}
+}
+
 // RotaryEmbed applies rotary position embeddings (RoPE) in place to a
 // row-major [seq × dim] tensor whose rows are per-position head vectors
 // laid out as interleaved (even, odd) pairs over rotDim dimensions.

@@ -1,0 +1,25 @@
+package tensor
+
+// cpuidAsm and xgetbvAsm are in cpu_amd64.s.
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbvAsm() (eax, edx uint32)
+
+// hasAVX reports whether the CPU supports AVX and the OS has enabled the
+// YMM register state. SSE2 is part of the amd64 baseline, but AVX is not,
+// so the wide dot kernel needs this runtime gate.
+var hasAVX = detectAVX()
+
+func detectAVX() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidAsm(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx&osxsaveBit == 0 || ecx&avxBit == 0 {
+		return false
+	}
+	lo, _ := xgetbvAsm()
+	return lo&0x6 == 0x6 // XCR0: XMM and YMM state enabled by the OS
+}

@@ -1,0 +1,23 @@
+package tensor
+
+// dotVec (SSE) and dotVecAVX are the vector kernels in dot_amd64.s.
+func dotVec(a, b *float32, n int) float32
+func dotVecAVX(a, b *float32, n int) float32
+
+// Dot computes the dot product of a and b (len(b) >= len(a)) with a SIMD
+// kernel: 8-lane AVX when the host enables it, 4-lane SSE otherwise.
+// Lane-parallel accumulation reorders the float32 sums relative to a
+// sequential loop; all engine paths (prefill and decode) go through this
+// same kernel, so cached and recomputed activations stay bit-identical to
+// each other.
+func Dot(a, b []float32) float32 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	b = b[:n] // bounds hint: panics early if b is shorter
+	if hasAVX && n >= 16 {
+		return dotVecAVX(&a[0], &b[0], n)
+	}
+	return dotVec(&a[0], &b[0], n)
+}

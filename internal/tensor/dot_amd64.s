@@ -1,0 +1,168 @@
+#include "textflag.h"
+
+// func dotVec(a, b *float32, n int) float32
+//
+// SSE 4-lane dot product with four independent accumulator registers
+// (16 floats per main-loop iteration). SSE2 is part of the amd64
+// baseline, so no CPUID dispatch is needed. NaN and ±Inf propagate
+// through MULPS/ADDPS exactly as in scalar IEEE arithmetic, which the
+// fault-injection framework depends on.
+TEXT ·dotVec(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ  CX, BX
+	SHRQ  $4, BX
+	JZ    tail4
+
+loop16:
+	MOVUPS (SI), X4
+	MOVUPS (DI), X5
+	MULPS  X5, X4
+	ADDPS  X4, X0
+	MOVUPS 16(SI), X6
+	MOVUPS 16(DI), X7
+	MULPS  X7, X6
+	ADDPS  X6, X1
+	MOVUPS 32(SI), X4
+	MOVUPS 32(DI), X5
+	MULPS  X5, X4
+	ADDPS  X4, X2
+	MOVUPS 48(SI), X6
+	MOVUPS 48(DI), X7
+	MULPS  X7, X6
+	ADDPS  X6, X3
+	ADDQ   $64, SI
+	ADDQ   $64, DI
+	DECQ   BX
+	JNZ    loop16
+
+tail4:
+	MOVQ CX, BX
+	ANDQ $15, BX
+	MOVQ BX, DX
+	SHRQ $2, DX
+	JZ   tail1
+
+loop4:
+	MOVUPS (SI), X4
+	MOVUPS (DI), X5
+	MULPS  X5, X4
+	ADDPS  X4, X0
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	DECQ   DX
+	JNZ    loop4
+
+tail1:
+	ANDQ $3, BX
+	JZ   reduce
+
+loop1:
+	MOVSS (SI), X4
+	MOVSS (DI), X5
+	MULSS X5, X4
+	ADDSS X4, X0
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  BX
+	JNZ   loop1
+
+reduce:
+	ADDPS  X1, X0
+	ADDPS  X3, X2
+	ADDPS  X2, X0
+	MOVAPS X0, X1
+	SHUFPS $0xEE, X1, X1
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	ADDSS  X1, X0
+	MOVSS  X0, ret+24(FP)
+	RET
+
+// func dotVecAVX(a, b *float32, n int) float32
+//
+// AVX 8-lane dot product with four independent Y-register accumulators
+// (32 floats per main-loop iteration). Only reached when cpu_amd64.go has
+// confirmed OS-enabled AVX via CPUID/XGETBV. VMULPS/VADDPS (no FMA) keep
+// the multiply-then-add float32 semantics of the SSE and scalar kernels;
+// only the lane-accumulation order differs.
+TEXT ·dotVecAVX(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ   CX, BX
+	SHRQ   $5, BX
+	JZ     avxtail8
+
+avxloop32:
+	VMOVUPS (SI), Y4
+	VMULPS  (DI), Y4, Y4
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS 32(SI), Y5
+	VMULPS  32(DI), Y5, Y5
+	VADDPS  Y5, Y1, Y1
+	VMOVUPS 64(SI), Y6
+	VMULPS  64(DI), Y6, Y6
+	VADDPS  Y6, Y2, Y2
+	VMOVUPS 96(SI), Y7
+	VMULPS  96(DI), Y7, Y7
+	VADDPS  Y7, Y3, Y3
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	DECQ    BX
+	JNZ     avxloop32
+
+avxtail8:
+	MOVQ CX, BX
+	ANDQ $31, BX
+	MOVQ BX, DX
+	SHRQ $3, DX
+	JZ   avxreduce
+
+avxloop8:
+	VMOVUPS (SI), Y4
+	VMULPS  (DI), Y4, Y4
+	VADDPS  Y4, Y0, Y0
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    DX
+	JNZ     avxloop8
+
+avxreduce:
+	VADDPS       Y1, Y0, Y0
+	VADDPS       Y3, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VZEROUPPER
+	ANDQ         $7, BX
+	JZ           avxhsum
+
+avxloop1:
+	MOVSS (SI), X4
+	MULSS (DI), X4
+	ADDSS X4, X0
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  BX
+	JNZ   avxloop1
+
+avxhsum:
+	MOVAPS X0, X1
+	SHUFPS $0xEE, X1, X1
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	ADDSS  X1, X0
+	MOVSS  X0, ret+24(FP)
+	RET

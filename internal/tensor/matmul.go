@@ -22,12 +22,16 @@ func MatMul(a, b *Tensor) *Tensor {
 
 func matMulInto(out, a, b *Tensor) {
 	m, k, n := a.Rows, a.Cols, b.Cols
+	// The zero-skipping fast path in matMulRows is only sound when b is
+	// fully finite: 0 × NaN and 0 × ±Inf are NaN and must propagate, or a
+	// sparse activation row would silently mask an injected fault.
+	skipZeros := allFinite(b.Data)
 	work := m * k * n
-	if work < parallelThreshold || m == 1 {
-		matMulRows(out, a, b, 0, m)
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || m == 1 || workers == 1 {
+		matMulRows(out, a, b, 0, m, skipZeros)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
 	if workers > m {
 		workers = m
 	}
@@ -45,22 +49,24 @@ func matMulInto(out, a, b *Tensor) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matMulRows(out, a, b, lo, hi)
+			matMulRows(out, a, b, lo, hi, skipZeros)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
 // matMulRows computes rows [lo,hi) of out = a×b with a k-outer loop that
-// streams b row-wise (cache friendly for row-major storage).
-func matMulRows(out, a, b *Tensor, lo, hi int) {
+// streams b row-wise (cache friendly for row-major storage). skipZeros
+// enables the sparse shortcut for zero elements of a; callers must disable
+// it when b contains non-finite values so that 0 × NaN propagates.
+func matMulRows(out, a, b *Tensor, lo, hi int, skipZeros bool) {
 	k, n := a.Cols, b.Cols
 	for i := lo; i < hi; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*n : (i+1)*n]
 		for kk := 0; kk < k; kk++ {
 			av := arow[kk]
-			if av == 0 {
+			if av == 0 && skipZeros {
 				continue
 			}
 			brow := b.Data[kk*n : (kk+1)*n]
@@ -71,28 +77,41 @@ func matMulRows(out, a, b *Tensor, lo, hi int) {
 	}
 }
 
+// allFinite reports whether every element is finite (no NaN, no ±Inf).
+func allFinite(xs []float32) bool {
+	for _, v := range xs {
+		if v-v != 0 { // NaN-NaN and Inf-Inf are NaN; finite-finite is 0
+			return false
+		}
+	}
+	return true
+}
+
 // MatMulT returns a × bᵀ (a: m×k, b: n×k). Used for attention scores
 // (Q × Kᵀ) where both operands are stored row-major.
 func MatMulT(a, b *Tensor) *Tensor {
+	return MatMulTInto(New(a.Rows, b.Rows), a, b)
+}
+
+// MatMulTInto computes a × bᵀ into out (a: m×k, b: n×k, out: m×n),
+// overwriting every element of out. It allocates nothing, which keeps the
+// per-token decode step off the garbage collector; out must not alias a
+// or b.
+func MatMulTInto(out, a, b *Tensor) *Tensor {
 	if a.Cols != b.Cols {
 		panic("tensor: MatMulT shape mismatch")
 	}
 	m, k, n := a.Rows, a.Cols, b.Rows
-	out := New(m, n)
-	compute := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
-			}
-		}
-	}
-	if m*k*n < parallelThreshold || m == 1 {
-		compute(0, m)
-		return out
+	if out.Rows != m || out.Cols != n {
+		panic("tensor: MatMulTInto output shape mismatch")
 	}
 	workers := runtime.GOMAXPROCS(0)
+	if m*k*n < parallelThreshold || m == 1 || workers == 1 {
+		// Closure-free serial path: the decode hot path lands here every
+		// step, and a per-call closure object would put it back on the heap.
+		matMulTRows(out, a, b, 0, m)
+		return out
+	}
 	if workers > m {
 		workers = m
 	}
@@ -109,37 +128,35 @@ func MatMulT(a, b *Tensor) *Tensor {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			compute(lo, hi)
+			matMulTRows(out, a, b, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 	return out
 }
 
-// Dot is a 4-way unrolled dot product; with independent accumulators the
-// compiler keeps four FMA chains in flight, roughly doubling throughput on
-// the scalar path.
-func Dot(a, b []float32) float32 {
-	n := len(a)
-	b = b[:n] // hoist the bounds check
-	var s0, s1, s2, s3 float32
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
+// matMulTRows computes rows [lo,hi) of out = a×bᵀ.
+func matMulTRows(out, a, b *Tensor, lo, hi int) {
+	k, n := a.Cols, b.Rows
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+		}
 	}
-	for ; i < n; i++ {
-		s0 += a[i] * b[i]
-	}
-	return s0 + s1 + s2 + s3
 }
 
 // Linear computes x × wᵀ + bias, the canonical nn.Linear forward pass
 // (w: out×in stored row-major like PyTorch, bias: len out or nil).
 func Linear(x, w *Tensor, bias []float32) *Tensor {
-	out := MatMulT(x, w)
+	return LinearInto(New(x.Rows, w.Rows), x, w, bias)
+}
+
+// LinearInto computes x × wᵀ + bias into out without allocating; out must
+// be x.Rows × w.Rows and must not alias x or w.
+func LinearInto(out, x, w *Tensor, bias []float32) *Tensor {
+	MatMulTInto(out, x, w)
 	if bias != nil {
 		if len(bias) != out.Cols {
 			panic("tensor: Linear bias length mismatch")

@@ -71,10 +71,18 @@ func SoftmaxRows(t *Tensor) {
 // LayerNorm normalizes each row to zero mean / unit variance then applies
 // gamma (scale) and beta (shift). eps guards the variance.
 func LayerNorm(x *Tensor, gamma, beta []float32, eps float32) *Tensor {
+	return LayerNormInto(New(x.Rows, x.Cols), x, gamma, beta, eps)
+}
+
+// LayerNormInto is LayerNorm writing into a preallocated out (same shape as
+// x, fully overwritten; must not alias x).
+func LayerNormInto(out, x *Tensor, gamma, beta []float32, eps float32) *Tensor {
 	if len(gamma) != x.Cols || len(beta) != x.Cols {
 		panic("tensor: LayerNorm parameter length mismatch")
 	}
-	out := New(x.Rows, x.Cols)
+	if out.Rows != x.Rows || out.Cols != x.Cols {
+		panic("tensor: LayerNormInto output shape mismatch")
+	}
 	n := float32(x.Cols)
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)
@@ -101,10 +109,18 @@ func LayerNorm(x *Tensor, gamma, beta []float32, eps float32) *Tensor {
 // RMSNorm applies root-mean-square normalization per row with a learned
 // scale, as used by the Llama/Qwen architecture family.
 func RMSNorm(x *Tensor, gamma []float32, eps float32) *Tensor {
+	return RMSNormInto(New(x.Rows, x.Cols), x, gamma, eps)
+}
+
+// RMSNormInto is RMSNorm writing into a preallocated out (same shape as x,
+// fully overwritten; must not alias x).
+func RMSNormInto(out, x *Tensor, gamma []float32, eps float32) *Tensor {
 	if len(gamma) != x.Cols {
 		panic("tensor: RMSNorm parameter length mismatch")
 	}
-	out := New(x.Rows, x.Cols)
+	if out.Rows != x.Rows || out.Cols != x.Cols {
+		panic("tensor: RMSNormInto output shape mismatch")
+	}
 	n := float32(x.Cols)
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)

@@ -59,6 +59,32 @@ func (t *Tensor) Row(r int) []float32 { return t.Data[r*t.Cols : (r+1)*t.Cols] }
 // Numel returns the number of elements.
 func (t *Tensor) Numel() int { return len(t.Data) }
 
+// Reuse reshapes t to rows×cols, reusing the backing array when its
+// capacity suffices and reallocating otherwise. The contents are undefined
+// afterwards (callers overwrite or Zero them). This is the scratch-arena
+// primitive: a buffer sized once at model construction is Reused every
+// decode step without touching the allocator.
+func (t *Tensor) Reuse(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %d×%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(t.Data) < n {
+		t.Data = make([]float32, n)
+	} else {
+		t.Data = t.Data[:n]
+	}
+	t.Rows, t.Cols = rows, cols
+	return t
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
 // Fill sets every element to v.
 func (t *Tensor) Fill(v float32) {
 	for i := range t.Data {

@@ -88,7 +88,7 @@ func TestMatMulParallelMatchesSerial(t *testing.T) {
 	b.RandNormal(rng, 1)
 	par := MatMul(a, b)
 	ser := New(64, 32)
-	matMulRows(ser, a, b, 0, 64)
+	matMulRows(ser, a, b, 0, 64, true)
 	if !par.Equal(ser) {
 		t.Error("parallel MatMul diverges from serial result")
 	}
