@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json ci
+.PHONY: build test vet race bench bench-json smoke ci
 
 build:
 	$(GO) build ./...
@@ -23,4 +23,9 @@ bench:
 bench-json:
 	$(GO) run ./cmd/ft2bench -bench-json BENCH_decode.json
 
-ci: vet build test race
+# End-to-end resilience check: SIGINT a small campaign mid-run, resume it
+# from the journal, and diff the final table against an uninterrupted run.
+smoke:
+	scripts/campaign_smoke.sh
+
+ci: vet build test race smoke

@@ -5,6 +5,7 @@
 package ft2_test
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -22,7 +23,7 @@ func runDriver(b *testing.B, id string) {
 	}
 	p := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		tb, err := d.Run(p)
+		tb, err := d.Run(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,15 +8,26 @@
 //
 // Sizes default to the Default() parameters; -trials/-inputs/-profile
 // override them (the paper's own scale is 50 inputs × 500 trials per cell).
+//
+// Long campaigns are interruptible and resumable: -journal checkpoints
+// every classified trial to an append-only JSONL file, SIGINT/SIGTERM (or
+// the -timeout deadline) stops the run gracefully and prints the partial
+// tables, and re-running with -resume replays the journal and executes
+// only the missing trials. -trial-timeout guards against hung inferences.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
+	"ft2/internal/campaign"
 	"ft2/internal/experiments"
 	"ft2/internal/report"
 )
@@ -31,6 +42,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "base seed")
 	quick := flag.Bool("quick", false, "use the quick (smoke-test) sizes")
 	benchJSON := flag.String("bench-json", "", "measure decode and campaign throughput, write the JSON report to this path, and exit")
+	timeout := flag.Duration("timeout", 0, "campaign-level deadline for the whole run (0 = none)")
+	trialTimeout := flag.Duration("trial-timeout", 0, "abort a trial with no token progress for this long (0 = no watchdog)")
+	journalPath := flag.String("journal", "", "checkpoint classified trials to this JSONL journal")
+	resume := flag.Bool("resume", false, "replay the journal and run only the missing trials (requires -journal)")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -51,6 +66,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ft2bench: -exp required (or -list)")
 		os.Exit(2)
 	}
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "ft2bench: -resume requires -journal")
+		os.Exit(2)
+	}
 
 	p := experiments.Default()
 	if *quick {
@@ -66,6 +85,33 @@ func main() {
 		p.ProfileInputs = *profile
 	}
 	p.Seed = *seed
+	p.TrialTimeout = *trialTimeout
+
+	// SIGINT/SIGTERM cancel the run context: in-flight campaigns stop at
+	// the next trial boundary (or mid-inference via the watchdog hook),
+	// partial tables are printed, and the journal — flushed on every
+	// write — is closed cleanly. A second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *journalPath != "" {
+		j, err := campaign.OpenJournal(*journalPath, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ft2bench:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		p.Journal = j
+	}
 
 	var drivers []experiments.Driver
 	if *exp == "all" {
@@ -81,14 +127,19 @@ func main() {
 
 	for _, d := range drivers {
 		start := time.Now()
-		tb, err := d.Run(p)
-		if err != nil {
+		tb, err := d.Run(ctx, p)
+		interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		if err != nil && !interrupted {
 			fmt.Fprintf(os.Stderr, "ft2bench: %s failed: %v\n", d.ID, err)
 			os.Exit(1)
 		}
+		if tb == nil {
+			fmt.Fprintf(os.Stderr, "ft2bench: %s interrupted before any results (%v)\n", d.ID, err)
+			os.Exit(130)
+		}
 		fmt.Printf("=== %s (%s) — %.1fs ===\n", d.ID, d.Description, time.Since(start).Seconds())
 		fmt.Println(tb.String())
-		if d.ID == "fig13" {
+		if d.ID == "fig13" && !interrupted {
 			if summary, err := experiments.SummarizeFig13(tb); err == nil {
 				fmt.Println(summary.Table().String())
 				if *outDir != "" {
@@ -104,6 +155,15 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+		if interrupted {
+			if *journalPath != "" {
+				fmt.Fprintf(os.Stderr, "ft2bench: interrupted (%v); journal %s flushed — re-run with -resume to continue\n",
+					err, *journalPath)
+			} else {
+				fmt.Fprintf(os.Stderr, "ft2bench: interrupted (%v); no journal — re-run with -journal/-resume to checkpoint\n", err)
+			}
+			os.Exit(130)
 		}
 	}
 }

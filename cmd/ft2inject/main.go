@@ -3,13 +3,22 @@
 // with its per-layer-kind breakdown:
 //
 //	ft2inject -model llama2-7b-sim -dataset gsm8k-sim -fault EXP -method ft2 -trials 500
+//
+// Campaigns are interruptible and resumable: SIGINT/SIGTERM (or -timeout)
+// stops the run and prints the statistics over the completed trials, and
+// with -journal/-resume a re-run executes only the missing trials.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"ft2/internal/arch"
 	"ft2/internal/campaign"
@@ -18,6 +27,7 @@ import (
 	"ft2/internal/model"
 	"ft2/internal/numerics"
 	"ft2/internal/protect"
+	"ft2/internal/report"
 )
 
 func main() {
@@ -31,11 +41,18 @@ func main() {
 	dtypeName := flag.String("dtype", "fp16", "activation dtype: fp16, fp32")
 	window := flag.String("window", "all", "injection window: all, first-token, following")
 	seed := flag.Int64("seed", 42, "base seed")
+	timeout := flag.Duration("timeout", 0, "campaign-level deadline (0 = none)")
+	trialTimeout := flag.Duration("trial-timeout", 0, "abort a trial with no token progress for this long (0 = no watchdog)")
+	journalPath := flag.String("journal", "", "checkpoint classified trials to this JSONL journal")
+	resume := flag.Bool("resume", false, "replay the journal and run only the missing trials (requires -journal)")
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "ft2inject:", err)
 		os.Exit(1)
+	}
+	if *resume && *journalPath == "" {
+		die(errors.New("-resume requires -journal"))
 	}
 
 	cfg, err := model.ConfigByName(*modelName)
@@ -63,6 +80,7 @@ func main() {
 		ModelCfg: cfg, ModelSeed: *seed, DType: dtype,
 		Fault: fm, Method: method, FT2Opts: core.Defaults(),
 		Dataset: ds, Trials: *trials, BaseSeed: *seed + 1000,
+		TrialTimeout: *trialTimeout,
 	}
 	switch *window {
 	case "first-token":
@@ -82,12 +100,35 @@ func main() {
 		spec.OfflineBounds = protect.OfflineProfile(m, ds.ProfileSplit(*profileN).Prompts(), ds.GenTokens)
 	}
 
-	res, err := campaign.Run(spec)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // a second signal force-kills the process
+	}()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *journalPath != "" {
+		j, err := campaign.OpenJournal(*journalPath, *resume)
+		if err != nil {
+			die(err)
+		}
+		defer j.Close()
+		spec.Journal = j
+	}
+
+	start := time.Now()
+	res, err := campaign.RunContext(ctx, spec)
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted && res.Completed == 0 {
 		die(err)
 	}
-	fmt.Printf("model=%s dataset=%s fault=%s method=%s dtype=%s window=%s\n",
-		cfg.Name, ds.Name, fm, method, dtype, *window)
+
+	fmt.Printf("model=%s dataset=%s fault=%s method=%s dtype=%s window=%s (%.1fs)\n",
+		cfg.Name, ds.Name, fm, method, dtype, *window, time.Since(start).Seconds())
 	fmt.Printf("SDC rate: %s\n", res.SDC)
 	fmt.Printf("corrections: %d out-of-bound, %d NaN\n", res.Corrections.OutOfBound, res.Corrections.NaN)
 	fmt.Println("per-layer-kind SDC:")
@@ -98,6 +139,26 @@ func main() {
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
 	for _, k := range kinds {
 		fmt.Printf("  %-10s %s\n", k, res.ByKind[k])
+	}
+	if res.Partial() || res.Failed > 0 {
+		byKind := make(map[string]int, len(res.FailuresByKind))
+		for k, n := range res.FailuresByKind {
+			byKind[k.String()] = n
+		}
+		fmt.Println()
+		fmt.Println(report.CampaignBreakdown(res.Completed, res.Failed, res.Skipped, byKind, res.ErrorSummaries()).String())
+	}
+	if interrupted {
+		if *journalPath != "" {
+			fmt.Fprintf(os.Stderr, "ft2inject: interrupted (%v); journal %s flushed — re-run with -resume to continue\n",
+				err, *journalPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "ft2inject: interrupted (%v); no journal — re-run with -journal/-resume to checkpoint\n", err)
+		}
+		os.Exit(130)
+	}
+	if err != nil {
+		die(err)
 	}
 }
 

@@ -19,6 +19,8 @@
 package ft2
 
 import (
+	"context"
+
 	"ft2/internal/arch"
 	"ft2/internal/campaign"
 	"ft2/internal/core"
@@ -55,6 +57,13 @@ type (
 	CampaignSpec = campaign.Spec
 	// CampaignResult aggregates a campaign's outcome statistics.
 	CampaignResult = campaign.Result
+	// CampaignJournal checkpoints classified trials for resumable campaigns.
+	CampaignJournal = campaign.Journal
+	// TrialError is the typed per-trial failure a campaign records instead
+	// of aborting (panic, injector-never-fired, model error, timeout).
+	TrialError = campaign.TrialError
+	// TrialErrorKind is the failure-taxonomy discriminant of a TrialError.
+	TrialErrorKind = campaign.TrialErrorKind
 	// Bounds is a protected activation range.
 	Bounds = protect.Bounds
 )
@@ -116,6 +125,20 @@ func LoadDataset(name string, inputs int) (*Dataset, error) { return data.ByName
 
 // RunCampaign executes a statistical fault-injection campaign.
 func RunCampaign(spec CampaignSpec) (CampaignResult, error) { return campaign.Run(spec) }
+
+// RunCampaignContext executes a campaign under a context: cancellation and
+// deadline expiry stop the run at the next hook boundary and return a
+// partial Result over the trials that completed (alongside ctx.Err()).
+// Set spec.Journal (see OpenCampaignJournal) to make the run resumable.
+func RunCampaignContext(ctx context.Context, spec CampaignSpec) (CampaignResult, error) {
+	return campaign.RunContext(ctx, spec)
+}
+
+// OpenCampaignJournal opens (resume=true: appends to and replays; else
+// truncates) an append-only JSONL trial journal for checkpoint/resume.
+func OpenCampaignJournal(path string, resume bool) (*CampaignJournal, error) {
+	return campaign.OpenJournal(path, resume)
+}
 
 // ProfileBounds runs fault-free generations over prompts and records every
 // layer's activation range — the offline profiling workflow the baseline

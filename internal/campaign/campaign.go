@@ -4,13 +4,26 @@
 // applies the configured protection, classifies each outcome as Masked or
 // SDC with the paper's containment rule, and aggregates binomial SDC-rate
 // estimates with 95% confidence intervals.
+//
+// The execution core treats the harness itself as a fault domain: every
+// trial runs under a recover() boundary that converts panics into a typed
+// TrialError, transient failures are retried with a bounded budget, a dead
+// worker replaces its model replica instead of sinking the pool, campaigns
+// honor context cancellation and per-trial watchdog timeouts, and an
+// append-only JSONL journal checkpoints classified outcomes so interrupted
+// campaigns resume without re-running completed trials.
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
+	"time"
 
 	"ft2/internal/arch"
 	"ft2/internal/core"
@@ -21,6 +34,7 @@ import (
 	"ft2/internal/perfmodel"
 	"ft2/internal/protect"
 	"ft2/internal/stats"
+	"ft2/internal/tensor"
 )
 
 // Window restricts where in the inference faults are injected.
@@ -84,6 +98,38 @@ type Spec struct {
 	PrefillWeight float64
 	// Workers caps the pool size (default GOMAXPROCS).
 	Workers int
+
+	// TrialTimeout is the per-trial watchdog budget: a trial is aborted and
+	// classified TrialTimeout when the inference makes no token progress
+	// (prefill counts as the first token) for this long. 0 disables the
+	// watchdog.
+	TrialTimeout time.Duration
+	// TrialRetries bounds how many times a failed trial is re-attempted
+	// before it is recorded as Failed. 0 means the default of 1 retry;
+	// negative disables retries. Per-trial seeding makes retries safe: a
+	// retried trial reproduces the identical fault site.
+	TrialRetries int
+	// Journal, when non-nil, checkpoints every classified outcome and
+	// replays outcomes already recorded for this spec's Fingerprint before
+	// executing the remaining trials.
+	Journal *Journal
+	// TrialHook, when non-nil, supplies an extra forward hook per trial,
+	// registered right after the fault injector. It is the chaos-testing
+	// seam (a hook that panics simulates a crashed trial) and is excluded
+	// from the spec fingerprint.
+	TrialHook func(trial int) model.Hook
+}
+
+// retryBudget resolves the per-trial retry count.
+func (s Spec) retryBudget() int {
+	switch {
+	case s.TrialRetries > 0:
+		return s.TrialRetries
+	case s.TrialRetries < 0:
+		return 0
+	default:
+		return 1
+	}
 }
 
 // prefillWeight resolves the effective prefill time weight.
@@ -103,13 +149,76 @@ func (s Spec) prefillWeight() float64 {
 	})
 }
 
-// Result aggregates a campaign cell.
+// maxRecordedErrors caps Result.Errors so a systematically failing campaign
+// cannot balloon memory; FailuresByKind still counts every failure.
+const maxRecordedErrors = 16
+
+// Result aggregates a campaign cell. When the campaign was canceled or some
+// trials failed, the statistics cover the completed trials only (the
+// binomial CIs remain correct at the reduced trial count) and the
+// Completed/Failed/Skipped breakdown plus the error taxonomy report what
+// happened to the rest.
 type Result struct {
 	SDC stats.Proportion
 	// ByKind breaks SDC rate down by the layer kind the fault hit.
 	ByKind map[model.LayerKind]stats.Proportion
 	// Corrections sums the protection corrections over all trials.
 	Corrections protect.CorrectionStats
+
+	// Completed counts classified trials (== SDC.Trials), including trials
+	// replayed from the journal.
+	Completed int
+	// Failed counts trials that exhausted their retry budget.
+	Failed int
+	// Skipped counts trials never executed (campaign canceled or deadline
+	// exceeded before they were reached).
+	Skipped int
+	// FailuresByKind breaks Failed down by the error taxonomy; nil when no
+	// trial failed.
+	FailuresByKind map[TrialErrorKind]int
+	// Errors holds the first maxRecordedErrors trial failures, sorted by
+	// trial index.
+	Errors []*TrialError
+}
+
+// Partial reports whether the result covers fewer than the spec's trials.
+func (r Result) Partial() bool { return r.Failed > 0 || r.Skipped > 0 }
+
+// ErrorSummaries renders the recorded trial failures as strings (for
+// report rendering without importing this package's types).
+func (r Result) ErrorSummaries() []string {
+	out := make([]string, len(r.Errors))
+	for i, e := range r.Errors {
+		out[i] = e.Error()
+	}
+	return out
+}
+
+// add folds one classified outcome into the aggregate.
+func (r *Result) add(o trialOutcome) {
+	r.Completed++
+	r.SDC.Trials++
+	kp := r.ByKind[o.kind]
+	kp.Trials++
+	if o.sdc {
+		r.SDC.Successes++
+		kp.Successes++
+	}
+	r.ByKind[o.kind] = kp
+	r.Corrections.OutOfBound += o.corr.OutOfBound
+	r.Corrections.NaN += o.corr.NaN
+}
+
+// addFailure folds one exhausted trial failure into the aggregate.
+func (r *Result) addFailure(te *TrialError) {
+	r.Failed++
+	if r.FailuresByKind == nil {
+		r.FailuresByKind = make(map[TrialErrorKind]int)
+	}
+	r.FailuresByKind[te.Kind]++
+	if len(r.Errors) < maxRecordedErrors {
+		r.Errors = append(r.Errors, te)
+	}
 }
 
 // trialOutcome carries one classified trial back to the aggregator.
@@ -119,64 +228,144 @@ type trialOutcome struct {
 	corr protect.CorrectionStats
 }
 
-// Run executes the campaign.
-func Run(spec Spec) (Result, error) {
+// trialResult pairs a trial index with either its outcome or its failure.
+type trialResult struct {
+	idx     int
+	outcome trialOutcome
+	err     *TrialError
+}
+
+// Run executes the campaign without cancellation (context.Background()).
+func Run(spec Spec) (Result, error) { return RunContext(context.Background(), spec) }
+
+// RunContext executes the campaign under ctx. On cancellation or deadline
+// expiry it returns the partial Result aggregated over the trials that
+// completed (journal-replayed trials included) together with ctx.Err();
+// callers can render the partial statistics — the binomial CIs are correct
+// at the reduced trial count — and resume later from the journal.
+//
+// Individual trial failures do not abort the campaign: they are retried
+// within Spec's retry budget and then recorded in the Result's error
+// taxonomy. RunContext returns a non-nil error only for invalid specs,
+// context cancellation, journal write failures, or when every executed
+// trial failed (the joined trial errors).
+func RunContext(ctx context.Context, spec Spec) (Result, error) {
 	if err := spec.validate(); err != nil {
 		return Result{}, err
 	}
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > spec.Trials {
-		workers = spec.Trials
-	}
-
-	// Golden (fault-free, unprotected) generations, shared read-only.
-	golden, err := goldenOutputs(spec)
-	if err != nil {
-		return Result{}, err
-	}
-
-	outcomes := make(chan trialOutcome, spec.Trials)
-	trialIdx := make(chan int, spec.Trials)
-	for i := 0; i < spec.Trials; i++ {
-		trialIdx <- i
-	}
-	close(trialIdx)
-
-	var wg sync.WaitGroup
-	errs := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := worker(spec, golden, trialIdx, outcomes); err != nil {
-				errs <- err
-			}
-		}()
-	}
-	wg.Wait()
-	close(outcomes)
-	close(errs)
-	if err := <-errs; err != nil {
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 
 	res := Result{ByKind: make(map[model.LayerKind]stats.Proportion)}
-	for o := range outcomes {
-		res.SDC.Trials++
-		kp := res.ByKind[o.kind]
-		kp.Trials++
-		if o.sdc {
-			res.SDC.Successes++
-			kp.Successes++
+
+	// Replay journal-checkpointed outcomes, then work out what remains.
+	var fp string
+	var replayed map[int]trialOutcome
+	if spec.Journal != nil {
+		fp = spec.Fingerprint()
+		replayed = spec.Journal.completed(fp, spec.Trials)
+		// Deterministic fold order (trial outcomes commute, but keep the
+		// aggregation order-independent of map iteration anyway).
+		idxs := make([]int, 0, len(replayed))
+		for idx := range replayed {
+			idxs = append(idxs, idx)
 		}
-		res.ByKind[o.kind] = kp
-		res.Corrections.OutOfBound += o.corr.OutOfBound
-		res.Corrections.NaN += o.corr.NaN
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			res.add(replayed[idx])
+		}
+	}
+	pending := make([]int, 0, spec.Trials-len(replayed))
+	for i := 0; i < spec.Trials; i++ {
+		if _, done := replayed[i]; !done {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return res, nil
+	}
+
+	if spec.Journal != nil {
+		if err := spec.Journal.recordSpec(fp, spec.describe()); err != nil {
+			return res, err
+		}
+	}
+
+	// Golden (fault-free, unprotected) generations, shared read-only.
+	golden, err := goldenOutputs(ctx, spec)
+	if err != nil {
+		res.Skipped = spec.Trials - res.Completed
+		return res, err
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	trialIdx := make(chan int, len(pending))
+	for _, i := range pending {
+		trialIdx <- i
+	}
+	close(trialIdx)
+
+	results := make(chan trialResult, len(pending))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWorker(ctx, spec, golden, trialIdx, results)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Aggregate and checkpoint as outcomes arrive, so an interrupt can
+	// never lose a classified trial.
+	var journalErr error
+	for tr := range results {
+		if tr.err != nil {
+			res.addFailure(tr.err)
+			if spec.Journal != nil && journalErr == nil {
+				journalErr = spec.Journal.recordFailure(fp, tr.err)
+			}
+			continue
+		}
+		res.add(tr.outcome)
+		if spec.Journal != nil && journalErr == nil {
+			journalErr = spec.Journal.recordOutcome(fp, tr.idx, tr.outcome)
+		}
+	}
+	res.Skipped = spec.Trials - res.Completed - res.Failed
+	sort.Slice(res.Errors, func(i, j int) bool { return res.Errors[i].Trial < res.Errors[j].Trial })
+
+	switch {
+	case ctx.Err() != nil:
+		return res, ctx.Err()
+	case journalErr != nil:
+		return res, journalErr
+	case res.Completed == 0 && res.Failed > 0:
+		errs := make([]error, len(res.Errors))
+		for i, te := range res.Errors {
+			errs[i] = te
+		}
+		return res, fmt.Errorf("campaign: all %d executed trials failed: %w", res.Failed, errors.Join(errs...))
 	}
 	return res, nil
+}
+
+// describe renders the spec's identity for the journal's human-readable
+// header line.
+func (s Spec) describe() string {
+	return fmt.Sprintf("model=%s dataset=%s fault=%v method=%v window=%v trials=%d seed=%d",
+		s.ModelCfg.Name, s.Dataset.Name, s.Fault, s.Method, s.Window, s.Trials, s.BaseSeed)
 }
 
 func (s Spec) validate() error {
@@ -187,6 +376,11 @@ func (s Spec) validate() error {
 		return fmt.Errorf("campaign: dataset %s has no inputs", s.Dataset.Name)
 	case s.Trials <= 0:
 		return fmt.Errorf("campaign: non-positive trial count")
+	case s.Window == WindowFollowing && s.Dataset.GenTokens < 2:
+		// fault.Plan.SampleFollowing would panic inside a worker goroutine;
+		// reject the degenerate window here instead.
+		return fmt.Errorf("campaign: window %v needs at least 2 generated tokens, dataset %s generates %d",
+			s.Window, s.Dataset.Name, s.Dataset.GenTokens)
 	case s.needsOfflineBounds() && s.OfflineBounds == nil:
 		return fmt.Errorf("campaign: method %v requires offline bounds", s.Method)
 	}
@@ -206,32 +400,99 @@ func (s Spec) needsOfflineBounds() bool {
 }
 
 // goldenOutputs computes the fault-free unprotected generation per input.
-func goldenOutputs(spec Spec) ([][]int, error) {
+func goldenOutputs(ctx context.Context, spec Spec) ([][]int, error) {
 	m, err := model.New(spec.ModelCfg, spec.ModelSeed, spec.DType)
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]int, len(spec.Dataset.Inputs))
 	for i, in := range spec.Dataset.Inputs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out[i] = m.Generate(in.Prompt, spec.Dataset.GenTokens)
 	}
 	return out, nil
 }
 
-// worker runs trials pulled from trialIdx on its own model replica.
-func worker(spec Spec, golden [][]int, trialIdx <-chan int, outcomes chan<- trialOutcome) error {
-	r, err := newTrialRunner(spec, golden)
-	if err != nil {
-		return err
-	}
+// runWorker pulls trials from trialIdx and runs them on its own model
+// replica. A worker never sinks the pool: trial failures (including
+// panics) are retried within the spec's budget and then reported as
+// classified failures, and a replica poisoned by a panic is replaced
+// before the next attempt. The worker stops early only on context
+// cancellation — unreached trials are counted as Skipped by the caller.
+func runWorker(ctx context.Context, spec Spec, golden [][]int, trialIdx <-chan int, results chan<- trialResult) {
+	var r *trialRunner
+	budget := spec.retryBudget()
 	for idx := range trialIdx {
-		o, err := r.run(idx)
-		if err != nil {
-			return err
+		if ctx.Err() != nil {
+			return
 		}
-		outcomes <- o
+		var terr *TrialError
+		for attempt := 0; attempt <= budget; attempt++ {
+			if r == nil || r.dirty {
+				nr, err := newTrialRunner(spec, golden)
+				if err != nil {
+					r = nil
+					terr = &TrialError{Trial: idx, Kind: TrialModelError, Attempts: attempt + 1, Err: err}
+					continue
+				}
+				r = nr
+			}
+			var o trialOutcome
+			o, terr = r.runGuarded(ctx, idx)
+			if terr == nil {
+				results <- trialResult{idx: idx, outcome: o}
+				break
+			}
+			if terr.Kind == trialCanceled {
+				// Cancellation mid-trial is a skip, not a failure.
+				return
+			}
+			terr.Attempts = attempt + 1
+		}
+		if terr != nil {
+			results <- trialResult{idx: idx, err: terr}
+		}
 	}
-	return nil
+}
+
+// watchdog aborts a trial from inside the forward pass when the campaign
+// context is canceled or the inference makes no token progress within the
+// budget. It interposes as the last forward hook, so its cancellation
+// latency is one linear layer.
+type watchdog struct {
+	ctx      context.Context
+	budget   time.Duration
+	deadline time.Time
+	lastStep int
+}
+
+func newWatchdog(ctx context.Context, budget time.Duration) *watchdog {
+	w := &watchdog{ctx: ctx, budget: budget, lastStep: -1}
+	if budget > 0 {
+		w.deadline = time.Now().Add(budget)
+	}
+	return w
+}
+
+func (w *watchdog) hook(hc model.HookCtx, _ *tensor.Tensor) {
+	if w.ctx.Err() != nil {
+		panic(trialAbort{kind: trialCanceled, err: w.ctx.Err()})
+	}
+	if w.budget <= 0 {
+		return
+	}
+	now := time.Now()
+	if hc.Step != w.lastStep {
+		w.lastStep = hc.Step
+		w.deadline = now.Add(w.budget)
+		return
+	}
+	if now.After(w.deadline) {
+		panic(trialAbort{kind: TrialTimeout,
+			err: fmt.Errorf("no token progress within %v at step %d", w.budget, hc.Step)})
+	}
 }
 
 // trialRunner owns one model replica plus every piece of per-trial state
@@ -251,6 +512,9 @@ type trialRunner struct {
 	inj    fault.Injector
 	dmr    *protect.DMR       // non-nil iff spec.UseDMR
 	prot   *protect.Protector // non-nil for bounds-based methods
+	// dirty marks the replica as possibly poisoned (a panic escaped a
+	// trial); the worker replaces the runner before reusing it.
+	dirty bool
 }
 
 func newTrialRunner(spec Spec, golden [][]int) (*trialRunner, error) {
@@ -285,7 +549,27 @@ func newTrialRunner(spec Spec, golden [][]int) (*trialRunner, error) {
 	return r, nil
 }
 
-func (r *trialRunner) run(idx int) (trialOutcome, error) {
+// runGuarded is the per-trial fault-isolation boundary: it converts panics
+// (from the engine, a hook, or the watchdog's abort) into typed TrialErrors
+// and guarantees — via defer — that no hooks survive the trial, so a failed
+// trial can never poison the next one's replica.
+func (r *trialRunner) runGuarded(ctx context.Context, idx int) (o trialOutcome, terr *TrialError) {
+	defer func() {
+		r.m.ClearHooks()
+		if p := recover(); p != nil {
+			r.dirty = true
+			if ab, ok := p.(trialAbort); ok {
+				terr = &TrialError{Trial: idx, Kind: ab.kind, Err: ab.err}
+				return
+			}
+			terr = &TrialError{Trial: idx, Kind: TrialPanic,
+				Err: fmt.Errorf("%v", p), Stack: string(debug.Stack())}
+		}
+	}()
+	return r.run(ctx, idx)
+}
+
+func (r *trialRunner) run(ctx context.Context, idx int) (trialOutcome, *TrialError) {
 	spec := r.spec
 	m := r.m
 	input := spec.Dataset.Inputs[idx%len(spec.Dataset.Inputs)]
@@ -308,36 +592,49 @@ func (r *trialRunner) run(idx int) (trialOutcome, error) {
 	r.inj = fault.Injector{Site: site, DType: spec.DType}
 
 	// Hook order matters: the injector corrupts the layer output first, the
-	// protection then gets its chance to detect/correct.
+	// protection then gets its chance to detect/correct; the watchdog runs
+	// last. Hooks are cleared by runGuarded's defer even when the trial
+	// panics.
 	m.ClearHooks()
 	m.RegisterHook(r.inj.Hook())
+	if spec.TrialHook != nil {
+		if h := spec.TrialHook(idx); h != nil {
+			m.RegisterHook(h)
+		}
+	}
 
 	var out []int
 	var corr protect.CorrectionStats
+	generate := func() []int {
+		if spec.TrialTimeout > 0 || ctx.Done() != nil {
+			m.RegisterHook(newWatchdog(ctx, spec.TrialTimeout).hook)
+		}
+		return m.Generate(input.Prompt, spec.Dataset.GenTokens)
+	}
 	switch {
 	case r.dmr != nil:
 		r.dmr.Detected = 0
 		m.RegisterHook(r.dmr.Hook())
-		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
+		out = generate()
 		corr.OutOfBound = r.dmr.Detected
 	case r.prot != nil:
 		r.prot.Stats = protect.CorrectionStats{}
 		m.RegisterHook(r.prot.Hook())
-		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
+		out = generate()
 		corr = r.prot.Stats
 	case spec.Method == arch.MethodFT2:
 		f := core.Attach(m, spec.FT2Opts)
-		out = f.Generate(input.Prompt, spec.Dataset.GenTokens)
+		out = generate()
 		corr = f.Stats()
 		corr.NaN += f.FirstTokenNaNCount()
 		f.Detach()
 	default: // arch.MethodNone
-		out = m.Generate(input.Prompt, spec.Dataset.GenTokens)
+		out = generate()
 	}
-	m.ClearHooks()
 
 	if !r.inj.Fired {
-		return trialOutcome{}, fmt.Errorf("campaign: injector never fired at %v", site)
+		return trialOutcome{}, &TrialError{Trial: idx, Kind: TrialInjectorNeverFired,
+			Err: fmt.Errorf("injector never fired at %v", site)}
 	}
 	return trialOutcome{
 		kind: site.Layer.Kind,

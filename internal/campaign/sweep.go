@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+
 	"ft2/internal/arch"
 	"ft2/internal/model"
 	"ft2/internal/protect"
@@ -24,8 +26,15 @@ type SweepResult struct {
 	Result Result
 }
 
-// Run executes the sweep over the given methods in order.
+// Run executes the sweep without cancellation.
 func (s Sweep) Run(methods ...arch.Method) ([]SweepResult, error) {
+	return s.RunContext(context.Background(), methods...)
+}
+
+// RunContext executes the sweep over the given methods in order. On
+// cancellation it returns the results of the methods that completed (plus
+// the interrupted method's partial result) together with ctx.Err().
+func (s Sweep) RunContext(ctx context.Context, methods ...arch.Method) ([]SweepResult, error) {
 	var bounds *protect.Store
 	needProfile := false
 	for _, m := range methods {
@@ -51,9 +60,12 @@ func (s Sweep) Run(methods ...arch.Method) ([]SweepResult, error) {
 		if spec.needsOfflineBounds() {
 			spec.OfflineBounds = bounds
 		}
-		res, err := Run(spec)
+		res, err := RunContext(ctx, spec)
 		if err != nil {
-			return nil, err
+			if ctx.Err() != nil && res.Completed > 0 {
+				out = append(out, SweepResult{Method: method, Result: res})
+			}
+			return out, err
 		}
 		out = append(out, SweepResult{Method: method, Result: res})
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"ft2/internal/arch"
@@ -16,14 +17,14 @@ import (
 // AblationClipMode compares FT2's clip-to-bound against the CNN-era
 // clip-to-zero on FT2's coverage (Take-away #8: generative LLMs have
 // legitimate large activations, so clipping to zero causes deviations).
-func AblationClipMode(p Params) (*report.Table, error) {
+func AblationClipMode(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable("Ablation: out-of-bound correction target (vicuna-7b-sim, squad-sim, EXP faults)",
 		"Clip mode", "SDC %", "±95% CI")
 	for _, mode := range []protect.ClipMode{protect.ClipToBound, protect.ClipToZero} {
-		res, err := cell(p, "vicuna-7b-sim", "squad-sim", numerics.ExponentBit, arch.MethodFT2,
+		res, err := cell(ctx, p, "vicuna-7b-sim", "squad-sim", numerics.ExponentBit, arch.MethodFT2,
 			func(s *campaign.Spec) { s.FT2Opts.Mode = mode })
 		if err != nil {
-			return nil, err
+			return partialOnCancel(t, err)
 		}
 		t.AddRow(mode.String(), res.SDC.Percent(), res.SDC.CI95()*100)
 	}
@@ -33,14 +34,14 @@ func AblationClipMode(p Params) (*report.Table, error) {
 // AblationCoverage compares critical-only protection with all-layer
 // protection: reliability and measured overhead (Sec. 4.1's ~2× overhead
 // argument for the naïve configuration).
-func AblationCoverage(p Params) (*report.Table, error) {
+func AblationCoverage(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable("Ablation: protection coverage (llama2-7b-sim, squad-sim, EXP faults)",
 		"Coverage", "SDC %", "±95% CI", "Protected layers", "Hook time ms/gen")
 	for _, all := range []bool{false, true} {
-		res, err := cell(p, "llama2-7b-sim", "squad-sim", numerics.ExponentBit, arch.MethodFT2,
+		res, err := cell(ctx, p, "llama2-7b-sim", "squad-sim", numerics.ExponentBit, arch.MethodFT2,
 			func(s *campaign.Spec) { s.FT2Opts.ProtectAllLayers = all })
 		if err != nil {
-			return nil, err
+			return partialOnCancel(t, err)
 		}
 		label := "critical layers only (FT2)"
 		if all {

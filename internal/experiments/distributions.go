@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ft2/internal/data"
@@ -110,7 +111,10 @@ func (ls *layerStats) nanVulnPct() float64 {
 
 // Fig8 reports the per-layer neuron value distributions and NaN-vulnerable
 // shares that explain layer criticality (OPT + SQuAD, block 0).
-func Fig8(p Params) (*report.Table, error) {
+func Fig8(ctx context.Context, p Params) (*report.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg, err := model.ConfigByName("opt-6.7b-sim")
 	if err != nil {
 		return nil, err
@@ -137,7 +141,10 @@ func Fig8(p Params) (*report.Table, error) {
 
 // Fig12 shows the Llama-family MLP value distributions with the large
 // outlier channels in DOWN_PROJ (Vicuna + SQuAD).
-func Fig12(p Params) (*report.Table, error) {
+func Fig12(ctx context.Context, p Params) (*report.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	kinds := []model.LayerKind{model.DownProj, model.UpProj, model.GateProj}
 	st, err := layerValueStats("vicuna-7b-sim", "squad-sim", p, kinds)
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -105,7 +106,7 @@ func TestFig7Static(t *testing.T) {
 }
 
 func TestFig2Quick(t *testing.T) {
-	tb, err := Fig2(tiny())
+	tb, err := Fig2(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestFig2Quick(t *testing.T) {
 }
 
 func TestFig3Quick(t *testing.T) {
-	tb, err := Fig3(tiny())
+	tb, err := Fig3(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFig3Quick(t *testing.T) {
 }
 
 func TestFig8Quick(t *testing.T) {
-	tb, err := Fig8(tiny())
+	tb, err := Fig8(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFig8Quick(t *testing.T) {
 }
 
 func TestFig12Quick(t *testing.T) {
-	tb, err := Fig12(tiny())
+	tb, err := Fig12(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestFig12Quick(t *testing.T) {
 }
 
 func TestFig14Quick(t *testing.T) {
-	tb, err := Fig14(tiny())
+	tb, err := Fig14(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestFig14Quick(t *testing.T) {
 }
 
 func TestFig16Quick(t *testing.T) {
-	tb, err := Fig16(tiny())
+	tb, err := Fig16(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestFig16Quick(t *testing.T) {
 }
 
 func TestExtensionDMRQuick(t *testing.T) {
-	tb, err := ExtensionDMR(tiny())
+	tb, err := ExtensionDMR(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,14 +192,14 @@ func TestExtensionDMRQuick(t *testing.T) {
 }
 
 func TestAblationsQuick(t *testing.T) {
-	clip, err := AblationClipMode(tiny())
+	clip, err := AblationClipMode(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(clip.Rows) != 2 {
 		t.Error("clip ablation must have 2 rows")
 	}
-	cov, err := AblationCoverage(tiny())
+	cov, err := AblationCoverage(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestFig6Quick(t *testing.T) {
 	}
 	p := tiny()
 	p.Trials = 3 // driver multiplies by 4
-	tb, err := Fig6(p)
+	tb, err := Fig6(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestFig9Quick(t *testing.T) {
 	}
 	p := tiny()
 	p.Trials = 6
-	tb, err := Fig9(p)
+	tb, err := Fig9(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestFig11Quick(t *testing.T) {
 	}
 	p := tiny()
 	p.Trials = 6
-	tb, err := Fig11(p)
+	tb, err := Fig11(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,11 +266,26 @@ func TestFig15Quick(t *testing.T) {
 	}
 	p := tiny()
 	p.Trials = 5
-	tb, err := Fig15(p)
+	tb, err := Fig15(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tb.Rows) != 20 { // 2 models × 2 dtypes × 5 methods
 		t.Errorf("Fig 15 rows = %d, want 20", len(tb.Rows))
+	}
+}
+
+func TestDriverReturnsPartialTableOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tb, err := Fig2(ctx, tiny())
+	if err == nil {
+		t.Fatal("canceled context must surface an error")
+	}
+	if tb == nil {
+		t.Fatal("canceled driver must still return the partial table")
+	}
+	if len(tb.Notes) == 0 || !strings.Contains(tb.Notes[0], "partial") {
+		t.Errorf("partial table must be annotated, notes = %v", tb.Notes)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"ft2/internal/arch"
@@ -16,7 +17,7 @@ import (
 // ExtensionDMR compares FT2 against duplication in place (DMR), the
 // high-overhead 0%-SDC alternative of the paper's limitations section:
 // reliability under EXP faults plus measured generation overhead.
-func ExtensionDMR(p Params) (*report.Table, error) {
+func ExtensionDMR(ctx context.Context, p Params) (*report.Table, error) {
 	const modelName, dsName = "llama2-7b-sim", "squad-sim"
 	t := report.NewTable("Extension: FT2 vs duplication in place (llama2-7b-sim, squad-sim, EXP faults)",
 		"Protection", "SDC %", "±95% CI", "Overhead % vs unprotected")
@@ -26,15 +27,15 @@ func ExtensionDMR(p Params) (*report.Table, error) {
 		return nil, err
 	}
 
-	unprot, err := cell(p, modelName, dsName, numerics.ExponentBit, arch.MethodNone, nil)
+	unprot, err := cell(ctx, p, modelName, dsName, numerics.ExponentBit, arch.MethodNone, nil)
 	if err != nil {
-		return nil, err
+		return partialOnCancel(t, err)
 	}
 	t.AddRow("No Protection", unprot.SDC.Percent(), unprot.SDC.CI95()*100, 0.0)
 
-	ft2Res, err := cell(p, modelName, dsName, numerics.ExponentBit, arch.MethodFT2, nil)
+	ft2Res, err := cell(ctx, p, modelName, dsName, numerics.ExponentBit, arch.MethodFT2, nil)
 	if err != nil {
-		return nil, err
+		return partialOnCancel(t, err)
 	}
 	ft2MS, err := genCost(p, modelName, dsName, func(m *model.Model) func() {
 		f := core.Attach(m, core.Defaults())
@@ -45,10 +46,10 @@ func ExtensionDMR(p Params) (*report.Table, error) {
 	}
 	t.AddRow("FT2", ft2Res.SDC.Percent(), ft2Res.SDC.CI95()*100, (ft2MS-baseMS)/baseMS*100)
 
-	dmrRes, err := cell(p, modelName, dsName, numerics.ExponentBit, arch.MethodNone,
+	dmrRes, err := cell(ctx, p, modelName, dsName, numerics.ExponentBit, arch.MethodNone,
 		func(s *campaign.Spec) { s.UseDMR = true })
 	if err != nil {
-		return nil, err
+		return partialOnCancel(t, err)
 	}
 	dmrMS, err := genCost(p, modelName, dsName, func(m *model.Model) func() {
 		d := protect.NewDMR(m)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"ft2/internal/arch"
 	"ft2/internal/campaign"
 	"ft2/internal/data"
@@ -16,7 +18,7 @@ import (
 // sources are the target's own split plus the four alternative corpora.
 // Protection uses the existing range-restriction behaviour (clip to zero),
 // the configuration whose false positives the paper's Figure 3 exposes.
-func Fig3(p Params) (*report.Table, error) {
+func Fig3(ctx context.Context, p Params) (*report.Table, error) {
 	const modelName = "opt-6.7b-sim"
 	cfg, err := model.ConfigByName(modelName)
 	if err != nil {
@@ -63,6 +65,9 @@ func Fig3(p Params) (*report.Table, error) {
 
 	// Bounds from the four alternative corpora.
 	for _, alt := range data.AlternativeDatasets(p.ProfileInputs) {
+		if err := ctx.Err(); err != nil {
+			return partialOnCancel(t, err)
+		}
 		altBounds, err := profile(alt)
 		if err != nil {
 			return nil, err

@@ -6,8 +6,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
+	"ft2/internal/campaign"
 	"ft2/internal/model"
 	"ft2/internal/numerics"
 	"ft2/internal/report"
@@ -30,6 +34,26 @@ type Params struct {
 	Seed int64
 	// Workers caps campaign parallelism (0 = GOMAXPROCS).
 	Workers int
+	// TrialTimeout aborts a trial with no token progress for this long
+	// (0 disables the watchdog). See campaign.Spec.TrialTimeout.
+	TrialTimeout time.Duration
+	// TrialRetries bounds per-trial retry attempts (0 = campaign default).
+	TrialRetries int
+	// Journal, when non-nil, checkpoints every campaign cell for resume;
+	// cells are distinguished by their spec fingerprints, so one journal
+	// backs a whole experiment run.
+	Journal *campaign.Journal
+}
+
+// partialOnCancel lets a driver hand back the table rows it finished before
+// the context was canceled (or its deadline expired), annotated as partial.
+// Non-cancellation errors discard the table as before.
+func partialOnCancel(t *report.Table, err error) (*report.Table, error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.AddNote(fmt.Sprintf("interrupted: partial table (%v)", err))
+		return t, err
+	}
+	return nil, err
 }
 
 // Quick returns a small smoke-test configuration for tests and the
@@ -44,26 +68,34 @@ func Default() Params {
 	return Params{Trials: 150, Inputs: 5, ProfileInputs: 60, Seed: 42}
 }
 
-// Driver regenerates one paper artifact.
+// Driver regenerates one paper artifact. Run threads the context through
+// every campaign so experiments honor cancellation and deadlines; on
+// interruption a driver returns the partially-built table alongside the
+// context's error.
 type Driver struct {
 	ID          string
 	Description string
-	Run         func(Params) (*report.Table, error)
+	Run         func(context.Context, Params) (*report.Table, error)
+}
+
+// static adapts a parameterless table builder to the Driver signature.
+func static(f func() *report.Table) func(context.Context, Params) (*report.Table, error) {
+	return func(context.Context, Params) (*report.Table, error) { return f(), nil }
 }
 
 // Registry lists every driver in paper order.
 func Registry() []Driver {
 	return []Driver{
-		{"table1", "Layer criticality and protection coverage matrix", func(Params) (*report.Table, error) { return Table1(), nil }},
-		{"table2", "Model zoo: reference vs simulated configurations", func(Params) (*report.Table, error) { return Table2(), nil }},
+		{"table1", "Layer criticality and protection coverage matrix", static(Table1)},
+		{"table2", "Model zoo: reference vs simulated configurations", static(Table2)},
 		{"fig2", "SDC with protections, Llama2+GSM8K under EXP faults", Fig2},
 		{"fig3", "Fault-free correctness with bounds from alternative datasets", Fig3},
-		{"fig4", "Offline bound-profiling hours on A100/H100", func(Params) (*report.Table, error) { return Fig4(), nil }},
+		{"fig4", "Offline bound-profiling hours on A100/H100", static(Fig4)},
 		{"fig6", "Leave-one-out layer criticality (GPT-J + SQuAD)", Fig6},
-		{"fig7", "Bit-flip anatomy: exponent blow-up and NaN encoding", func(Params) (*report.Table, error) { return Fig7(), nil }},
+		{"fig7", "Bit-flip anatomy: exponent blow-up and NaN encoding", static(Fig7)},
 		{"fig8", "Neuron value distribution and NaN-vulnerable share per layer", Fig8},
 		{"fig9", "SDC vs first-token bound scaling factor (Qwen2 + GSM8K)", Fig9},
-		{"fig10", "First-token share of inference time", func(Params) (*report.Table, error) { return Fig10(), nil }},
+		{"fig10", "First-token share of inference time", static(Fig10)},
 		{"fig11", "Resilience of first-token generation", Fig11},
 		{"fig12", "Large-value outlier channels in Llama-family MLP layers", Fig12},
 		{"fig13", "Main comparison: 7 models × 3 datasets × 3 fault models", Fig13},

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"ft2/internal/core"
@@ -76,7 +77,7 @@ func Fig10() *report.Table {
 // Fig14 measures the wall-clock overhead of FT2 on the Go engine itself:
 // generation with and without the FT2 hook attached, repeated, plus the
 // bounds-store memory footprint (the paper's 288–512 B).
-func Fig14(p Params) (*report.Table, error) {
+func Fig14(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable("Figure 14: measured FT2 time overhead on the Go engine",
 		"Model", "Baseline ms/gen", "FT2 ms/gen", "Overhead %", "Protected layers", "Bounds bytes (fp16)")
 	reps := p.Trials / 10
@@ -84,6 +85,9 @@ func Fig14(p Params) (*report.Table, error) {
 		reps = 3
 	}
 	for _, cfg := range model.Zoo() {
+		if err := ctx.Err(); err != nil {
+			return partialOnCancel(t, err)
+		}
 		ds := data.SquadSim(1)
 		prompt := ds.Inputs[0].Prompt
 		m, err := model.New(cfg, p.Seed, numerics.FP16)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ft2/internal/arch"
@@ -14,8 +15,10 @@ import (
 	"ft2/internal/report"
 )
 
-// cell builds and runs one campaign cell, returning its SDC estimate.
-func cell(p Params, modelName, dsName string, fm numerics.FaultModel,
+// cell builds and runs one campaign cell under ctx, returning its SDC
+// estimate. The execution-robustness knobs (per-trial watchdog, retry
+// budget, journal) are threaded from Params into the spec.
+func cell(ctx context.Context, p Params, modelName, dsName string, fm numerics.FaultModel,
 	method arch.Method, mutate func(*campaign.Spec)) (campaign.Result, error) {
 
 	cfg, err := model.ConfigByName(modelName)
@@ -37,6 +40,10 @@ func cell(p Params, modelName, dsName string, fm numerics.FaultModel,
 		Trials:    p.Trials,
 		BaseSeed:  p.Seed + 1000,
 		Workers:   p.Workers,
+
+		TrialTimeout: p.TrialTimeout,
+		TrialRetries: p.TrialRetries,
+		Journal:      p.Journal,
 	}
 	if needsBounds(spec) {
 		m, err := model.New(cfg, p.Seed, spec.DType)
@@ -48,7 +55,7 @@ func cell(p Params, modelName, dsName string, fm numerics.FaultModel,
 	if mutate != nil {
 		mutate(&spec)
 	}
-	return campaign.Run(spec)
+	return campaign.RunContext(ctx, spec)
 }
 
 func needsBounds(s campaign.Spec) bool {
@@ -61,13 +68,13 @@ func needsBounds(s campaign.Spec) bool {
 
 // Fig2 reproduces the motivating comparison: Llama2 + GSM8K under EXP
 // faults, all protections.
-func Fig2(p Params) (*report.Table, error) {
+func Fig2(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable("Figure 2: SDC rate with various protections (llama2-7b-sim, gsm8k-sim, EXP faults)",
 		"Protection", "SDC %", "±95% CI", "Trials")
 	for _, m := range arch.AllMethods {
-		res, err := cell(p, "llama2-7b-sim", "gsm8k-sim", numerics.ExponentBit, m, nil)
+		res, err := cell(ctx, p, "llama2-7b-sim", "gsm8k-sim", numerics.ExponentBit, m, nil)
 		if err != nil {
-			return nil, err
+			return partialOnCancel(t, err)
 		}
 		t.AddRow(m.String(), res.SDC.Percent(), res.SDC.CI95()*100, res.SDC.Trials)
 	}
@@ -77,7 +84,7 @@ func Fig2(p Params) (*report.Table, error) {
 // Fig6 reproduces the leave-one-out criticality study: protect every linear
 // layer except one kind, inject everywhere, and measure the SDC rate. A
 // higher bar means the excluded layer is more necessary to protect.
-func Fig6(p Params) (*report.Table, error) {
+func Fig6(ctx context.Context, p Params) (*report.Table, error) {
 	const modelName, dsName = "gptj-6b-sim", "squad-sim"
 	cfg, err := model.ConfigByName(modelName)
 	if err != nil {
@@ -95,10 +102,10 @@ func Fig6(p Params) (*report.Table, error) {
 				cov[arch.CoveragePoint{Kind: k, Site: model.SiteLinearOut}] = true
 			}
 		}
-		res, err := cell(p, modelName, dsName, numerics.ExponentBit, arch.MethodFT2Offline,
+		res, err := cell(ctx, p, modelName, dsName, numerics.ExponentBit, arch.MethodFT2Offline,
 			func(s *campaign.Spec) { s.CustomCoverage = cov })
 		if err != nil {
-			return nil, err
+			return partialOnCancel(t, err)
 		}
 		crit := "N"
 		if arch.IsCritical(cfg.Family, excluded) {
@@ -110,19 +117,19 @@ func Fig6(p Params) (*report.Table, error) {
 }
 
 // Fig9 sweeps the first-token bound scaling factor on Qwen2 + GSM8K.
-func Fig9(p Params) (*report.Table, error) {
+func Fig9(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable("Figure 9: SDC rate vs bound scaling factor (qwen2-7b-sim, gsm8k-sim, EXP faults)",
 		"Configuration", "SDC %", "±95% CI")
-	unprot, err := cell(p, "qwen2-7b-sim", "gsm8k-sim", numerics.ExponentBit, arch.MethodNone, nil)
+	unprot, err := cell(ctx, p, "qwen2-7b-sim", "gsm8k-sim", numerics.ExponentBit, arch.MethodNone, nil)
 	if err != nil {
-		return nil, err
+		return partialOnCancel(t, err)
 	}
 	t.AddRow("No Protection", unprot.SDC.Percent(), unprot.SDC.CI95()*100)
 	for _, scale := range []float32{1, 1.25, 1.5, 2, 4} {
-		res, err := cell(p, "qwen2-7b-sim", "gsm8k-sim", numerics.ExponentBit, arch.MethodFT2,
+		res, err := cell(ctx, p, "qwen2-7b-sim", "gsm8k-sim", numerics.ExponentBit, arch.MethodFT2,
 			func(s *campaign.Spec) { s.FT2Opts.ScaleFactor = scale })
 		if err != nil {
-			return nil, err
+			return partialOnCancel(t, err)
 		}
 		t.AddRow(fmt.Sprintf("FT2, scale %.2fx", scale), res.SDC.Percent(), res.SDC.CI95()*100)
 	}
@@ -132,26 +139,26 @@ func Fig9(p Params) (*report.Table, error) {
 // Fig11 measures the resilience of the first-token generation: faults
 // injected only during the prefill pass with NaN correction active, versus
 // unprotected whole-inference injection and full FT2.
-func Fig11(p Params) (*report.Table, error) {
+func Fig11(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable("Figure 11: resilience of the first token generation (opt-6.7b-sim, squad-sim)",
 		"Fault model", "Configuration", "SDC %", "±95% CI")
 	for _, fm := range faultModels {
-		unprot, err := cell(p, "opt-6.7b-sim", "squad-sim", fm, arch.MethodNone, nil)
+		unprot, err := cell(ctx, p, "opt-6.7b-sim", "squad-sim", fm, arch.MethodNone, nil)
 		if err != nil {
-			return nil, err
+			return partialOnCancel(t, err)
 		}
 		t.AddRow(fm.String(), "No protection (all steps)", unprot.SDC.Percent(), unprot.SDC.CI95()*100)
 
-		full, err := cell(p, "opt-6.7b-sim", "squad-sim", fm, arch.MethodFT2, nil)
+		full, err := cell(ctx, p, "opt-6.7b-sim", "squad-sim", fm, arch.MethodFT2, nil)
 		if err != nil {
-			return nil, err
+			return partialOnCancel(t, err)
 		}
 		t.AddRow(fm.String(), "FT2 (all steps)", full.SDC.Percent(), full.SDC.CI95()*100)
 
-		first, err := cell(p, "opt-6.7b-sim", "squad-sim", fm, arch.MethodFT2,
+		first, err := cell(ctx, p, "opt-6.7b-sim", "squad-sim", fm, arch.MethodFT2,
 			func(s *campaign.Spec) { s.Window = campaign.WindowFirstToken })
 		if err != nil {
-			return nil, err
+			return partialOnCancel(t, err)
 		}
 		t.AddRow(fm.String(), "Faults in first token only, NaN corrected", first.SDC.Percent(), first.SDC.CI95()*100)
 	}
@@ -160,15 +167,15 @@ func Fig11(p Params) (*report.Table, error) {
 
 // Fig13 is the paper's main result: every valid model × dataset pair under
 // the three fault models with all six protection configurations.
-func Fig13(p Params) (*report.Table, error) {
+func Fig13(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable("Figure 13: SDC rate comparison of FT2 against baselines",
 		"Model", "Dataset", "Fault", "Protection", "SDC %", "±95% CI")
 	for _, pair := range modelDatasetPairs() {
 		for _, fm := range faultModels {
 			for _, m := range arch.AllMethods {
-				res, err := cell(p, pair[0], pair[1], fm, m, nil)
+				res, err := cell(ctx, p, pair[0], pair[1], fm, m, nil)
 				if err != nil {
-					return nil, err
+					return partialOnCancel(t, err)
 				}
 				t.AddRow(pair[0], pair[1], fm.String(), m.String(), res.SDC.Percent(), res.SDC.CI95()*100)
 			}
@@ -178,16 +185,16 @@ func Fig13(p Params) (*report.Table, error) {
 }
 
 // Fig15 compares FP16 and FP32 inference under EXP faults.
-func Fig15(p Params) (*report.Table, error) {
+func Fig15(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable("Figure 15: SDC rate by data type (squad-sim, EXP faults)",
 		"Model", "DType", "Protection", "SDC %", "±95% CI")
 	for _, name := range []string{"opt-6.7b-sim", "gptj-6b-sim"} {
 		for _, d := range []numerics.DType{numerics.FP16, numerics.FP32} {
 			for _, m := range []arch.Method{arch.MethodNone, arch.MethodRanger, arch.MethodMaxiMals, arch.MethodGlobalClipper, arch.MethodFT2} {
-				res, err := cell(p, name, "squad-sim", numerics.ExponentBit, m,
+				res, err := cell(ctx, p, name, "squad-sim", numerics.ExponentBit, m,
 					func(s *campaign.Spec) { s.DType = d })
 				if err != nil {
-					return nil, err
+					return partialOnCancel(t, err)
 				}
 				t.AddRow(name, d.String(), m.String(), res.SDC.Percent(), res.SDC.CI95()*100)
 			}
@@ -199,7 +206,7 @@ func Fig15(p Params) (*report.Table, error) {
 // Fig16 compares the two hardware configurations. Reliability is
 // hardware-independent up to the prefill-exposure ratio the performance
 // model supplies; the table also reports the modeled latencies that differ.
-func Fig16(p Params) (*report.Table, error) {
+func Fig16(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable("Figure 16: SDC rate by hardware (EXP faults)",
 		"Model", "Dataset", "GPU", "Protection", "SDC %", "±95% CI", "Modeled inference (s)")
 	pairs := [][2]string{{"opt-6.7b-sim", "squad-sim"}, {"qwen2-7b-sim", "xtreme-sim"}}
@@ -218,10 +225,10 @@ func Fig16(p Params) (*report.Table, error) {
 				GenTokens: ds.GenTokens, DType: numerics.FP16,
 			}
 			for _, m := range []arch.Method{arch.MethodNone, arch.MethodFT2} {
-				res, err := cell(p, pair[0], pair[1], numerics.ExponentBit, m,
+				res, err := cell(ctx, p, pair[0], pair[1], numerics.ExponentBit, m,
 					func(s *campaign.Spec) { s.GPU = gpu })
 				if err != nil {
-					return nil, err
+					return partialOnCancel(t, err)
 				}
 				t.AddRow(pair[0], pair[1], gpu.Name, m.String(),
 					res.SDC.Percent(), res.SDC.CI95()*100,

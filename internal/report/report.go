@@ -5,12 +5,16 @@ package report
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
-// Table is a simple column-aligned text table with an optional title.
+// Table is a simple column-aligned text table with an optional title and
+// optional notes (rendered between the title and the header; not part of
+// the CSV output).
 type Table struct {
 	Title   string
+	Notes   []string
 	Headers []string
 	Rows    [][]string
 }
@@ -18,6 +22,12 @@ type Table struct {
 // NewTable creates a table with the given title and column headers.
 func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
+}
+
+// AddNote appends an annotation line — e.g. that the table covers a
+// partially-completed campaign.
+func (t *Table) AddNote(note string) {
+	t.Notes = append(t.Notes, note)
 }
 
 // AddRow appends a row; values are formatted with %v.
@@ -60,6 +70,11 @@ func (t *Table) Render(w io.Writer) error {
 			return err
 		}
 	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
 	line := func(cells []string) error {
 		parts := make([]string, len(cells))
 		for i, c := range cells {
@@ -97,6 +112,39 @@ func (t *Table) String() string {
 		return fmt.Sprintf("report: render failed: %v", err)
 	}
 	return b.String()
+}
+
+// CampaignBreakdown renders the execution breakdown of a (possibly
+// partial) campaign: how many trials completed, failed and were skipped,
+// the failure taxonomy, and a sample of the recorded trial errors. The
+// package stays decoupled from the campaign types — callers pass plain
+// counts and strings.
+func CampaignBreakdown(completed, failed, skipped int, failures map[string]int, errs []string) *Table {
+	t := NewTable("Campaign execution breakdown", "Category", "Trials")
+	t.AddRow("completed", completed)
+	t.AddRow("failed", failed)
+	t.AddRow("skipped", skipped)
+	kinds := make([]string, 0, len(failures))
+	for k := range failures {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		t.AddRow("failed: "+k, failures[k])
+	}
+	for _, e := range errs {
+		t.AddNote(e)
+	}
+	if failed > 0 || skipped > 0 {
+		t.AddNote(PartialNote(completed, failed, skipped))
+	}
+	return t
+}
+
+// PartialNote formats the standard one-line partial-result annotation.
+func PartialNote(completed, failed, skipped int) string {
+	return fmt.Sprintf("partial result: %d completed, %d failed, %d skipped; statistics cover completed trials only",
+		completed, failed, skipped)
 }
 
 // CSV writes the table as RFC-4180-ish CSV (quoting cells that need it).

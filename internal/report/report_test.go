@@ -105,3 +105,45 @@ func TestFloat32Formatting(t *testing.T) {
 		t.Error("float32 must format with 3 decimals")
 	}
 }
+
+func TestNotesRenderedAfterTitleNotInCSV(t *testing.T) {
+	tb := NewTable("Title", "a")
+	tb.AddNote("interrupted: partial results")
+	tb.AddRow(1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, note, header, sep, row
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[1] != "note: interrupted: partial results" {
+		t.Errorf("note line wrong: %q", lines[1])
+	}
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "interrupted") {
+		t.Error("notes must not leak into CSV output")
+	}
+}
+
+func TestCampaignBreakdown(t *testing.T) {
+	tb := CampaignBreakdown(50, 2, 8,
+		map[string]int{"panic": 1, "timeout": 1},
+		[]string{"trial 7 failed (panic, 2 attempts): boom"})
+	out := tb.String()
+	for _, want := range []string{"completed", "failed: panic", "failed: timeout",
+		"partial result: 50 completed, 2 failed, 8 skipped", "trial 7 failed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+	// A complete campaign gets no partial note.
+	clean := CampaignBreakdown(60, 0, 0, nil, nil)
+	if strings.Contains(clean.String(), "partial result") {
+		t.Error("complete campaign must not be annotated as partial")
+	}
+	if len(clean.Rows) != 3 {
+		t.Errorf("clean breakdown rows = %d, want 3", len(clean.Rows))
+	}
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Campaign resilience smoke test: run a small ft2bench experiment, SIGINT it
+# mid-campaign, resume from the journal, and verify the resumed run's final
+# table is bit-identical to an uninterrupted run. Exercises the signal
+# handling, journal flush/replay, and partial-table paths end to end.
+#
+# Usage: scripts/campaign_smoke.sh [exp] [trials]
+set -euo pipefail
+
+EXP="${1:-fig2}"
+TRIALS="${2:-60}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cd "$(dirname "$0")/.."
+go build -o "$WORK/ft2bench" ./cmd/ft2bench
+
+common=(-exp "$EXP" -quick -trials "$TRIALS")
+
+echo "== reference: uninterrupted run"
+"$WORK/ft2bench" "${common[@]}" -out "$WORK/ref" >/dev/null
+
+echo "== interrupted run: SIGINT mid-campaign"
+set +e
+"$WORK/ft2bench" "${common[@]}" -journal "$WORK/j.jsonl" -out "$WORK/int" \
+    >"$WORK/int.log" 2>&1 &
+pid=$!
+sleep 2
+kill -INT "$pid" 2>/dev/null
+wait "$pid"
+status=$?
+set -e
+
+if [ "$status" -eq 130 ]; then
+    [ -s "$WORK/j.jsonl" ] || { echo "FAIL: journal empty after interrupt"; exit 1; }
+    echo "   interrupted with $(wc -l <"$WORK/j.jsonl") journal lines"
+    grep -q "interrupted" "$WORK/int.log" || {
+        echo "FAIL: no interruption notice printed"; cat "$WORK/int.log"; exit 1; }
+elif [ "$status" -eq 0 ]; then
+    echo "   run finished before the signal landed; resume will be a pure replay"
+else
+    echo "FAIL: interrupted run exited $status (want 130 or 0)"
+    cat "$WORK/int.log"
+    exit 1
+fi
+
+echo "== resumed run: replay journal, execute only missing trials"
+"$WORK/ft2bench" "${common[@]}" -journal "$WORK/j.jsonl" -resume -out "$WORK/res" >/dev/null
+
+echo "== diff resumed table vs uninterrupted reference"
+diff -u "$WORK/ref/$EXP.csv" "$WORK/res/$EXP.csv" || {
+    echo "FAIL: resumed table differs from uninterrupted run"; exit 1; }
+
+echo "PASS: resumed campaign is bit-identical to the uninterrupted run"
