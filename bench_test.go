@@ -91,6 +91,45 @@ func BenchmarkGenerateUnprotected(b *testing.B) {
 	b.ReportMetric(float64(b.N*ds.GenTokens)/b.Elapsed().Seconds(), "tokens/s")
 }
 
+// BenchmarkCampaignTrial measures end-to-end campaign throughput with
+// golden-checkpoint forking on (the default) and off, on the llama2 family
+// at the paper's 60-token generation length. The trials/s ratio between the
+// two sub-benchmarks is the forking speedup reported in BENCH_decode.json.
+func BenchmarkCampaignTrial(b *testing.B) {
+	cfg, err := ft2.ModelByName("llama2-7b-sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := ft2.LoadDataset("squad-sim", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name   string
+		noFork bool
+	}{{"fork", false}, {"no-fork", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			spec := ft2.CampaignSpec{
+				ModelCfg: cfg, ModelSeed: 42, DType: ft2.FP16,
+				Fault: ft2.ExponentBit, Method: ft2.MethodFT2,
+				FT2Opts: ft2.DefaultOptions(), Dataset: ds,
+				Trials: 24, BaseSeed: 7, NoFork: bc.noFork,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ft2.RunCampaign(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != spec.Trials {
+					b.Fatalf("completed %d/%d trials", res.Completed, spec.Trials)
+				}
+			}
+			b.ReportMetric(float64(b.N*spec.Trials)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
 func BenchmarkGenerateFT2(b *testing.B) {
 	cfg, err := ft2.ModelByName("llama2-7b-sim")
 	if err != nil {

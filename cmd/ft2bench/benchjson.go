@@ -28,13 +28,18 @@ type benchModelResult struct {
 }
 
 // benchCampaignResult is the end-to-end fault-injection throughput of the
-// campaign engine (sampling, injection, generation, classification).
+// campaign engine (sampling, injection, generation, classification), with
+// golden-checkpoint forking on or off. SpeedupVsNoFork is set on the forked
+// entry once its no-fork twin has been measured.
 type benchCampaignResult struct {
-	Model        string  `json:"model"`
-	Method       string  `json:"method"`
-	Trials       int     `json:"trials"`
-	Seconds      float64 `json:"seconds"`
-	TrialsPerSec float64 `json:"trials_per_sec"`
+	Model           string  `json:"model"`
+	Method          string  `json:"method"`
+	Window          string  `json:"window"`
+	Fork            bool    `json:"fork"`
+	Trials          int     `json:"trials"`
+	Seconds         float64 `json:"seconds"`
+	TrialsPerSec    float64 `json:"trials_per_sec"`
+	SpeedupVsNoFork float64 `json:"speedup_vs_no_fork,omitempty"`
 }
 
 type benchReport struct {
@@ -54,11 +59,16 @@ func runBenchJSON(path string, seed int64) error {
 	prompt := ds.Inputs[0].Prompt
 	rep := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
-	measure := func(name string, gen func(prompt []int, n int) []int) benchModelResult {
+	// The generators take a reused destination buffer (GenerateInto), so the
+	// steady-state decode is measured allocation-free; one warm-up call
+	// outside the timer pays for scratch arenas and KV slabs.
+	buf := make([]int, 0, ds.GenTokens)
+	measure := func(name string, gen func(dst []int, prompt []int, n int) []int) benchModelResult {
+		gen(buf, prompt, ds.GenTokens)
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				gen(prompt, ds.GenTokens)
+				gen(buf, prompt, ds.GenTokens)
 			}
 		})
 		perOp := float64(res.NsPerOp())
@@ -81,7 +91,7 @@ func runBenchJSON(path string, seed int64) error {
 		if err != nil {
 			return err
 		}
-		rep.Models = append(rep.Models, measure(name, m.Generate))
+		rep.Models = append(rep.Models, measure(name, m.GenerateInto))
 	}
 
 	// FT2-protected decode on the llama config: the overhead the paper's
@@ -95,25 +105,34 @@ func runBenchJSON(path string, seed int64) error {
 		return err
 	}
 	f := core.Attach(m, core.Defaults())
-	rep.FT2 = measure("llama2-7b-sim", f.Generate)
+	rep.FT2 = measure("llama2-7b-sim", f.GenerateInto)
 	f.Detach()
 
+	// Campaign throughput, WindowAll, golden-checkpoint forking on (the
+	// default) vs off; the forked entry records its speedup over the twin.
 	for _, method := range []arch.Method{arch.MethodNone, arch.MethodFT2} {
-		spec := campaign.Spec{
-			ModelCfg: cfg, ModelSeed: seed, DType: numerics.FP16,
-			Fault: numerics.ExponentBit, Method: method,
-			FT2Opts: core.Defaults(), Dataset: ds,
-			Trials: 48, BaseSeed: seed + 1000,
+		var perFork [2]benchCampaignResult // [forked, no-fork]
+		for i, noFork := range []bool{false, true} {
+			spec := campaign.Spec{
+				ModelCfg: cfg, ModelSeed: seed, DType: numerics.FP16,
+				Fault: numerics.ExponentBit, Method: method,
+				FT2Opts: core.Defaults(), Dataset: ds,
+				Trials: 96, BaseSeed: seed + 1000,
+				NoFork: noFork,
+			}
+			start := time.Now()
+			if _, err := campaign.Run(spec); err != nil {
+				return err
+			}
+			secs := time.Since(start).Seconds()
+			perFork[i] = benchCampaignResult{
+				Model: cfg.Name, Method: method.String(), Window: campaign.WindowAll.String(),
+				Fork: !noFork, Trials: spec.Trials,
+				Seconds: secs, TrialsPerSec: float64(spec.Trials) / secs,
+			}
 		}
-		start := time.Now()
-		if _, err := campaign.Run(spec); err != nil {
-			return err
-		}
-		secs := time.Since(start).Seconds()
-		rep.Campaigns = append(rep.Campaigns, benchCampaignResult{
-			Model: cfg.Name, Method: method.String(), Trials: spec.Trials,
-			Seconds: secs, TrialsPerSec: float64(spec.Trials) / secs,
-		})
+		perFork[0].SpeedupVsNoFork = perFork[0].TrialsPerSec / perFork[1].TrialsPerSec
+		rep.Campaigns = append(rep.Campaigns, perFork[0], perFork[1])
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -46,6 +46,8 @@ func main() {
 	trialTimeout := flag.Duration("trial-timeout", 0, "abort a trial with no token progress for this long (0 = no watchdog)")
 	journalPath := flag.String("journal", "", "checkpoint classified trials to this JSONL journal")
 	resume := flag.Bool("resume", false, "replay the journal and run only the missing trials (requires -journal)")
+	noFork := flag.Bool("no-fork", false, "disable golden-checkpoint forking: re-run every trial's fault-free prefix from scratch (bit-identical, slower)")
+	ckptStride := flag.Int("checkpoint-stride", 0, "decode steps between golden checkpoints (0 = per-cell ceil(sqrt(GenTokens)) default)")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -86,6 +88,8 @@ func main() {
 	}
 	p.Seed = *seed
 	p.TrialTimeout = *trialTimeout
+	p.NoFork = *noFork
+	p.CheckpointStride = *ckptStride
 
 	// SIGINT/SIGTERM cancel the run context: in-flight campaigns stop at
 	// the next trial boundary (or mid-inference via the watchdog hook),

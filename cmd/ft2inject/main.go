@@ -45,6 +45,8 @@ func main() {
 	trialTimeout := flag.Duration("trial-timeout", 0, "abort a trial with no token progress for this long (0 = no watchdog)")
 	journalPath := flag.String("journal", "", "checkpoint classified trials to this JSONL journal")
 	resume := flag.Bool("resume", false, "replay the journal and run only the missing trials (requires -journal)")
+	noFork := flag.Bool("no-fork", false, "disable golden-checkpoint forking: re-run every trial's fault-free prefix from scratch (bit-identical, slower)")
+	ckptStride := flag.Int("checkpoint-stride", 0, "decode steps between golden checkpoints (0 = ceil(sqrt(GenTokens)) default)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -81,6 +83,7 @@ func main() {
 		Fault: fm, Method: method, FT2Opts: core.Defaults(),
 		Dataset: ds, Trials: *trials, BaseSeed: *seed + 1000,
 		TrialTimeout: *trialTimeout,
+		NoFork:       *noFork, CheckpointStride: *ckptStride,
 	}
 	switch *window {
 	case "first-token":

@@ -99,6 +99,19 @@ type Spec struct {
 	// Workers caps the pool size (default GOMAXPROCS).
 	Workers int
 
+	// NoFork disables golden-checkpoint forking: every trial re-executes
+	// its full prefill + decode from scratch. Forked and unforked campaigns
+	// are bit-identical (greedy decode over the deterministic engine), so
+	// this is purely an escape hatch / baseline for benchmarks; it is
+	// excluded from the journal fingerprint and -resume interoperates
+	// across forked and unforked runs.
+	NoFork bool
+	// CheckpointStride is the decode-step distance between recorded golden
+	// checkpoints (see fork.go); 0 derives ⌈√GenTokens⌉. The stride bounds
+	// checkpoint memory at ⌈(GenTokens−1)/stride⌉ × Blocks × 2 × rows ×
+	// Hidden floats per input.
+	CheckpointStride int
+
 	// TrialTimeout is the per-trial watchdog budget: a trial is aborted and
 	// classified TrialTimeout when the inference makes no token progress
 	// (prefill counts as the first token) for this long. 0 disables the
@@ -299,6 +312,15 @@ func RunContext(ctx context.Context, spec Spec) (Result, error) {
 		return res, err
 	}
 
+	// Golden checkpoints of the fault-free *protected* runs, shared
+	// read-only: decode-window trials restore the nearest checkpoint below
+	// their injection step instead of re-executing the whole prefix.
+	forks, err := buildForkStore(ctx, spec)
+	if err != nil {
+		res.Skipped = spec.Trials - res.Completed
+		return res, err
+	}
+
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -319,7 +341,7 @@ func RunContext(ctx context.Context, spec Spec) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runWorker(ctx, spec, golden, trialIdx, results)
+			runWorker(ctx, spec, golden, forks, trialIdx, results)
 		}()
 	}
 	go func() {
@@ -421,7 +443,7 @@ func goldenOutputs(ctx context.Context, spec Spec) ([][]int, error) {
 // classified failures, and a replica poisoned by a panic is replaced
 // before the next attempt. The worker stops early only on context
 // cancellation — unreached trials are counted as Skipped by the caller.
-func runWorker(ctx context.Context, spec Spec, golden [][]int, trialIdx <-chan int, results chan<- trialResult) {
+func runWorker(ctx context.Context, spec Spec, golden [][]int, forks *forkStore, trialIdx <-chan int, results chan<- trialResult) {
 	var r *trialRunner
 	budget := spec.retryBudget()
 	for idx := range trialIdx {
@@ -431,7 +453,7 @@ func runWorker(ctx context.Context, spec Spec, golden [][]int, trialIdx <-chan i
 		var terr *TrialError
 		for attempt := 0; attempt <= budget; attempt++ {
 			if r == nil || r.dirty {
-				nr, err := newTrialRunner(spec, golden)
+				nr, err := newTrialRunner(spec, golden, forks)
 				if err != nil {
 					r = nil
 					terr = &TrialError{Trial: idx, Kind: TrialModelError, Attempts: attempt + 1, Err: err}
@@ -505,6 +527,7 @@ func (w *watchdog) hook(hc model.HookCtx, _ *tensor.Tensor) {
 type trialRunner struct {
 	spec   Spec
 	golden [][]int
+	forks  *forkStore // nil when forking is disabled
 	m      *model.Model
 	rng    *rand.Rand
 	weight float64             // prefill weight, resolved once
@@ -512,12 +535,14 @@ type trialRunner struct {
 	inj    fault.Injector
 	dmr    *protect.DMR       // non-nil iff spec.UseDMR
 	prot   *protect.Protector // non-nil for bounds-based methods
+	ft2    *core.FT2          // non-nil iff spec.Method is MethodFT2
+	outBuf []int              // reused per-trial output buffer, cap GenTokens
 	// dirty marks the replica as possibly poisoned (a panic escaped a
 	// trial); the worker replaces the runner before reusing it.
 	dirty bool
 }
 
-func newTrialRunner(spec Spec, golden [][]int) (*trialRunner, error) {
+func newTrialRunner(spec Spec, golden [][]int, forks *forkStore) (*trialRunner, error) {
 	m, err := model.New(spec.ModelCfg, spec.ModelSeed, spec.DType)
 	if err != nil {
 		return nil, err
@@ -525,10 +550,12 @@ func newTrialRunner(spec Spec, golden [][]int) (*trialRunner, error) {
 	r := &trialRunner{
 		spec:   spec,
 		golden: golden,
+		forks:  forks,
 		m:      m,
 		rng:    rand.New(rand.NewSource(1)),
 		weight: spec.prefillWeight(),
 		plans:  make(map[int]*fault.Plan),
+		outBuf: make([]int, 0, spec.Dataset.GenTokens),
 	}
 	if spec.UseDMR {
 		r.dmr = protect.NewDMR(m)
@@ -541,7 +568,9 @@ func newTrialRunner(spec Spec, golden [][]int) (*trialRunner, error) {
 		}
 	} else {
 		switch spec.Method {
-		case arch.MethodNone, arch.MethodFT2:
+		case arch.MethodNone:
+		case arch.MethodFT2:
+			r.ft2 = core.New(m, spec.FT2Opts)
 		default:
 			r.prot = protect.ForMethod(spec.Method, spec.ModelCfg.Family, spec.OfflineBounds)
 		}
@@ -571,7 +600,6 @@ func (r *trialRunner) runGuarded(ctx context.Context, idx int) (o trialOutcome, 
 
 func (r *trialRunner) run(ctx context.Context, idx int) (trialOutcome, *TrialError) {
 	spec := r.spec
-	m := r.m
 	input := spec.Dataset.Inputs[idx%len(spec.Dataset.Inputs)]
 	r.rng.Seed(spec.BaseSeed + int64(idx)*0x9E3779B9 + 1)
 
@@ -589,7 +617,26 @@ func (r *trialRunner) run(ctx context.Context, idx int) (trialOutcome, *TrialErr
 	default:
 		site = plan.Sample(r.rng)
 	}
+	return r.runWithSite(ctx, idx, site)
+}
+
+// runWithSite executes one trial at a pre-sampled fault site. When the site
+// lands in the decode window and golden checkpoints exist, the trial forks:
+// it restores the nearest checkpoint at or below the injection step and
+// decodes only the suffix; otherwise it runs the full prefill + decode.
+// Greedy decode over the deterministic engine makes the two paths
+// bit-identical — same tokens, same hook sequence from the restored step
+// on, same correction counters, same SDC classification.
+func (r *trialRunner) runWithSite(ctx context.Context, idx int, site fault.Site) (trialOutcome, *TrialError) {
+	spec, m := r.spec, r.m
+	inputIdx := idx % len(spec.Dataset.Inputs)
+	input := spec.Dataset.Inputs[inputIdx]
 	r.inj = fault.Injector{Site: site, DType: spec.DType}
+
+	var cp *forkPoint
+	if r.forks != nil && site.Step >= 1 {
+		cp = r.forks.nearest(inputIdx, site.Step)
+	}
 
 	// Hook order matters: the injector corrupts the layer output first, the
 	// protection then gets its chance to detect/correct; the watchdog runs
@@ -602,34 +649,61 @@ func (r *trialRunner) run(ctx context.Context, idx int) (trialOutcome, *TrialErr
 			m.RegisterHook(h)
 		}
 	}
-
-	var out []int
-	var corr protect.CorrectionStats
-	generate := func() []int {
+	armWatchdog := func() {
 		if spec.TrialTimeout > 0 || ctx.Done() != nil {
 			m.RegisterHook(newWatchdog(ctx, spec.TrialTimeout).hook)
 		}
-		return m.Generate(input.Prompt, spec.Dataset.GenTokens)
 	}
+
+	var out []int
+	if cp != nil {
+		// Forked trial: protection counters resume from their values at the
+		// checkpoint, the token prefix comes from the recorded fault-free
+		// protected generation, and only steps NextStep.. are re-executed.
+		fi := &r.forks.inputs[inputIdx]
+		switch {
+		case r.dmr != nil:
+			r.dmr.Detected = cp.corr.OutOfBound
+			m.RegisterHook(r.dmr.Hook())
+		case r.prot != nil:
+			r.prot.Stats = cp.corr
+			m.RegisterHook(r.prot.Hook())
+		case r.ft2 != nil:
+			r.ft2.ResumeFork(core.ForkState{Bounds: fi.ftBounds, FirstTokenNaN: cp.ftNaN, Stats: cp.corr})
+			r.ft2.Install()
+		}
+		armWatchdog()
+		out = append(r.outBuf[:0], fi.out[:cp.snap.NextStep()]...)
+		tok := m.Restore(&cp.snap)
+		for s := cp.snap.NextStep(); s < spec.Dataset.GenTokens; s++ {
+			tok = m.DecodeStep(tok)
+			out = append(out, tok)
+		}
+	} else {
+		switch {
+		case r.dmr != nil:
+			r.dmr.Detected = 0
+			m.RegisterHook(r.dmr.Hook())
+		case r.prot != nil:
+			r.prot.Stats = protect.CorrectionStats{}
+			m.RegisterHook(r.prot.Hook())
+		case r.ft2 != nil:
+			r.ft2.Reset()
+			r.ft2.Install()
+		}
+		armWatchdog()
+		out = m.GenerateInto(r.outBuf, input.Prompt, spec.Dataset.GenTokens)
+	}
+
+	var corr protect.CorrectionStats
 	switch {
 	case r.dmr != nil:
-		r.dmr.Detected = 0
-		m.RegisterHook(r.dmr.Hook())
-		out = generate()
 		corr.OutOfBound = r.dmr.Detected
 	case r.prot != nil:
-		r.prot.Stats = protect.CorrectionStats{}
-		m.RegisterHook(r.prot.Hook())
-		out = generate()
 		corr = r.prot.Stats
-	case spec.Method == arch.MethodFT2:
-		f := core.Attach(m, spec.FT2Opts)
-		out = generate()
-		corr = f.Stats()
-		corr.NaN += f.FirstTokenNaNCount()
-		f.Detach()
-	default: // arch.MethodNone
-		out = generate()
+	case r.ft2 != nil:
+		corr = r.ft2.Stats()
+		corr.NaN += r.ft2.FirstTokenNaNCount()
 	}
 
 	if !r.inj.Fired {

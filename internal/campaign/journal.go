@@ -18,7 +18,9 @@ import (
 // outcomes (per-trial seeding makes outcomes order- and worker-count-
 // independent), so a journal entry keyed by (fingerprint, trial index) can
 // be replayed safely. Execution knobs that cannot change an outcome —
-// Workers, TrialTimeout, TrialRetries, Journal, TrialHook — are excluded.
+// Workers, TrialTimeout, TrialRetries, Journal, TrialHook, NoFork,
+// CheckpointStride (forked and unforked trials are bit-identical) — are
+// excluded.
 func (s Spec) Fingerprint() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "model=%s mseed=%d dtype=%v fault=%v method=%v window=%v trials=%d base=%d dmr=%v gpu=%s pw=%g",

@@ -216,7 +216,7 @@ func TestChaosPanicLeavesNoHooks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := newTrialRunner(spec, golden)
+	r, err := newTrialRunner(spec, golden, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

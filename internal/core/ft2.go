@@ -49,17 +49,24 @@ func Defaults() Options {
 // FT2 is an online protector attached to a model. Use Generate (not the
 // model's) so per-inference bounds reset correctly.
 type FT2 struct {
-	m      *model.Model
-	opts   Options
-	prof   *protect.FirstTokenProfiler
+	m    *model.Model
+	opts Options
+	prof *protect.FirstTokenProfiler
+	// bounds is the store the protection hook consults. It normally points
+	// at the profiler's own store (written during the first token, read
+	// afterwards); a forked continuation swaps in a shared read-only store
+	// captured from an earlier run's prefill — decode steps never write it.
+	bounds *protect.Store
 	stats  protect.CorrectionStats
 	handle model.HookHandle
 	cover  map[arch.CoveragePoint]bool
 }
 
-// Attach registers FT2's forward hook on the model and returns the
-// controller. Call Detach to remove it.
-func Attach(m *model.Model, opts Options) *FT2 {
+// New builds an FT2 controller for the model without registering its hook;
+// callers that interleave FT2 with other hooks (the campaign runner puts
+// the fault injector first) register it with Install. The controller is
+// reusable across inferences — Reset or ResumeFork rearm it.
+func New(m *model.Model, opts Options) *FT2 {
 	if opts.ScaleFactor < 1 {
 		panic(fmt.Sprintf("core: scale factor %g < 1 would tighten bounds", opts.ScaleFactor))
 	}
@@ -69,18 +76,70 @@ func Attach(m *model.Model, opts Options) *FT2 {
 		prof:  protect.NewFirstTokenProfiler(),
 		cover: arch.Coverage(arch.MethodFT2, m.Cfg.Family),
 	}
+	f.bounds = f.prof.Store
 	if opts.ProtectAllLayers {
 		f.cover = make(map[arch.CoveragePoint]bool)
 		for _, k := range m.Cfg.Family.LayerKinds() {
 			f.cover[arch.CoveragePoint{Kind: k, Site: model.SiteLinearOut}] = true
 		}
 	}
-	f.handle = m.RegisterHook(f.hook)
 	return f
 }
 
+// Attach is New followed by Install: it registers FT2's forward hook on the
+// model and returns the controller. Call Detach to remove it.
+func Attach(m *model.Model, opts Options) *FT2 {
+	f := New(m, opts)
+	f.Install()
+	return f
+}
+
+// Install registers FT2's forward hook on the model (after any hooks the
+// caller registered first).
+func (f *FT2) Install() { f.handle = f.m.RegisterHook(f.hook) }
+
 // Detach removes FT2's hook from the model.
 func (f *FT2) Detach() { f.m.RemoveHook(f.handle) }
+
+// Reset rearms the controller for a fresh full inference: per-inference
+// bounds and correction counters clear, and the hook profiles the next
+// first token into the controller's own store again.
+func (f *FT2) Reset() {
+	f.prof.Reset()
+	f.bounds = f.prof.Store
+	f.stats = protect.CorrectionStats{}
+}
+
+// ForkState is the protection-side state FT2 carries across decode steps,
+// captured so a forked continuation reproduces a full run bit-for-bit:
+// the bounds recorded from the inference's prefill, the first-token NaN
+// correction count, and the following-token correction counters accumulated
+// so far.
+type ForkState struct {
+	Bounds        *protect.Store
+	FirstTokenNaN int
+	Stats         protect.CorrectionStats
+}
+
+// CaptureForkState snapshots the controller's state (the bounds are deep
+// copied, so the capture stays valid across later Resets).
+func (f *FT2) CaptureForkState() ForkState {
+	return ForkState{
+		Bounds:        f.bounds.Clone(),
+		FirstTokenNaN: f.prof.NaNCorrected,
+		Stats:         f.stats,
+	}
+}
+
+// ResumeFork installs a captured state for a forked continuation that
+// starts at a decode step ≥ 1. The hook then reads st.Bounds without ever
+// writing it (only the first-token pass writes bounds), so one captured
+// state may back many concurrent forks.
+func (f *FT2) ResumeFork(st ForkState) {
+	f.bounds = st.Bounds
+	f.prof.NaNCorrected = st.FirstTokenNaN
+	f.stats = st.Stats
+}
 
 // Stats returns the corrections applied since attach (following tokens
 // only; first-token NaN corrections are reported by FirstTokenNaNCount).
@@ -90,9 +149,10 @@ func (f *FT2) Stats() protect.CorrectionStats { return f.stats }
 // first-token pass.
 func (f *FT2) FirstTokenNaNCount() int { return f.prof.NaNCorrected }
 
-// Bounds exposes the raw (unscaled) bounds captured from the last
-// inference's first token.
-func (f *FT2) Bounds() *protect.Store { return f.prof.Store }
+// Bounds exposes the raw (unscaled) bounds the hook currently consults:
+// those captured from the last inference's first token, or the fork-state
+// bounds after ResumeFork.
+func (f *FT2) Bounds() *protect.Store { return f.bounds }
 
 // ProtectedSiteCount returns how many concrete layer instances FT2 protects
 // on this model.
@@ -111,8 +171,16 @@ func (f *FT2) ProtectedSiteCount() int {
 // Generate runs a protected inference: bounds reset, first token profiled,
 // following tokens range-restricted.
 func (f *FT2) Generate(prompt []int, n int) []int {
-	f.prof.Reset()
+	f.Reset()
 	return f.m.Generate(prompt, n)
+}
+
+// GenerateInto is Generate writing the decoded tokens into dst[:0]; with a
+// reused dst the protected steady-state generation is allocation-free (the
+// bounds store clears in place, see protect.Store.Reset).
+func (f *FT2) GenerateInto(dst []int, prompt []int, n int) []int {
+	f.Reset()
+	return f.m.GenerateInto(dst, prompt, n)
 }
 
 func (f *FT2) hook(ctx model.HookCtx, out *tensor.Tensor) {
@@ -124,10 +192,10 @@ func (f *FT2) hook(ctx model.HookCtx, out *tensor.Tensor) {
 		if f.opts.FirstTokenNaNCorrection {
 			f.prof.NaNCorrected += protect.CorrectNaNOnly(out.Data)
 		}
-		f.prof.Store.Observe(key, out)
+		f.bounds.Observe(key, out)
 		return
 	}
-	b, ok := f.prof.Store.Get(key)
+	b, ok := f.bounds.Get(key)
 	if !ok {
 		// No bounds captured (should not happen in a Generate-driven run);
 		// fall back to NaN-only correction.

@@ -43,6 +43,12 @@ type Params struct {
 	// cells are distinguished by their spec fingerprints, so one journal
 	// backs a whole experiment run.
 	Journal *campaign.Journal
+	// NoFork disables golden-checkpoint forking in every campaign cell
+	// (results are bit-identical either way; see campaign.Spec.NoFork).
+	NoFork bool
+	// CheckpointStride overrides the golden-checkpoint stride (0 = the
+	// per-cell ⌈√GenTokens⌉ default; see campaign.Spec.CheckpointStride).
+	CheckpointStride int
 }
 
 // partialOnCancel lets a driver hand back the table rows it finished before

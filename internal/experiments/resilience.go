@@ -44,6 +44,9 @@ func cell(ctx context.Context, p Params, modelName, dsName string, fm numerics.F
 		TrialTimeout: p.TrialTimeout,
 		TrialRetries: p.TrialRetries,
 		Journal:      p.Journal,
+
+		NoFork:           p.NoFork,
+		CheckpointStride: p.CheckpointStride,
 	}
 	if needsBounds(spec) {
 		m, err := model.New(cfg, p.Seed, spec.DType)

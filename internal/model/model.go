@@ -54,8 +54,10 @@ type Model struct {
 	nextHookID int
 
 	// generation state
-	step int
-	kv   []kvCache
+	step      int
+	promptLen int
+	lastTok   int
+	kv        []kvCache
 
 	// rope caches the rotary sin/cos factors for non-OPT families.
 	rope *tensor.RopeTable
@@ -547,38 +549,74 @@ func (m *Model) resetState() {
 	m.step = 0
 }
 
-// Generate greedily decodes n tokens after the prompt, invoking forward
-// hooks at every linear layer. The prompt itself is processed in a single
-// prefill pass (the paper's "first token generation"); each following token
-// is a single-row pass against the KV cache.
-func (m *Model) Generate(prompt []int, n int) []int {
+// Prefill resets the generation state and processes the whole prompt in a
+// single pass (the paper's "first token generation"), returning the first
+// greedily decoded token. It is the resumable-generation counterpart of
+// Generate's opening pass: callers drive the following tokens one at a time
+// with DecodeStep and may snapshot the state between steps with Checkpoint.
+func (m *Model) Prefill(prompt []int) int {
 	if len(prompt) == 0 {
 		panic("model: empty prompt")
 	}
-	if len(prompt)+n > m.Cfg.MaxSeq {
-		panic(fmt.Sprintf("model: prompt %d + generate %d exceeds max seq %d", len(prompt), n, m.Cfg.MaxSeq))
+	if len(prompt) > m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("model: prompt %d exceeds max seq %d", len(prompt), m.Cfg.MaxSeq))
 	}
 	m.resetState()
-	out := make([]int, 0, n)
-
+	m.promptLen = len(prompt)
 	positions := m.scratch.positions[:len(prompt)]
 	for i := range positions {
 		positions[i] = i
 	}
-	logits := m.forward(prompt, positions)
-	tok := argmax(logits)
-	out = append(out, tok)
+	m.lastTok = argmax(m.forward(prompt, positions))
+	return m.lastTok
+}
 
-	sc := m.scratch
-	for s := 1; s < n; s++ {
-		m.step = s
-		sc.stepTok[0] = tok
-		sc.stepPos[0] = len(prompt) + s - 1
-		logits = m.forward(sc.stepTok[:], sc.stepPos[:])
-		tok = argmax(logits)
-		out = append(out, tok)
+// DecodeStep runs one decode step: it feeds tok (normally the token the
+// previous step returned) as the next sequence position against the KV
+// cache and returns the greedily decoded next token. The step counter the
+// hooks observe advances by one per call; the first call after Prefill is
+// step 1.
+func (m *Model) DecodeStep(tok int) int {
+	if m.promptLen == 0 {
+		panic("model: DecodeStep before Prefill or Restore")
 	}
-	return out
+	sc := m.scratch
+	m.step++
+	pos := m.promptLen + m.step - 1
+	if pos >= m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("model: decode position %d exceeds max seq %d", pos, m.Cfg.MaxSeq))
+	}
+	sc.stepTok[0] = tok
+	sc.stepPos[0] = pos
+	m.lastTok = argmax(m.forward(sc.stepTok[:], sc.stepPos[:]))
+	return m.lastTok
+}
+
+// Generate greedily decodes n tokens after the prompt, invoking forward
+// hooks at every linear layer. The prompt itself is processed in a single
+// prefill pass; each following token is a single-row pass against the KV
+// cache. The returned slice is freshly allocated; campaign hot paths use
+// GenerateInto instead.
+func (m *Model) Generate(prompt []int, n int) []int {
+	return m.GenerateInto(make([]int, 0, n), prompt, n)
+}
+
+// GenerateInto is Generate writing the decoded tokens into dst[:0] (grown if
+// its capacity is short). With a caller-reused dst of capacity ≥ n the
+// steady-state generation performs zero heap allocations; the returned slice
+// aliases dst and is valid until the caller's next GenerateInto with it.
+func (m *Model) GenerateInto(dst []int, prompt []int, n int) []int {
+	if len(prompt)+n > m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("model: prompt %d + generate %d exceeds max seq %d", len(prompt), n, m.Cfg.MaxSeq))
+	}
+	dst = dst[:0]
+	tok := m.Prefill(prompt)
+	dst = append(dst, tok)
+	for s := 1; s < n; s++ {
+		tok = m.DecodeStep(tok)
+		dst = append(dst, tok)
+	}
+	return dst
 }
 
 // StepRows returns the number of sequence rows processed at generation step

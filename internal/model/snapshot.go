@@ -1,0 +1,114 @@
+package model
+
+import "fmt"
+
+// Snapshot is a restorable copy of a model's mid-generation state: the
+// rows-prefix of every block's KV slabs (stored compactly, head-blocked at
+// the filled row count instead of MaxSeq), the step counter, and the
+// last-token state. A snapshot captured between two decode steps lets any
+// replica of the same (config, seed, dtype) model resume the generation at
+// exactly that point — the checkpoint/fork primitive the campaign engine
+// uses to skip the fault-free prefix of every trial.
+//
+// Snapshots are deep copies: they stay valid after the source model moves
+// on, and one snapshot can be restored concurrently into many worker
+// replicas (Restore only reads it).
+type Snapshot struct {
+	// identity of the capturing model, checked on Restore
+	blocks, hidden, maxSeq, headDim int
+
+	nextStep       int // the generation step the restored model executes next
+	lastTok        int // token to feed into that step
+	promptLen      int
+	rows           int // KV rows filled at capture (promptLen + nextStep - 1)
+	lastStreamNorm float32
+	k, v           [][]float32 // per block, rows×hidden, head-blocked at rows
+}
+
+// NextStep returns the generation step a restored model executes next; the
+// snapshot captures the state after steps 0..NextStep-1 completed.
+func (s *Snapshot) NextStep() int { return s.nextStep }
+
+// LastToken returns the token DecodeStep must be fed at NextStep (Restore
+// also returns it).
+func (s *Snapshot) LastToken() int { return s.lastTok }
+
+// Rows returns the number of KV rows the snapshot holds per block.
+func (s *Snapshot) Rows() int { return s.rows }
+
+// MemoryBytes returns the heap footprint of the snapshot's KV payload:
+// Blocks × 2 × rows × Hidden float32s. The bookkeeping fields are a few
+// dozen bytes on top.
+func (s *Snapshot) MemoryBytes() int {
+	return s.blocks * 2 * s.rows * s.hidden * 4
+}
+
+// Checkpoint copies the model's generation state into the snapshot,
+// reusing its buffers when they are large enough. It must be called between
+// steps — after Prefill or a DecodeStep returned and before the next
+// DecodeStep — and captures the state "before step NextStep".
+func (m *Model) Checkpoint(into *Snapshot) {
+	if m.kv == nil || m.promptLen == 0 {
+		panic("model: Checkpoint before Prefill")
+	}
+	cfg := m.Cfg
+	d := cfg.HeadDim()
+	rows := m.kv[0].rows
+	into.blocks, into.hidden, into.maxSeq, into.headDim = cfg.Blocks, cfg.Hidden, cfg.MaxSeq, d
+	into.nextStep = m.step + 1
+	into.lastTok = m.lastTok
+	into.promptLen = m.promptLen
+	into.rows = rows
+	into.lastStreamNorm = m.lastStreamNorm
+
+	if len(into.k) != cfg.Blocks {
+		into.k = make([][]float32, cfg.Blocks)
+		into.v = make([][]float32, cfg.Blocks)
+	}
+	span := rows * cfg.Hidden
+	for b := range m.kv {
+		if cap(into.k[b]) < span {
+			into.k[b] = make([]float32, span)
+			into.v[b] = make([]float32, span)
+		}
+		dk, dv := into.k[b][:span], into.v[b][:span]
+		into.k[b], into.v[b] = dk, dv
+		// Compact each head's contiguous run: slab offset h*MaxSeq*d,
+		// snapshot offset h*rows*d.
+		for h := 0; h < cfg.Heads; h++ {
+			copy(dk[h*rows*d:(h+1)*rows*d], m.kv[b].k[h*cfg.MaxSeq*d:])
+			copy(dv[h*rows*d:(h+1)*rows*d], m.kv[b].v[h*cfg.MaxSeq*d:])
+		}
+	}
+}
+
+// Restore loads the snapshot into the model — a handful of copies into the
+// preallocated KV slabs — and returns the token to feed the next DecodeStep.
+// The model must have the same architecture the snapshot was captured from;
+// registered hooks are left untouched. After Restore the model's state is
+// bit-identical to the capturing model's at Checkpoint time, so a greedy
+// decode from here reproduces the original continuation exactly.
+func (m *Model) Restore(s *Snapshot) int {
+	cfg := m.Cfg
+	if s.rows == 0 {
+		panic("model: Restore of an empty snapshot")
+	}
+	if s.blocks != cfg.Blocks || s.hidden != cfg.Hidden || s.maxSeq != cfg.MaxSeq || s.headDim != cfg.HeadDim() {
+		panic(fmt.Sprintf("model: snapshot of a %d×%d/%d-seq model restored into %s",
+			s.blocks, s.hidden, s.maxSeq, cfg.Name))
+	}
+	m.resetState()
+	m.step = s.nextStep - 1
+	m.lastTok = s.lastTok
+	m.promptLen = s.promptLen
+	m.lastStreamNorm = s.lastStreamNorm
+	d := s.headDim
+	for b := range m.kv {
+		for h := 0; h < cfg.Heads; h++ {
+			copy(m.kv[b].k[h*cfg.MaxSeq*d:], s.k[b][h*s.rows*d:(h+1)*s.rows*d])
+			copy(m.kv[b].v[h*cfg.MaxSeq*d:], s.v[b][h*s.rows*d:(h+1)*s.rows*d])
+		}
+		m.kv[b].rows = s.rows
+	}
+	return s.lastTok
+}

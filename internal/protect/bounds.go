@@ -139,11 +139,28 @@ func (s *Store) Len() int {
 	return len(s.m)
 }
 
-// Reset clears every recorded bound.
+// Reset clears every recorded bound. The map's buckets are kept, so a
+// per-inference Reset/Observe cycle over a stable site set (the FT2 hot
+// path) stops touching the allocator after the first inference.
 func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.m = make(map[SiteKey]Bounds)
+	if s.m == nil {
+		s.m = make(map[SiteKey]Bounds)
+		return
+	}
+	clear(s.m)
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := &Store{m: make(map[SiteKey]Bounds, len(s.m))}
+	for k, b := range s.m {
+		out.m[k] = b
+	}
+	return out
 }
 
 // Scaled returns a copy of the store with every bound scaled by factor.

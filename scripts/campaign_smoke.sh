@@ -4,6 +4,11 @@
 # table is bit-identical to an uninterrupted run. Exercises the signal
 # handling, journal flush/replay, and partial-table paths end to end.
 #
+# Also verifies golden-checkpoint forking: a full -no-fork run must be
+# bit-identical to the forked reference, and the resume leg crosses over
+# (interrupted forked run -> resumed with -no-fork), proving the journal
+# fingerprint interoperates across fork modes.
+#
 # Usage: scripts/campaign_smoke.sh [exp] [trials]
 set -euo pipefail
 
@@ -17,10 +22,15 @@ go build -o "$WORK/ft2bench" ./cmd/ft2bench
 
 common=(-exp "$EXP" -quick -trials "$TRIALS")
 
-echo "== reference: uninterrupted run"
+echo "== reference: uninterrupted run (forking on by default)"
 "$WORK/ft2bench" "${common[@]}" -out "$WORK/ref" >/dev/null
 
-echo "== interrupted run: SIGINT mid-campaign"
+echo "== no-fork run: every trial from scratch must be bit-identical"
+"$WORK/ft2bench" "${common[@]}" -no-fork -out "$WORK/nofork" >/dev/null
+diff -u "$WORK/ref/$EXP.csv" "$WORK/nofork/$EXP.csv" || {
+    echo "FAIL: -no-fork table differs from the forked run"; exit 1; }
+
+echo "== interrupted run: SIGINT mid-campaign (forked)"
 set +e
 "$WORK/ft2bench" "${common[@]}" -journal "$WORK/j.jsonl" -out "$WORK/int" \
     >"$WORK/int.log" 2>&1 &
@@ -44,11 +54,11 @@ else
     exit 1
 fi
 
-echo "== resumed run: replay journal, execute only missing trials"
-"$WORK/ft2bench" "${common[@]}" -journal "$WORK/j.jsonl" -resume -out "$WORK/res" >/dev/null
+echo "== resumed run: replay journal with -no-fork (fork -> no-fork crossover)"
+"$WORK/ft2bench" "${common[@]}" -no-fork -journal "$WORK/j.jsonl" -resume -out "$WORK/res" >/dev/null
 
 echo "== diff resumed table vs uninterrupted reference"
 diff -u "$WORK/ref/$EXP.csv" "$WORK/res/$EXP.csv" || {
     echo "FAIL: resumed table differs from uninterrupted run"; exit 1; }
 
-echo "PASS: resumed campaign is bit-identical to the uninterrupted run"
+echo "PASS: forked, no-fork, and fork->resume->no-fork campaigns are bit-identical"
