@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json smoke ci
+.PHONY: build test vet race bench bench-json smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The race detector pass covers the two packages with goroutine fan-out:
-# the tensor kernels' row-parallel paths and the campaign worker pool.
+# The race detector pass covers the packages with goroutine fan-out: the
+# tensor kernels' row-parallel paths, the campaign worker pool, and the
+# serving scheduler with its shared read-only bounds store.
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/campaign/...
+	$(GO) test -race ./internal/tensor/... ./internal/campaign/... ./internal/serve/...
 
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkGenerate(Unprotected|FT2)' -benchmem .
@@ -28,4 +29,9 @@ bench-json:
 smoke:
 	scripts/campaign_smoke.sh
 
-ci: vet build test race smoke
+# End-to-end serving check: selftest vs the oracle, concurrent HTTP traffic,
+# metrics assertions, and a graceful SIGTERM drain with a request in flight.
+serve-smoke:
+	scripts/serve_smoke.sh
+
+ci: vet build test race smoke serve-smoke

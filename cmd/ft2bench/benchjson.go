@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"ft2/internal/data"
 	"ft2/internal/model"
 	"ft2/internal/numerics"
+	"ft2/internal/serve"
 )
 
 // benchModelResult is one model's decode-throughput measurement: a full
@@ -42,11 +44,25 @@ type benchCampaignResult struct {
 	SpeedupVsNoFork float64 `json:"speedup_vs_no_fork,omitempty"`
 }
 
+// benchServeResult is the serving layer's aggregate throughput at one
+// concurrency level: protected generations through the continuous-batching
+// scheduler, verified bit-identical to the serial GenerateInto baseline it
+// is normalized against.
+type benchServeResult struct {
+	Clients            int     `json:"clients"`
+	Requests           int     `json:"requests"`
+	TokensPerSec       float64 `json:"tokens_per_sec"`
+	SerialTokensPerSec float64 `json:"serial_tokens_per_sec"`
+	SpeedupVsSerial    float64 `json:"speedup_vs_serial"`
+	OracleMatch        bool    `json:"oracle_match"`
+}
+
 type benchReport struct {
 	GOMAXPROCS int                   `json:"gomaxprocs"`
 	Models     []benchModelResult    `json:"models"`
 	FT2        benchModelResult      `json:"ft2_protected"`
 	Campaigns  []benchCampaignResult `json:"campaigns"`
+	Serve      []benchServeResult    `json:"serve"`
 }
 
 // runBenchJSON measures decode and campaign throughput and writes the
@@ -135,9 +151,108 @@ func runBenchJSON(path string, seed int64) error {
 		rep.Campaigns = append(rep.Campaigns, perFork[0], perFork[1])
 	}
 
+	// Serving throughput at increasing concurrency, against the serial
+	// baseline of the same requests run one-by-one through GenerateInto.
+	// Aggregate throughput scales with replica count, which defaults to
+	// GOMAXPROCS — on a single-core box the levels mostly measure the
+	// scheduler's multiplexing overhead.
+	serveRes, err := benchServe(seed)
+	if err != nil {
+		return err
+	}
+	rep.Serve = serveRes
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// benchServe measures the serving layer at 1, 4, and 16 concurrent clients
+// running protected generations, and verifies every served output against
+// the GenerateInto oracle.
+func benchServe(seed int64) ([]benchServeResult, error) {
+	const (
+		prompts       = 8
+		maxTokens     = 32
+		reqsPerClient = 6
+		serialRounds  = 3 // repeat the serial loop so both sides time ≥100s of ms
+	)
+	cfg := serve.Config{Model: "llama2-7b-sim", Seed: seed}
+	ds, err := data.ByName("squad-sim", prompts)
+	if err != nil {
+		return nil, err
+	}
+	promptFor := func(i int) []int { return ds.Inputs[i%prompts].Prompt }
+
+	probe, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := probe.Config()
+	probe.Shutdown(context.Background())
+
+	// Oracle outputs, and the serial baseline: the same prompt set generated
+	// one-by-one on a single prebuilt protected model, so the baseline times
+	// pure generation (weight init excluded) — the fair comparison for the
+	// scheduler's aggregate throughput.
+	oracle := make([][]int, prompts)
+	for i := 0; i < prompts; i++ {
+		toks, _, err := serve.Oracle(ecfg, promptFor(i), maxTokens, true)
+		if err != nil {
+			return nil, err
+		}
+		oracle[i] = toks
+	}
+	m, err := model.New(ecfg.ModelCfg, ecfg.Seed, ecfg.DType)
+	if err != nil {
+		return nil, err
+	}
+	f := core.Attach(m, ecfg.FT2Opts)
+	f.Generate(promptFor(0), maxTokens) // warm up scratch arenas
+	serialStart := time.Now()
+	serialTokens := 0
+	for r := 0; r < serialRounds; r++ {
+		for i := 0; i < prompts; i++ {
+			serialTokens += len(f.Generate(promptFor(i), maxTokens))
+		}
+	}
+	serialTPS := float64(serialTokens) / time.Since(serialStart).Seconds()
+	f.Detach()
+
+	var out []benchServeResult
+	for _, clients := range []int{1, 4, 16} {
+		srv, err := serve.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		st := srv.RunLoad(context.Background(), serve.LoadSpec{
+			Clients: clients, Requests: clients * reqsPerClient,
+			MaxTokens: maxTokens, Protected: true, PromptFor: promptFor,
+		})
+		srv.Shutdown(context.Background())
+		match := st.Failed == 0
+		for i, res := range st.Results {
+			want := oracle[i%prompts]
+			if len(res.Tokens) != len(want) {
+				match = false
+				break
+			}
+			for j := range want {
+				if res.Tokens[j] != want[j] {
+					match = false
+				}
+			}
+		}
+		out = append(out, benchServeResult{
+			Clients:            clients,
+			Requests:           st.Requests,
+			TokensPerSec:       st.TokensPerSec,
+			SerialTokensPerSec: serialTPS,
+			SpeedupVsSerial:    st.TokensPerSec / serialTPS,
+			OracleMatch:        match,
+		})
+	}
+	return out, nil
 }

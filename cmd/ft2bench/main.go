@@ -17,17 +17,13 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"syscall"
 	"time"
 
-	"ft2/internal/campaign"
+	"ft2/internal/cliutil"
 	"ft2/internal/experiments"
 	"ft2/internal/report"
 )
@@ -42,12 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "base seed")
 	quick := flag.Bool("quick", false, "use the quick (smoke-test) sizes")
 	benchJSON := flag.String("bench-json", "", "measure decode and campaign throughput, write the JSON report to this path, and exit")
-	timeout := flag.Duration("timeout", 0, "campaign-level deadline for the whole run (0 = none)")
-	trialTimeout := flag.Duration("trial-timeout", 0, "abort a trial with no token progress for this long (0 = no watchdog)")
-	journalPath := flag.String("journal", "", "checkpoint classified trials to this JSONL journal")
-	resume := flag.Bool("resume", false, "replay the journal and run only the missing trials (requires -journal)")
-	noFork := flag.Bool("no-fork", false, "disable golden-checkpoint forking: re-run every trial's fault-free prefix from scratch (bit-identical, slower)")
-	ckptStride := flag.Int("checkpoint-stride", 0, "decode steps between golden checkpoints (0 = per-cell ceil(sqrt(GenTokens)) default)")
+	cf := cliutil.RegisterCampaign(flag.CommandLine)
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -68,8 +59,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ft2bench: -exp required (or -list)")
 		os.Exit(2)
 	}
-	if *resume && *journalPath == "" {
-		fmt.Fprintln(os.Stderr, "ft2bench: -resume requires -journal")
+	if err := cf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ft2bench:", err)
 		os.Exit(2)
 	}
 
@@ -87,35 +78,23 @@ func main() {
 		p.ProfileInputs = *profile
 	}
 	p.Seed = *seed
-	p.TrialTimeout = *trialTimeout
-	p.NoFork = *noFork
-	p.CheckpointStride = *ckptStride
 
 	// SIGINT/SIGTERM cancel the run context: in-flight campaigns stop at
 	// the next trial boundary (or mid-inference via the watchdog hook),
 	// partial tables are printed, and the journal — flushed on every
 	// write — is closed cleanly. A second signal kills the process.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cf.Context()
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		stop()
-	}()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
-	if *journalPath != "" {
-		j, err := campaign.OpenJournal(*journalPath, *resume)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ft2bench:", err)
-			os.Exit(1)
-		}
-		defer j.Close()
-		p.Journal = j
+	j, err := cf.OpenJournal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ft2bench:", err)
+		os.Exit(1)
 	}
+	if j != nil {
+		defer j.Close()
+	}
+	cf.ApplyParams(&p, j)
 
 	var drivers []experiments.Driver
 	if *exp == "all" {
@@ -132,7 +111,7 @@ func main() {
 	for _, d := range drivers {
 		start := time.Now()
 		tb, err := d.Run(ctx, p)
-		interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		interrupted := cliutil.Interrupted(err)
 		if err != nil && !interrupted {
 			fmt.Fprintf(os.Stderr, "ft2bench: %s failed: %v\n", d.ID, err)
 			os.Exit(1)
@@ -161,13 +140,7 @@ func main() {
 			}
 		}
 		if interrupted {
-			if *journalPath != "" {
-				fmt.Fprintf(os.Stderr, "ft2bench: interrupted (%v); journal %s flushed — re-run with -resume to continue\n",
-					err, *journalPath)
-			} else {
-				fmt.Fprintf(os.Stderr, "ft2bench: interrupted (%v); no journal — re-run with -journal/-resume to checkpoint\n", err)
-			}
-			os.Exit(130)
+			os.Exit(cf.InterruptNotice("ft2bench", err))
 		}
 	}
 }

@@ -10,18 +10,15 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
-	"syscall"
 	"time"
 
 	"ft2/internal/arch"
 	"ft2/internal/campaign"
+	"ft2/internal/cliutil"
 	"ft2/internal/core"
 	"ft2/internal/data"
 	"ft2/internal/model"
@@ -41,20 +38,15 @@ func main() {
 	dtypeName := flag.String("dtype", "fp16", "activation dtype: fp16, fp32")
 	window := flag.String("window", "all", "injection window: all, first-token, following")
 	seed := flag.Int64("seed", 42, "base seed")
-	timeout := flag.Duration("timeout", 0, "campaign-level deadline (0 = none)")
-	trialTimeout := flag.Duration("trial-timeout", 0, "abort a trial with no token progress for this long (0 = no watchdog)")
-	journalPath := flag.String("journal", "", "checkpoint classified trials to this JSONL journal")
-	resume := flag.Bool("resume", false, "replay the journal and run only the missing trials (requires -journal)")
-	noFork := flag.Bool("no-fork", false, "disable golden-checkpoint forking: re-run every trial's fault-free prefix from scratch (bit-identical, slower)")
-	ckptStride := flag.Int("checkpoint-stride", 0, "decode steps between golden checkpoints (0 = ceil(sqrt(GenTokens)) default)")
+	cf := cliutil.RegisterCampaign(flag.CommandLine)
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "ft2inject:", err)
 		os.Exit(1)
 	}
-	if *resume && *journalPath == "" {
-		die(errors.New("-resume requires -journal"))
+	if err := cf.Validate(); err != nil {
+		die(err)
 	}
 
 	cfg, err := model.ConfigByName(*modelName)
@@ -82,8 +74,6 @@ func main() {
 		ModelCfg: cfg, ModelSeed: *seed, DType: dtype,
 		Fault: fm, Method: method, FT2Opts: core.Defaults(),
 		Dataset: ds, Trials: *trials, BaseSeed: *seed + 1000,
-		TrialTimeout: *trialTimeout,
-		NoFork:       *noFork, CheckpointStride: *ckptStride,
 	}
 	switch *window {
 	case "first-token":
@@ -103,29 +93,20 @@ func main() {
 		spec.OfflineBounds = protect.OfflineProfile(m, ds.ProfileSplit(*profileN).Prompts(), ds.GenTokens)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cf.Context()
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		stop() // a second signal force-kills the process
-	}()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	j, err := cf.OpenJournal()
+	if err != nil {
+		die(err)
 	}
-	if *journalPath != "" {
-		j, err := campaign.OpenJournal(*journalPath, *resume)
-		if err != nil {
-			die(err)
-		}
+	if j != nil {
 		defer j.Close()
-		spec.Journal = j
 	}
+	cf.ApplySpec(&spec, j)
 
 	start := time.Now()
 	res, err := campaign.RunContext(ctx, spec)
-	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	interrupted := cliutil.Interrupted(err)
 	if err != nil && !interrupted && res.Completed == 0 {
 		die(err)
 	}
@@ -152,13 +133,7 @@ func main() {
 		fmt.Println(report.CampaignBreakdown(res.Completed, res.Failed, res.Skipped, byKind, res.ErrorSummaries()).String())
 	}
 	if interrupted {
-		if *journalPath != "" {
-			fmt.Fprintf(os.Stderr, "ft2inject: interrupted (%v); journal %s flushed — re-run with -resume to continue\n",
-				err, *journalPath)
-		} else {
-			fmt.Fprintf(os.Stderr, "ft2inject: interrupted (%v); no journal — re-run with -journal/-resume to checkpoint\n", err)
-		}
-		os.Exit(130)
+		os.Exit(cf.InterruptNotice("ft2inject", err))
 	}
 	if err != nil {
 		die(err)

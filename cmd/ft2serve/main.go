@@ -1,0 +1,209 @@
+// Command ft2serve serves FT2-protected generation over HTTP with
+// continuous batching:
+//
+//	ft2serve -model llama2-7b-sim -addr 127.0.0.1:8080
+//	curl -s localhost:8080/v1/generate \
+//	    -d '{"text":"what city hosts the museum","max_tokens":32,"protected":true}'
+//
+// Endpoints: POST /v1/generate (single JSON or NDJSON streaming),
+// GET /v1/models, GET /healthz, GET /metrics. SIGINT/SIGTERM (or -timeout)
+// drain gracefully: admission stops — new requests get 503 — in-flight
+// generations finish within -grace, then the process exits 0.
+//
+//	ft2serve -selftest
+//
+// runs the serving stack against an in-process load generator at 1, 4 and
+// 16 concurrent clients and exits non-zero unless every served output —
+// protected and bare — is bit-identical to a direct GenerateInto oracle
+// run, correction counters included.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"ft2/internal/cliutil"
+	"ft2/internal/data"
+	"ft2/internal/numerics"
+	"ft2/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	modelName := flag.String("model", "llama2-7b-sim", "zoo model name to serve")
+	seed := flag.Int64("seed", 42, "weight seed shared by every replica")
+	dtypeName := flag.String("dtype", "fp16", "activation dtype: fp16, fp32")
+	replicas := flag.Int("replicas", 0, "model replicas (0 = GOMAXPROCS)")
+	maxSessions := flag.Int("max-sessions", 0, "concurrent sessions time-sliced over the replicas (0 = 4×replicas, min 16)")
+	queueDepth := flag.Int("queue", 0, "admission queue depth; a full queue answers 429 (0 = 64)")
+	sliceSteps := flag.Int("slice", 0, "decode steps per scheduling slice (0 = 8)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = 30s)")
+	grace := flag.Duration("grace", 30*time.Second, "drain grace period on shutdown before in-flight requests are failed")
+	throttle := flag.Duration("throttle", 0, "artificial pause before every decode step (demos/smoke tests)")
+	selftest := flag.Bool("selftest", false, "run the in-process load-generator self-test and exit")
+	base := cliutil.RegisterBase(flag.CommandLine)
+	flag.Parse()
+
+	dtype := numerics.FP16
+	if *dtypeName == "fp32" {
+		dtype = numerics.FP32
+	}
+	cfg := serve.Config{
+		Model:           *modelName,
+		Seed:            *seed,
+		DType:           dtype,
+		Replicas:        *replicas,
+		MaxSessions:     *maxSessions,
+		QueueDepth:      *queueDepth,
+		SliceSteps:      *sliceSteps,
+		DefaultDeadline: *deadline,
+		StepDelay:       *throttle,
+	}
+
+	ctx, stop := base.Context()
+	defer stop()
+
+	if *selftest {
+		os.Exit(runSelfTest(ctx, cfg))
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ft2serve:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ft2serve:", err)
+		os.Exit(1)
+	}
+	ecfg := srv.Config()
+	fmt.Printf("ft2serve: serving %s (%d replicas, %d sessions, queue %d) — listening on http://%s\n",
+		ecfg.Model, ecfg.Replicas, ecfg.MaxSessions, ecfg.QueueDepth, ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-httpErr:
+		fmt.Fprintln(os.Stderr, "ft2serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (new requests answer 503), let
+	// in-flight generations finish within the grace period, then close the
+	// HTTP side once every handler has responded.
+	fmt.Fprintln(os.Stderr, "ft2serve: draining...")
+	srv.BeginDrain()
+	gctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(gctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ft2serve: drain grace expired (%v); in-flight requests failed fast\n", err)
+	}
+	if err := hs.Shutdown(gctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "ft2serve:", err)
+	}
+	fmt.Fprintln(os.Stderr, "ft2serve: drained, exiting")
+}
+
+// runSelfTest serves an in-process load at increasing concurrency and
+// checks every response against the direct-generation oracle bit for bit.
+func runSelfTest(ctx context.Context, cfg serve.Config) int {
+	const (
+		prompts   = 8
+		maxTokens = 24
+	)
+	fail := func(format string, args ...interface{}) int {
+		fmt.Fprintf(os.Stderr, "ft2serve: selftest: "+format+"\n", args...)
+		return 1
+	}
+
+	ds, err := data.ByName("squad-sim", prompts)
+	if err != nil {
+		return fail("%v", err)
+	}
+	promptFor := func(i int) []int { return ds.Inputs[i%prompts].Prompt }
+
+	// One oracle per (prompt, protection): a fresh model driven end to end
+	// by GenerateInto — the ground truth the scheduler must reproduce no
+	// matter how it slices and migrates sessions.
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return fail("%v", err)
+	}
+	ecfg := srv.Config()
+	type oracle struct {
+		tokens []int
+		corr   serve.Corrections
+	}
+	oracles := make(map[bool][]oracle, 2)
+	for _, protected := range []bool{false, true} {
+		for i := 0; i < prompts; i++ {
+			toks, corr, err := serve.Oracle(ecfg, promptFor(i), maxTokens, protected)
+			if err != nil {
+				return fail("oracle: %v", err)
+			}
+			oracles[protected] = append(oracles[protected], oracle{toks, corr})
+		}
+	}
+	srv.Shutdown(ctx)
+
+	for _, clients := range []int{1, 4, 16} {
+		for _, protected := range []bool{true, false} {
+			srv, err := serve.New(cfg)
+			if err != nil {
+				return fail("%v", err)
+			}
+			st := srv.RunLoad(ctx, serve.LoadSpec{
+				Clients:   clients,
+				Requests:  2 * clients,
+				MaxTokens: maxTokens,
+				Protected: protected,
+				PromptFor: promptFor,
+			})
+			srv.Shutdown(context.Background())
+			if st.Failed > 0 {
+				for i, e := range st.Errs {
+					if e != nil {
+						return fail("clients=%d protected=%v request %d failed: %v", clients, protected, i, e)
+					}
+				}
+			}
+			for i, res := range st.Results {
+				want := oracles[protected][i%prompts]
+				if !equalInts(res.Tokens, want.tokens) {
+					return fail("clients=%d protected=%v request %d: served tokens %v != oracle %v",
+						clients, protected, i, res.Tokens, want.tokens)
+				}
+				if protected && res.Corrections.OutOfBound != want.corr.OutOfBound {
+					return fail("clients=%d request %d: served %d out-of-bound corrections != oracle %d",
+						clients, i, res.Corrections.OutOfBound, want.corr.OutOfBound)
+				}
+			}
+			fmt.Printf("ft2serve: selftest clients=%-2d protected=%-5v %3d requests ok, %.1f tok/s\n",
+				clients, protected, st.Requests, st.TokensPerSec)
+		}
+	}
+	fmt.Println("ft2serve: selftest passed — served outputs bit-identical to the GenerateInto oracle")
+	return 0
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -20,6 +20,7 @@ package ft2
 
 import (
 	"context"
+	"fmt"
 
 	"ft2/internal/arch"
 	"ft2/internal/campaign"
@@ -29,6 +30,7 @@ import (
 	"ft2/internal/model"
 	"ft2/internal/numerics"
 	"ft2/internal/protect"
+	"ft2/internal/serve"
 )
 
 // Re-exported core types.
@@ -66,6 +68,18 @@ type (
 	TrialErrorKind = campaign.TrialErrorKind
 	// Bounds is a protected activation range.
 	Bounds = protect.Bounds
+	// Snapshot is a compact KV-cache checkpoint of a resumable generation
+	// (see Model.Checkpoint / RestoreSnapshot).
+	Snapshot = model.Snapshot
+	// Server is the online protected-inference serving layer: a replica
+	// pool with a continuous-batching scheduler behind an HTTP handler.
+	Server = serve.Server
+	// ServeConfig assembles a Server (model, replicas, queue, deadlines).
+	ServeConfig = serve.Config
+	// ServeRequest is one generation request against a Server.
+	ServeRequest = serve.Request
+	// ServeResult is a finished request's tokens plus FT2 telemetry.
+	ServeResult = serve.Result
 )
 
 // Precision and fault-model constants.
@@ -166,4 +180,60 @@ func NewFaultPlan(cfg ModelConfig, promptLen, genTokens int, d DType, fm FaultMo
 // its Hook on a model before any protection hooks.
 func NewInjector(site FaultSite, d DType) *fault.Injector {
 	return fault.NewInjector(site, d)
+}
+
+// NewServer builds the online serving layer: N model replicas behind a
+// continuous-batching scheduler, served generations bit-identical to
+// direct GenerateInto runs. Mount Server.Handler on an http.Server, or
+// drive it programmatically via Submit.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// The resumable-generation methods on Model (Prefill, DecodeStep, Restore)
+// panic on misuse — inside the engine that is a programmer error by
+// contract. The wrappers below are the public-API boundary: they validate
+// first and return errors, so a caller driving generation from untrusted
+// input (as the serving layer does) can never crash the process.
+
+// Prefill validates the prompt against m's configuration and runs the
+// prefill pass, returning the first decoded token.
+func Prefill(m *Model, prompt []int) (int, error) {
+	if len(prompt) == 0 {
+		return 0, fmt.Errorf("ft2: empty prompt")
+	}
+	if len(prompt) > m.Cfg.MaxSeq {
+		return 0, fmt.Errorf("ft2: prompt %d exceeds max seq %d", len(prompt), m.Cfg.MaxSeq)
+	}
+	for i, tok := range prompt {
+		if tok < 0 || tok >= m.Cfg.Vocab {
+			return 0, fmt.Errorf("ft2: prompt token %d at position %d outside vocabulary [0,%d)", tok, i, m.Cfg.Vocab)
+		}
+	}
+	return m.Prefill(prompt), nil
+}
+
+// DecodeStep validates the generation state — a Prefill or RestoreSnapshot
+// must have happened, the sequence budget must not be exhausted — and runs
+// one decode step.
+func DecodeStep(m *Model, tok int) (int, error) {
+	if !m.Started() {
+		return 0, fmt.Errorf("ft2: DecodeStep before Prefill or RestoreSnapshot")
+	}
+	if m.SeqLen() >= m.Cfg.MaxSeq {
+		return 0, fmt.Errorf("ft2: sequence budget exhausted (%d of %d positions used)", m.SeqLen(), m.Cfg.MaxSeq)
+	}
+	if tok < 0 || tok >= m.Cfg.Vocab {
+		return 0, fmt.Errorf("ft2: token %d outside vocabulary [0,%d)", tok, m.Cfg.Vocab)
+	}
+	return m.DecodeStep(tok), nil
+}
+
+// RestoreSnapshot validates the snapshot against m's architecture and
+// restores it, returning the token to feed the next DecodeStep. An empty
+// snapshot or one captured from a different architecture is an error, not
+// a panic.
+func RestoreSnapshot(m *Model, s *Snapshot) (int, error) {
+	if err := s.Compatible(m.Cfg); err != nil {
+		return 0, err
+	}
+	return m.Restore(s), nil
 }

@@ -106,3 +106,118 @@ func TestPublicFaultInjection(t *testing.T) {
 		t.Error("public injector never fired")
 	}
 }
+
+// TestPublicSafeGeneration covers the error-returning boundary wrappers:
+// every misuse that panics on the raw Model methods must come back as an
+// error here, and the happy path must match Model.Generate bit for bit.
+func TestPublicSafeGeneration(t *testing.T) {
+	cfg, err := ft2.ModelByName("qwen2-1.5b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ft2.NewModel(cfg, 3, ft2.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Misuse before any prefill: DecodeStep must error, not panic.
+	if _, err := ft2.DecodeStep(m, 1); err == nil {
+		t.Fatal("DecodeStep before Prefill returned nil error")
+	}
+	// Restore of an empty snapshot must error, not panic.
+	if _, err := ft2.RestoreSnapshot(m, &ft2.Snapshot{}); err == nil {
+		t.Fatal("RestoreSnapshot of empty snapshot returned nil error")
+	}
+
+	// Bad prompts.
+	for _, bad := range [][]int{
+		nil,
+		{},
+		{-1, 2},
+		{cfg.Vocab, 2},
+		make([]int, cfg.MaxSeq+1),
+	} {
+		if _, err := ft2.Prefill(m, bad); err == nil {
+			t.Fatalf("Prefill(%v...) returned nil error", bad[:min(len(bad), 3)])
+		}
+	}
+
+	// Happy path: prefill + decode via the wrappers matches Generate.
+	prompt := []int{4, 5, 6, 7}
+	const n = 6
+	ref, err := ft2.NewModel(cfg, 3, ft2.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Generate(prompt, n)
+
+	got := make([]int, 0, n)
+	tok, err := ft2.Prefill(m, prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, tok)
+	for len(got) < n {
+		tok, err = ft2.DecodeStep(m, tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tok)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wrapper generation diverged at %d: got %v want %v", i, got, want)
+		}
+	}
+
+	// Bad decode token on a live generation.
+	if _, err := ft2.DecodeStep(m, cfg.Vocab); err == nil {
+		t.Fatal("DecodeStep with out-of-vocab token returned nil error")
+	}
+
+	// Snapshot round trip through the safe wrapper.
+	var snap ft2.Snapshot
+	m.Checkpoint(&snap)
+	back, err := ft2.RestoreSnapshot(m, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != tok {
+		t.Fatalf("RestoreSnapshot token = %d, want %d", back, tok)
+	}
+
+	// Architecture mismatch must error, not panic.
+	other, err := ft2.ModelByName("opt-2.7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ft2.NewModel(other, 3, ft2.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft2.RestoreSnapshot(m2, &snap); err == nil {
+		t.Fatal("RestoreSnapshot across architectures returned nil error")
+	}
+
+	// Sequence-budget exhaustion surfaces as an error, not a panic.
+	small := cfg
+	small.MaxSeq = 12 // just enough for NewModel's calibration pass
+	tiny, err := ft2.NewModel(small, 3, ft2.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err = ft2.Prefill(tiny, prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhausted := false
+	for i := 0; i < small.MaxSeq+4; i++ {
+		if tok, err = ft2.DecodeStep(tiny, tok); err != nil {
+			exhausted = true
+			break
+		}
+	}
+	if !exhausted {
+		t.Fatal("DecodeStep never reported sequence-budget exhaustion")
+	}
+}

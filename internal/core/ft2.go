@@ -58,6 +58,11 @@ type FT2 struct {
 	// captured from an earlier run's prefill — decode steps never write it.
 	bounds *protect.Store
 	stats  protect.CorrectionStats
+	// byKind breaks the following-token corrections down by the layer kind
+	// they fired on — the per-layer-kind protection telemetry the serving
+	// layer exports. Fixed-size array: updating it on the hook hot path
+	// never allocates.
+	byKind [model.NumLayerKinds]protect.CorrectionStats
 	handle model.HookHandle
 	cover  map[arch.CoveragePoint]bool
 }
@@ -108,6 +113,7 @@ func (f *FT2) Reset() {
 	f.prof.Reset()
 	f.bounds = f.prof.Store
 	f.stats = protect.CorrectionStats{}
+	f.byKind = [model.NumLayerKinds]protect.CorrectionStats{}
 }
 
 // ForkState is the protection-side state FT2 carries across decode steps,
@@ -119,6 +125,11 @@ type ForkState struct {
 	Bounds        *protect.Store
 	FirstTokenNaN int
 	Stats         protect.CorrectionStats
+	// ByKind carries the per-layer-kind correction breakdown. Callers that
+	// only need the aggregate counters bit-identical (the campaign's golden
+	// checkpoints) may leave it zero; the serving layer round-trips it so a
+	// session's per-kind telemetry survives being parked and resumed.
+	ByKind [model.NumLayerKinds]protect.CorrectionStats
 }
 
 // CaptureForkState snapshots the controller's state (the bounds are deep
@@ -128,6 +139,7 @@ func (f *FT2) CaptureForkState() ForkState {
 		Bounds:        f.bounds.Clone(),
 		FirstTokenNaN: f.prof.NaNCorrected,
 		Stats:         f.stats,
+		ByKind:        f.byKind,
 	}
 }
 
@@ -139,11 +151,16 @@ func (f *FT2) ResumeFork(st ForkState) {
 	f.bounds = st.Bounds
 	f.prof.NaNCorrected = st.FirstTokenNaN
 	f.stats = st.Stats
+	f.byKind = st.ByKind
 }
 
 // Stats returns the corrections applied since attach (following tokens
 // only; first-token NaN corrections are reported by FirstTokenNaNCount).
 func (f *FT2) Stats() protect.CorrectionStats { return f.stats }
+
+// StatsByKind breaks the following-token corrections down by the layer kind
+// they fired on, indexed by model.LayerKind.
+func (f *FT2) StatsByKind() [model.NumLayerKinds]protect.CorrectionStats { return f.byKind }
 
 // FirstTokenNaNCount returns NaNs corrected during the last inference's
 // first-token pass.
@@ -199,10 +216,14 @@ func (f *FT2) hook(ctx model.HookCtx, out *tensor.Tensor) {
 	if !ok {
 		// No bounds captured (should not happen in a Generate-driven run);
 		// fall back to NaN-only correction.
-		f.stats.NaN += protect.CorrectNaNOnly(out.Data)
+		n := protect.CorrectNaNOnly(out.Data)
+		f.stats.NaN += n
+		f.byKind[ctx.Layer.Kind].NaN += n
 		return
 	}
 	st := protect.ClampCorrect(out.Data, b.Scale(f.opts.ScaleFactor), f.opts.Mode, true)
 	f.stats.OutOfBound += st.OutOfBound
 	f.stats.NaN += st.NaN
+	f.byKind[ctx.Layer.Kind].OutOfBound += st.OutOfBound
+	f.byKind[ctx.Layer.Kind].NaN += st.NaN
 }

@@ -34,6 +34,11 @@ const (
 	numLayerKinds
 )
 
+// NumLayerKinds is the number of distinct layer kinds across all families;
+// fixed-size per-kind counter arrays (e.g. FT2's correction breakdown) are
+// dimensioned by it.
+const NumLayerKinds = int(numLayerKinds)
+
 // String implements fmt.Stringer with the paper's layer names.
 func (k LayerKind) String() string {
 	switch k {

@@ -29,8 +29,16 @@ type block struct {
 }
 
 // Model is an initialized decoder-only transformer ready for greedy
-// generation. It is not safe for concurrent Generate calls; campaigns clone
-// one model per worker (weights are shared read-only, KV state is per-call).
+// generation.
+//
+// Concurrency contract: a Model is single-owner — exactly one goroutine may
+// drive Prefill/DecodeStep/Generate/Checkpoint/Restore at a time, and hook
+// registration belongs to that owner. Weights are written only during New,
+// so any number of replicas of the same (cfg, seed, dtype) may run
+// concurrently, and read-only artifacts (Snapshots, profiled bound stores)
+// may be shared across replicas. Subsystems that juggle more generations
+// than replicas (the campaign pool, the serving scheduler) time-slice
+// sessions onto replicas with Checkpoint/Restore, which is bit-exact.
 type Model struct {
 	Cfg    Config
 	DType  numerics.DType
@@ -547,6 +555,7 @@ func (m *Model) resetState() {
 		m.kv[i].rows = 0
 	}
 	m.step = 0
+	m.promptLen = 0
 }
 
 // Prefill resets the generation state and processes the whole prompt in a
@@ -569,6 +578,20 @@ func (m *Model) Prefill(prompt []int) int {
 	}
 	m.lastTok = argmax(m.forward(prompt, positions))
 	return m.lastTok
+}
+
+// Started reports whether the model holds live generation state — a
+// Prefill or Restore happened — i.e. whether DecodeStep may be called.
+func (m *Model) Started() bool { return m.promptLen > 0 }
+
+// SeqLen returns the sequence positions currently occupied (prompt plus
+// decoded steps); the next DecodeStep claims position SeqLen, which must
+// stay below Cfg.MaxSeq.
+func (m *Model) SeqLen() int {
+	if m.promptLen == 0 {
+		return 0
+	}
+	return m.promptLen + m.step
 }
 
 // DecodeStep runs one decode step: it feeds tok (normally the token the

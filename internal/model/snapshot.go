@@ -15,6 +15,7 @@ import "fmt"
 // replicas (Restore only reads it).
 type Snapshot struct {
 	// identity of the capturing model, checked on Restore
+	family                          Family
 	blocks, hidden, maxSeq, headDim int
 
 	nextStep       int // the generation step the restored model executes next
@@ -43,6 +44,22 @@ func (s *Snapshot) MemoryBytes() int {
 	return s.blocks * 2 * s.rows * s.hidden * 4
 }
 
+// Compatible reports whether the snapshot can be restored into a model of
+// the given configuration, returning a descriptive error when it cannot.
+// Boundary layers (the serving API) check this before calling Restore so an
+// architecture mismatch surfaces as a returned error instead of Restore's
+// programmer-error panic.
+func (s *Snapshot) Compatible(cfg Config) error {
+	if s.rows == 0 {
+		return fmt.Errorf("model: empty snapshot (never captured)")
+	}
+	if s.family != cfg.Family || s.blocks != cfg.Blocks || s.hidden != cfg.Hidden || s.maxSeq != cfg.MaxSeq || s.headDim != cfg.HeadDim() {
+		return fmt.Errorf("model: snapshot of a %s %d-block/%d-hidden/%d-seq model is incompatible with %s",
+			s.family, s.blocks, s.hidden, s.maxSeq, cfg.Name)
+	}
+	return nil
+}
+
 // Checkpoint copies the model's generation state into the snapshot,
 // reusing its buffers when they are large enough. It must be called between
 // steps — after Prefill or a DecodeStep returned and before the next
@@ -54,6 +71,7 @@ func (m *Model) Checkpoint(into *Snapshot) {
 	cfg := m.Cfg
 	d := cfg.HeadDim()
 	rows := m.kv[0].rows
+	into.family = cfg.Family
 	into.blocks, into.hidden, into.maxSeq, into.headDim = cfg.Blocks, cfg.Hidden, cfg.MaxSeq, d
 	into.nextStep = m.step + 1
 	into.lastTok = m.lastTok
@@ -93,9 +111,9 @@ func (m *Model) Restore(s *Snapshot) int {
 	if s.rows == 0 {
 		panic("model: Restore of an empty snapshot")
 	}
-	if s.blocks != cfg.Blocks || s.hidden != cfg.Hidden || s.maxSeq != cfg.MaxSeq || s.headDim != cfg.HeadDim() {
-		panic(fmt.Sprintf("model: snapshot of a %d×%d/%d-seq model restored into %s",
-			s.blocks, s.hidden, s.maxSeq, cfg.Name))
+	if s.family != cfg.Family || s.blocks != cfg.Blocks || s.hidden != cfg.Hidden || s.maxSeq != cfg.MaxSeq || s.headDim != cfg.HeadDim() {
+		panic(fmt.Sprintf("model: snapshot of a %s %d×%d/%d-seq model restored into %s",
+			s.family, s.blocks, s.hidden, s.maxSeq, cfg.Name))
 	}
 	m.resetState()
 	m.step = s.nextStep - 1

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ft2/internal/data"
+	"ft2/internal/model"
+)
+
+// Server is the assembled serving layer: replica pool + continuous-batching
+// scheduler + HTTP surface. Build one with New, mount Handler on an
+// http.Server, and call Shutdown (or BeginDrain + Shutdown) to drain.
+type Server struct {
+	cfg Config
+	sch *scheduler
+	mx  *metrics
+}
+
+// New builds a Server from the config (defaults resolved; see Config).
+func New(c Config) (*Server, error) {
+	cfg, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pool, err := newPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mx := newMetrics()
+	return &Server{cfg: cfg, sch: newScheduler(cfg, pool, mx), mx: mx}, nil
+}
+
+// Config returns the effective (default-resolved) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Submit validates a request and admits it to the scheduler — the
+// programmatic entry the HTTP handler, the self-test load generator, and
+// the benchmarks share. The ctx bounds the whole request (client
+// disconnect); the request's own deadline is layered on top.
+func (s *Server) Submit(ctx context.Context, req Request) (*Session, error) {
+	prompt, err := req.resolvePrompt(s.cfg.ModelCfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.sch.submit(ctx, req, prompt)
+}
+
+// BeginDrain stops admitting new requests; in-flight and queued requests
+// keep running. Idempotent.
+func (s *Server) BeginDrain() { s.sch.beginDrain() }
+
+// Shutdown drains and stops the scheduler: admission closes, every
+// admitted request is given until ctx expires to finish (then failed
+// fast), and the workers exit. Returns ctx.Err() when the grace period
+// lapsed.
+func (s *Server) Shutdown(ctx context.Context) error { return s.sch.shutdown(ctx) }
+
+// Handler returns the HTTP surface:
+//
+//	POST /v1/generate  — run a (protected) generation, optionally streamed
+//	GET  /v1/models    — the zoo, with the served model marked
+//	GET  /healthz      — 200 serving / 503 draining
+//	GET  /metrics      — text-format counters and latency quantiles
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// writeError answers with the request's error as JSON and records the
+// status. Only submit-path failures are recorded here; settled sessions
+// are recorded by the scheduler.
+func (s *Server) writeError(w http.ResponseWriter, err error, record bool) {
+	status := errStatus(err)
+	if record {
+		s.mx.incStatus(status)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, badRequest("invalid request body: %v", err), true)
+		return
+	}
+
+	sess, err := s.Submit(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err, true)
+		return
+	}
+
+	if req.Stream {
+		s.streamResponse(w, r, sess)
+		return
+	}
+	res, err := sess.Wait(r.Context())
+	if err != nil {
+		s.writeError(w, err, false)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// streamResponse writes one NDJSON line per token as it is decoded, then a
+// terminal line carrying the full Result (or the error).
+func (s *Server) streamResponse(w http.ResponseWriter, r *http.Request, sess *Session) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	vocab := data.Vocab()
+	for tok := range sess.Tokens() {
+		enc.Encode(map[string]interface{}{"token": tok, "word": vocab.Word(tok)})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	res, err := sess.Wait(r.Context())
+	if err != nil {
+		enc.Encode(map[string]interface{}{"done": true, "error": err.Error()})
+	} else {
+		enc.Encode(map[string]interface{}{"done": true, "result": res})
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	type modelInfo struct {
+		Name    string `json:"name"`
+		Family  string `json:"family"`
+		Blocks  int    `json:"blocks"`
+		Hidden  int    `json:"hidden"`
+		MaxSeq  int    `json:"max_seq"`
+		Serving bool   `json:"serving"`
+	}
+	out := struct {
+		Serving string      `json:"serving"`
+		Models  []modelInfo `json:"models"`
+	}{Serving: s.cfg.Model}
+	for _, c := range model.Zoo() {
+		out.Models = append(out.Models, modelInfo{
+			Name: c.Name, Family: c.Family.String(), Blocks: c.Blocks,
+			Hidden: c.Hidden, MaxSeq: c.MaxSeq, Serving: c.Name == s.cfg.Model,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.mx.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.mx.render(w, s.cfg.Model, s.cfg.Replicas, s.cfg.MaxSessions,
+		s.sch.queueDepth(), s.sch.activeSessions())
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ft2/internal/core"
+	"ft2/internal/model"
+)
+
+// metrics is the server's observability state: monotonic counters plus
+// bounded latency reservoirs, rendered in Prometheus-style text by render.
+type metrics struct {
+	start       time.Time
+	draining    atomic.Bool
+	tokensTotal atomic.Int64
+
+	statusMu sync.Mutex
+	status   map[int]int64 // HTTP status → requests settled with it
+
+	corrMu        sync.Mutex
+	corrByKind    [model.NumLayerKinds]KindCorrections
+	firstTokenNaN int64
+
+	tokenLat *latencyRing // per-decode-step latency
+	queueLat *latencyRing // admission → first slice
+	reqLat   *latencyRing // admission → settled
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		status:   make(map[int]int64),
+		tokenLat: newLatencyRing(8192),
+		queueLat: newLatencyRing(2048),
+		reqLat:   newLatencyRing(2048),
+	}
+}
+
+func (m *metrics) incStatus(code int) {
+	m.statusMu.Lock()
+	m.status[code]++
+	m.statusMu.Unlock()
+}
+
+func (m *metrics) addCorrections(st core.ForkState) {
+	m.corrMu.Lock()
+	for k, c := range st.ByKind {
+		m.corrByKind[k].OutOfBound += c.OutOfBound
+		m.corrByKind[k].NaN += c.NaN
+	}
+	m.firstTokenNaN += int64(st.FirstTokenNaN)
+	m.corrMu.Unlock()
+}
+
+// latencyRing keeps the most recent cap observations (milliseconds) and
+// answers quantile queries over them — a bounded-memory p50/p99 estimate
+// that tracks current behaviour rather than lifetime history.
+type latencyRing struct {
+	mu     sync.Mutex
+	buf    []float64
+	next   int
+	filled int
+}
+
+func newLatencyRing(capacity int) *latencyRing {
+	return &latencyRing{buf: make([]float64, capacity)}
+}
+
+func (r *latencyRing) observe(ms float64) {
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % len(r.buf)
+	if r.filled < len(r.buf) {
+		r.filled++
+	}
+	r.mu.Unlock()
+}
+
+// quantiles returns the requested quantiles (0..1) over the retained
+// window, or nil when nothing was observed yet.
+func (r *latencyRing) quantiles(qs ...float64) []float64 {
+	r.mu.Lock()
+	vals := append([]float64(nil), r.buf[:r.filled]...)
+	r.mu.Unlock()
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Float64s(vals)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(vals)-1))
+		out[i] = vals[idx]
+	}
+	return out
+}
+
+// render writes the text-format metrics. queueDepth/active/replicas come
+// from the scheduler at scrape time.
+func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, queueDepth, active int) {
+	uptime := time.Since(m.start).Seconds()
+	fmt.Fprintf(w, "ft2serve_uptime_seconds %.3f\n", uptime)
+	fmt.Fprintf(w, "ft2serve_model{name=%q} 1\n", modelName)
+	fmt.Fprintf(w, "ft2serve_replicas %d\n", replicas)
+	fmt.Fprintf(w, "ft2serve_max_sessions %d\n", maxSessions)
+	fmt.Fprintf(w, "ft2serve_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "ft2serve_active_sessions %d\n", active)
+	drain := 0
+	if m.draining.Load() {
+		drain = 1
+	}
+	fmt.Fprintf(w, "ft2serve_draining %d\n", drain)
+
+	m.statusMu.Lock()
+	codes := make([]int, 0, len(m.status))
+	for c := range m.status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "ft2serve_requests_total{code=\"%d\"} %d\n", c, m.status[c])
+	}
+	m.statusMu.Unlock()
+
+	tokens := m.tokensTotal.Load()
+	fmt.Fprintf(w, "ft2serve_tokens_generated_total %d\n", tokens)
+	if uptime > 0 {
+		fmt.Fprintf(w, "ft2serve_tokens_per_sec %.2f\n", float64(tokens)/uptime)
+	}
+
+	for _, lr := range []struct {
+		name string
+		ring *latencyRing
+	}{
+		{"ft2serve_token_latency_ms", m.tokenLat},
+		{"ft2serve_queue_latency_ms", m.queueLat},
+		{"ft2serve_request_latency_ms", m.reqLat},
+	} {
+		name, ring := lr.name, lr.ring
+		if qs := ring.quantiles(0.5, 0.99); qs != nil {
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %.4f\n", name, qs[0])
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %.4f\n", name, qs[1])
+		}
+	}
+
+	m.corrMu.Lock()
+	for k, c := range m.corrByKind {
+		if c.OutOfBound > 0 {
+			fmt.Fprintf(w, "ft2serve_ft2_corrections_total{kind=%q,type=\"out_of_bound\"} %d\n",
+				model.LayerKind(k).String(), c.OutOfBound)
+		}
+		if c.NaN > 0 {
+			fmt.Fprintf(w, "ft2serve_ft2_corrections_total{kind=%q,type=\"nan\"} %d\n",
+				model.LayerKind(k).String(), c.NaN)
+		}
+	}
+	fmt.Fprintf(w, "ft2serve_ft2_first_token_nan_total %d\n", m.firstTokenNaN)
+	m.corrMu.Unlock()
+}

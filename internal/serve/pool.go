@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"ft2/internal/core"
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+)
+
+// replica is one model instance plus its reusable FT2 controller. A replica
+// is owned by exactly one scheduler worker; sessions borrow it for a slice
+// at a time.
+type replica struct {
+	m   *model.Model
+	ft2 *core.FT2
+	// resident is the session whose generation state currently lives in the
+	// replica's KV cache (nil when none). A session advancing on the
+	// replica it is resident on skips the Restore/Checkpoint round trip.
+	resident *Session
+}
+
+// newReplica builds one replica of the pool's model. All replicas of a pool
+// share (cfg, seed, dtype) and therefore have bit-identical weights.
+func newReplica(cfg model.Config, seed int64, d numerics.DType, opts core.Options) (*replica, error) {
+	m, err := model.New(cfg, seed, d)
+	if err != nil {
+		return nil, err
+	}
+	// The controller is built once and installed per protected slice; it
+	// never runs with hooks left over from another session because every
+	// slice starts from ClearHooks.
+	return &replica{m: m, ft2: core.New(m, opts)}, nil
+}
+
+// pool is the fixed set of replicas, one per scheduler worker.
+type pool struct {
+	cfg      model.Config
+	seed     int64
+	dtype    numerics.DType
+	ft2Opts  core.Options
+	replicas []*replica
+}
+
+func newPool(c Config) (*pool, error) {
+	p := &pool{cfg: c.ModelCfg, seed: c.Seed, dtype: c.DType, ft2Opts: c.FT2Opts}
+	for i := 0; i < c.Replicas; i++ {
+		r, err := newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts)
+		if err != nil {
+			return nil, err
+		}
+		p.replicas = append(p.replicas, r)
+	}
+	return p, nil
+}
+
+// rebuild replaces a replica whose state may be poisoned (a panic escaped a
+// session slice). The scheduler worker that owns the slot calls it before
+// touching the next session.
+func (p *pool) rebuild() (*replica, error) {
+	return newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts)
+}

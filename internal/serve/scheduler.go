@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// scheduler implements continuous batching over the replica pool: admitted
+// sessions circulate through a ready ring, each worker repeatedly takes the
+// next ready session, advances it by one slice on its replica, and puts it
+// back — so a long generation shares replicas with short ones, a finished
+// session frees its slot immediately, and the next queued request is
+// admitted mid-flight. A worker whose ready ring is empty keeps its current
+// session resident and skips the park/restore copies entirely.
+type scheduler struct {
+	cfg  Config
+	pool *pool
+	mx   *metrics
+
+	mu       sync.RWMutex // guards draining + admit-channel close
+	draining bool
+	admit    chan *Session // bounded admission queue
+	ready    chan *Session // circulating active sessions, cap MaxSessions
+	slots    chan struct{} // active-session semaphore, cap MaxSessions
+
+	sessions   map[*Session]struct{} // admitted, not yet finished
+	sessionsMu sync.Mutex
+
+	inflight       sync.WaitGroup // admitted sessions not yet finished
+	workers        sync.WaitGroup
+	dispatcherDone chan struct{}
+	drainOnce      sync.Once
+	closeOnce      sync.Once
+}
+
+func newScheduler(cfg Config, pool *pool, mx *metrics) *scheduler {
+	sch := &scheduler{
+		cfg:            cfg,
+		pool:           pool,
+		mx:             mx,
+		admit:          make(chan *Session, cfg.QueueDepth),
+		ready:          make(chan *Session, cfg.MaxSessions),
+		slots:          make(chan struct{}, cfg.MaxSessions),
+		sessions:       make(map[*Session]struct{}),
+		dispatcherDone: make(chan struct{}),
+	}
+	go sch.dispatch()
+	for i := range pool.replicas {
+		sch.workers.Add(1)
+		go sch.worker(i)
+	}
+	return sch
+}
+
+// submit validates nothing (the Server did); it only admits. The returned
+// session is already circulating. Fails fast with ErrQueueFull or
+// ErrDraining.
+func (sch *scheduler) submit(ctx context.Context, req Request, prompt []int) (*Session, error) {
+	deadline := sch.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	sctx, cancel := context.WithTimeout(ctx, deadline)
+	s := &Session{
+		req:      req,
+		prompt:   prompt,
+		ctx:      sctx,
+		cancel:   cancel,
+		out:      make([]int, 0, req.MaxTokens),
+		tokens:   make(chan int, req.MaxTokens),
+		done:     make(chan struct{}),
+		admitted: time.Now(),
+	}
+
+	sch.mu.RLock()
+	if sch.draining {
+		sch.mu.RUnlock()
+		cancel()
+		return nil, ErrDraining
+	}
+	sch.inflight.Add(1)
+	select {
+	case sch.admit <- s:
+		sch.mu.RUnlock()
+	default:
+		sch.mu.RUnlock()
+		sch.inflight.Done()
+		cancel()
+		return nil, ErrQueueFull
+	}
+
+	sch.sessionsMu.Lock()
+	sch.sessions[s] = struct{}{}
+	sch.sessionsMu.Unlock()
+	return s, nil
+}
+
+// dispatch moves queued sessions into the ready ring as session slots free
+// up. It exits once the admission queue is closed (drain) and empty.
+func (sch *scheduler) dispatch() {
+	defer close(sch.dispatcherDone)
+	for s := range sch.admit {
+		sch.slots <- struct{}{} // blocks while MaxSessions are active
+		sch.ready <- s          // cap MaxSessions ≥ active: never blocks
+	}
+}
+
+// worker owns one replica slot and drives ready sessions over it.
+func (sch *scheduler) worker(idx int) {
+	defer sch.workers.Done()
+	r := sch.pool.replicas[idx]
+	for s := range sch.ready {
+		r = sch.drive(r, s)
+	}
+}
+
+// drive advances s slice by slice. When other sessions are waiting it parks
+// s after each slice and round-robins; when none are, s stays resident and
+// decodes without snapshot traffic. Returns the (possibly rebuilt) replica.
+func (sch *scheduler) drive(r *replica, s *Session) *replica {
+	for {
+		done, err := sch.sliceGuarded(r, s)
+		if err != nil {
+			if r.resident == s {
+				r.resident = nil
+			}
+			sch.finish(s, err)
+			<-sch.slots
+			if s.err != nil && errStatus(s.err) == 500 {
+				// A panic escaped the engine mid-slice: the replica's KV
+				// state and hook list are suspect. Replace it.
+				if nr, rerr := sch.pool.rebuild(); rerr == nil {
+					r = nr
+				} else {
+					r.m.ClearHooks()
+				}
+			}
+			return r
+		}
+		if done {
+			r.resident = nil
+			sch.finish(s, nil)
+			<-sch.slots
+			return r
+		}
+		select {
+		case next, ok := <-sch.ready:
+			if !ok {
+				// Ring closed with s still active: forced shutdown. Keep
+				// driving s — its context has been canceled, so the next
+				// slice fails fast.
+				continue
+			}
+			s.park(r)
+			sch.ready <- s // slot freed by the receive above: never blocks
+			s = next
+		default:
+			// No one is waiting: keep s resident and continue.
+		}
+	}
+}
+
+// sliceGuarded is the per-slice fault boundary: any panic out of the
+// engine (or a hook) is converted into a 500-class error for this request
+// instead of crashing the server.
+func (sch *scheduler) sliceGuarded(r *replica, s *Session) (done bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			log.Printf("serve: panic in session slice: %v\n%s", p, debug.Stack())
+			err = &apiError{Status: 500,
+				Msg: fmt.Sprintf("serve: internal error: %v", p)}
+		}
+	}()
+	return s.advance(r, sch.cfg.SliceSteps, sch.cfg.StepDelay, sch.mx)
+}
+
+// finish settles a session: terminal result, stream close, bookkeeping.
+func (sch *scheduler) finish(s *Session, err error) {
+	if err != nil {
+		s.err = err
+	}
+	s.finalize(sch.cfg.Model)
+	s.cancel()
+	close(s.tokens)
+	close(s.done)
+
+	sch.sessionsMu.Lock()
+	delete(sch.sessions, s)
+	sch.sessionsMu.Unlock()
+
+	status := 200
+	if s.err != nil {
+		status = errStatus(s.err)
+	}
+	sch.mx.incStatus(status)
+	sch.mx.reqLat.observe(msSince(s.admitted, time.Now()))
+	if s.req.Protected {
+		sch.mx.addCorrections(s.ftState)
+	}
+	sch.inflight.Done()
+}
+
+// beginDrain stops admission: subsequent submits fail with ErrDraining and
+// the dispatcher exits once the already-queued sessions are scheduled.
+// Idempotent.
+func (sch *scheduler) beginDrain() {
+	sch.drainOnce.Do(func() {
+		sch.mu.Lock()
+		sch.draining = true
+		close(sch.admit)
+		sch.mu.Unlock()
+		sch.mx.draining.Store(true)
+	})
+}
+
+// shutdown drains and stops the workers. In-flight and queued sessions are
+// given until ctx expires to finish; past that their contexts are canceled
+// and they settle with errors. Always returns with the workers stopped.
+func (sch *scheduler) shutdown(ctx context.Context) error {
+	sch.beginDrain()
+	finished := make(chan struct{})
+	go func() {
+		<-sch.dispatcherDone
+		sch.inflight.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Force the stragglers out: cancel every live session, then wait —
+		// each fails at its next step boundary.
+		sch.sessionsMu.Lock()
+		for s := range sch.sessions {
+			s.cancel()
+		}
+		sch.sessionsMu.Unlock()
+		<-finished
+	}
+	sch.closeOnce.Do(func() { close(sch.ready) })
+	sch.workers.Wait()
+	return err
+}
+
+// queueDepth and activeSessions feed the metrics endpoint.
+func (sch *scheduler) queueDepth() int     { return len(sch.admit) }
+func (sch *scheduler) activeSessions() int { return len(sch.slots) }

@@ -1,0 +1,116 @@
+// Package serve is the online protected-inference serving layer: an HTTP
+// server that runs FT2-protected generation for concurrent clients with
+// continuous batching.
+//
+// Architecture (DESIGN.md §10):
+//
+//   - A replica pool holds N independent model replicas of one zoo config
+//     (weights rebuilt per replica from the same seed, so they are
+//     bit-identical), each paired with a reusable FT2 controller.
+//   - A continuous-batching scheduler admits requests through a bounded
+//     queue and multiplexes up to MaxSessions active sessions over the
+//     replicas: each session advances in slices of SliceSteps decode steps,
+//     then yields the replica to the next waiting session. Sessions are
+//     parked with model.Checkpoint + core.CaptureForkState-style FT2 state
+//     and resumed with model.Restore + core.ResumeFork — the same
+//     bit-exact fork primitives the campaign engine uses — so a served
+//     generation is bit-identical to a standalone GenerateInto run no
+//     matter how often it was preempted. A session that stays alone on its
+//     replica is kept resident and never pays the snapshot copies.
+//   - Robustness: per-request deadlines via context, 429 backpressure when
+//     the admission queue is full, 503 while draining, and a per-slice
+//     recover boundary so a request that trips an engine panic is answered
+//     with an error (and its replica rebuilt) instead of killing the
+//     server.
+//   - Observability: /healthz, /metrics (text format), and per-request
+//     correction counts — total and per layer kind — in every response.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ft2/internal/core"
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+)
+
+// Config assembles a Server. The zero value is not usable: Model (or
+// ModelCfg) is required; every other field has a sensible default.
+type Config struct {
+	// Model names the zoo config to serve; ModelCfg overrides it when
+	// non-zero (Name set).
+	Model    string
+	ModelCfg model.Config
+	// Seed is the deterministic weight seed shared by every replica.
+	Seed int64
+	// DType is the activation precision (default FP16).
+	DType numerics.DType
+	// Replicas is the model-replica count (default GOMAXPROCS).
+	Replicas int
+	// MaxSessions caps the sessions decoded concurrently; beyond Replicas
+	// they time-slice (default 4×Replicas, min 16).
+	MaxSessions int
+	// QueueDepth bounds the admission queue; a full queue answers 429
+	// (default 64).
+	QueueDepth int
+	// SliceSteps is the decode steps a session runs per scheduling slice
+	// before yielding its replica (default 8). Smaller slices interleave
+	// finer at a higher checkpoint/restore cost.
+	SliceSteps int
+	// DefaultDeadline bounds a request that carries no deadline of its own
+	// (default 30s; ≤0 keeps the default — a server must never hold a slot
+	// forever).
+	DefaultDeadline time.Duration
+	// FT2Opts tunes the protection applied when a request asks for it
+	// (zero value: core.Defaults()).
+	FT2Opts core.Options
+	// StepDelay inserts an artificial pause before every decode step — a
+	// throttle for demos and smoke tests that need generations slow enough
+	// to observe scheduling, draining, and preemption. Production: 0.
+	StepDelay time.Duration
+}
+
+// withDefaults resolves the config, returning the effective values.
+func (c Config) withDefaults() (Config, error) {
+	if c.ModelCfg.Name == "" {
+		if c.Model == "" {
+			return c, fmt.Errorf("serve: no model configured")
+		}
+		cfg, err := model.ConfigByName(c.Model)
+		if err != nil {
+			return c, err
+		}
+		c.ModelCfg = cfg
+	}
+	c.Model = c.ModelCfg.Name
+	if err := c.ModelCfg.Validate(); err != nil {
+		return c, err
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4 * c.Replicas
+		if c.MaxSessions < 16 {
+			c.MaxSessions = 16
+		}
+	}
+	if c.MaxSessions < c.Replicas {
+		c.MaxSessions = c.Replicas
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SliceSteps <= 0 {
+		c.SliceSteps = 8
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if (c.FT2Opts == core.Options{}) {
+		c.FT2Opts = core.Defaults()
+	}
+	return c, nil
+}

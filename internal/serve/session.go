@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"ft2/internal/core"
+	"ft2/internal/data"
+	"ft2/internal/model"
+	"ft2/internal/tokenizer"
+)
+
+// Session is one admitted generation request moving through the scheduler.
+// A session is driven by exactly one worker at a time; between slices it is
+// parked as a model.Snapshot plus FT2 fork state, so it can resume on any
+// replica bit-identically. Clients observe it through Tokens (streaming)
+// and Wait.
+type Session struct {
+	req    Request
+	prompt []int
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	out     []int
+	tokens  chan int // cap MaxTokens: scheduler sends never block
+	done    chan struct{}
+	err     error
+	res     Result
+	lastTok int
+
+	started  bool
+	snap     model.Snapshot
+	ftState  core.ForkState
+	admitted time.Time
+	startAt  time.Time // first slice began (queue latency endpoint)
+}
+
+// Tokens streams the generated token ids in order; the channel is closed
+// when the session finishes (successfully or not).
+func (s *Session) Tokens() <-chan int { return s.tokens }
+
+// Done is closed when the session finished.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the session finishes or ctx expires and returns the
+// terminal result.
+func (s *Session) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-s.done:
+		return s.res, s.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// emit records one generated token and forwards it to the stream.
+func (s *Session) emit(tok int) {
+	s.out = append(s.out, tok)
+	s.tokens <- tok // never blocks: cap == MaxTokens
+}
+
+// checkCtx maps a context failure to the client-visible error.
+func (s *Session) checkCtx() error {
+	switch err := s.ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	default:
+		return &apiError{Status: statusClientClosed, Msg: "serve: request canceled"}
+	}
+}
+
+// statusClientClosed is the nginx-convention status for a client that went
+// away before its response was ready.
+const statusClientClosed = 499
+
+// advance runs one scheduling slice of up to steps decode steps (the first
+// slice spends one of them on the prefill) on replica r. It returns whether
+// the session finished. The caller (the scheduler worker) guarantees that
+// r.resident is either nil or this session, and wraps the call in the
+// panic-recovery boundary.
+func (s *Session) advance(r *replica, steps int, stepDelay time.Duration, mx *metrics) (bool, error) {
+	if err := s.checkCtx(); err != nil {
+		return false, err
+	}
+	if r.resident != nil && r.resident != s {
+		panic("serve: advancing a session on a replica with another session resident")
+	}
+	m, f := r.m, r.ft2
+	m.ClearHooks()
+	if s.req.Protected {
+		if s.started {
+			// Reinstate this session's counters and first-token bounds; the
+			// decode hook only reads the bounds store, so the same store may
+			// back many sessions concurrently.
+			f.ResumeFork(s.ftState)
+		} else {
+			f.Reset()
+		}
+		f.Install()
+	}
+
+	var tok int
+	switch {
+	case !s.started:
+		s.startAt = time.Now()
+		mx.queueLat.observe(msSince(s.admitted, s.startAt))
+		tok = m.Prefill(s.prompt)
+		s.started = true
+		s.emit(tok)
+		mx.tokensTotal.Add(1)
+		steps--
+		if s.req.Protected {
+			// The first-token bounds are complete once the prefill returned;
+			// clone them out of the controller so other sessions' Resets
+			// cannot clear them.
+			s.ftState = f.CaptureForkState()
+		}
+	case r.resident != s:
+		tok = m.Restore(&s.snap)
+	default:
+		tok = s.lastTok
+	}
+	r.resident = s
+
+	finished := s.finishedAfter(tok)
+	for !finished && steps > 0 {
+		if stepDelay > 0 {
+			time.Sleep(stepDelay)
+		}
+		if err := s.checkCtx(); err != nil {
+			s.lastTok = tok
+			s.syncFT2(f)
+			return false, err
+		}
+		t0 := time.Now()
+		tok = m.DecodeStep(tok)
+		mx.tokenLat.observe(msSince(t0, time.Now()))
+		mx.tokensTotal.Add(1)
+		s.emit(tok)
+		steps--
+		finished = s.finishedAfter(tok)
+	}
+	s.lastTok = tok
+	s.syncFT2(f)
+	return finished, nil
+}
+
+// finishedAfter reports whether the generation is complete once tok has
+// been emitted.
+func (s *Session) finishedAfter(tok int) bool {
+	return len(s.out) >= s.req.MaxTokens || (s.req.StopAtEOS && tok == tokenizer.EOS)
+}
+
+// syncFT2 captures the controller's correction counters into the session's
+// fork state so they survive parking (the bounds pointer is already ours).
+func (s *Session) syncFT2(f *core.FT2) {
+	if !s.req.Protected || !s.started {
+		return
+	}
+	s.ftState.Stats = f.Stats()
+	s.ftState.ByKind = f.StatsByKind()
+}
+
+// park checkpoints the session's generation state out of the replica so
+// another session can use it. Must only be called after an advance that
+// returned unfinished.
+func (s *Session) park(r *replica) {
+	r.m.Checkpoint(&s.snap)
+	r.resident = nil
+}
+
+// finalize builds the terminal Result (called by the scheduler with the
+// session off every replica).
+func (s *Session) finalize(modelName string) {
+	s.res = Result{
+		Model:     modelName,
+		Tokens:    s.out,
+		Text:      data.Vocab().Decode(s.out),
+		Protected: s.req.Protected,
+		QueueMS:   msSince(s.admitted, s.startAt),
+		GenMS:     msSince(s.startAt, time.Now()),
+	}
+	if !s.started {
+		// Never scheduled (deadline expired in the queue): no generation
+		// window to report.
+		s.res.QueueMS = msSince(s.admitted, time.Now())
+		s.res.GenMS = 0
+	}
+	if s.req.Protected {
+		s.res.Corrections = correctionsReport(s.ftState.Stats, s.ftState.FirstTokenNaN, s.ftState.ByKind)
+	}
+}
+
+func msSince(from, to time.Time) float64 { return float64(to.Sub(from)) / float64(time.Millisecond) }
