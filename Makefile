@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json smoke serve-smoke ci
+.PHONY: build test vet race race-mp bench bench-json smoke serve-smoke serve-smoke-mp ci
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,15 @@ test:
 	$(GO) test ./...
 
 # The race detector pass covers the packages with goroutine fan-out: the
-# tensor kernels' row-parallel paths, the campaign worker pool, and the
-# serving scheduler with its shared read-only bounds store.
+# tensor kernels' pooled parallel paths, the campaign worker pool, and the
+# serving scheduler with its shared read-only bounds store. race-mp repeats
+# it at GOMAXPROCS=4 so the worker-pool and batched-decode paths run with
+# real scheduler preemption even on single-core runners.
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/campaign/... ./internal/serve/...
+
+race-mp:
+	GOMAXPROCS=4 $(GO) test -race ./internal/tensor/... ./internal/model/... ./internal/campaign/... ./internal/serve/...
 
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkGenerate(Unprotected|FT2)' -benchmem .
@@ -31,7 +36,12 @@ smoke:
 
 # End-to-end serving check: selftest vs the oracle, concurrent HTTP traffic,
 # metrics assertions, and a graceful SIGTERM drain with a request in flight.
+# The -mp variant reruns it at GOMAXPROCS=4 to exercise the batched decode
+# and pooled kernels under true concurrency.
 serve-smoke:
 	scripts/serve_smoke.sh
 
-ci: vet build test race smoke serve-smoke
+serve-smoke-mp:
+	GOMAXPROCS=4 scripts/serve_smoke.sh
+
+ci: vet build test race race-mp smoke serve-smoke serve-smoke-mp

@@ -15,13 +15,15 @@ import (
 	"ft2/internal/model"
 	"ft2/internal/numerics"
 	"ft2/internal/serve"
+	"ft2/internal/tensor"
 )
 
 // benchModelResult is one model's decode-throughput measurement: a full
 // greedy generation (prefill + decode) over the squad-sim reference prompt,
-// normalized per generated token.
+// normalized per generated token, at one GOMAXPROCS setting.
 type benchModelResult struct {
 	Model        string  `json:"model"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 	GenTokens    int     `json:"gen_tokens"`
 	TokensPerSec float64 `json:"tokens_per_sec"`
 	NsPerToken   float64 `json:"ns_per_token"`
@@ -45,10 +47,14 @@ type benchCampaignResult struct {
 }
 
 // benchServeResult is the serving layer's aggregate throughput at one
-// concurrency level: protected generations through the continuous-batching
-// scheduler, verified bit-identical to the serial GenerateInto baseline it
-// is normalized against.
+// (GOMAXPROCS, batching, concurrency) point: protected generations through
+// the continuous-batching scheduler, verified bit-identical to the serial
+// GenerateInto baseline it is normalized against. Batched rows fuse ready
+// sessions into DecodeStepBatch groups; the batched=false rows force the
+// per-session serial fallback (BatchMax 1) for comparison.
 type benchServeResult struct {
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	Batched            bool    `json:"batched"`
 	Clients            int     `json:"clients"`
 	Requests           int     `json:"requests"`
 	TokensPerSec       float64 `json:"tokens_per_sec"`
@@ -59,11 +65,17 @@ type benchServeResult struct {
 
 type benchReport struct {
 	GOMAXPROCS int                   `json:"gomaxprocs"`
+	NumCPU     int                   `json:"num_cpu"`
 	Models     []benchModelResult    `json:"models"`
 	FT2        benchModelResult      `json:"ft2_protected"`
 	Campaigns  []benchCampaignResult `json:"campaigns"`
 	Serve      []benchServeResult    `json:"serve"`
 }
+
+// procsSweep is the GOMAXPROCS settings the models and serve sections are
+// measured at. On a single-core host the >1 settings measure concurrency
+// without parallelism (pool handoff overhead, not speedup).
+var procsSweep = []int{1, 2, 4}
 
 // runBenchJSON measures decode and campaign throughput and writes the
 // machine-readable report to path (the BENCH_decode.json artifact).
@@ -73,7 +85,18 @@ func runBenchJSON(path string, seed int64) error {
 		return err
 	}
 	prompt := ds.Inputs[0].Prompt
-	rep := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	ambient := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(ambient)
+	rep := benchReport{GOMAXPROCS: ambient, NumCPU: runtime.NumCPU()}
+
+	// Prime the resident matmul worker pool at the sweep maximum, so every
+	// sweep point recruits from the same helper set (the pool sizes itself at
+	// first parallel use).
+	runtime.GOMAXPROCS(procsSweep[len(procsSweep)-1])
+	pa, pb := tensor.New(64, 64), tensor.New(64, 64)
+	pa.Fill(1)
+	pb.Fill(1)
+	tensor.MatMul(pa, pb)
 
 	// The generators take a reused destination buffer (GenerateInto), so the
 	// steady-state decode is measured allocation-free; one warm-up call
@@ -90,6 +113,7 @@ func runBenchJSON(path string, seed int64) error {
 		perOp := float64(res.NsPerOp())
 		return benchModelResult{
 			Model:        name,
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
 			GenTokens:    ds.GenTokens,
 			TokensPerSec: float64(ds.GenTokens) / (perOp / 1e9),
 			NsPerToken:   perOp / float64(ds.GenTokens),
@@ -98,17 +122,21 @@ func runBenchJSON(path string, seed int64) error {
 		}
 	}
 
-	for _, name := range []string{"opt-6.7b-sim", "gptj-6b-sim", "llama2-7b-sim"} {
-		cfg, err := model.ConfigByName(name)
-		if err != nil {
-			return err
+	for _, procs := range procsSweep {
+		runtime.GOMAXPROCS(procs)
+		for _, name := range []string{"opt-6.7b-sim", "gptj-6b-sim", "llama2-7b-sim"} {
+			cfg, err := model.ConfigByName(name)
+			if err != nil {
+				return err
+			}
+			m, err := model.New(cfg, seed, numerics.FP16)
+			if err != nil {
+				return err
+			}
+			rep.Models = append(rep.Models, measure(name, m.GenerateInto))
 		}
-		m, err := model.New(cfg, seed, numerics.FP16)
-		if err != nil {
-			return err
-		}
-		rep.Models = append(rep.Models, measure(name, m.GenerateInto))
 	}
+	runtime.GOMAXPROCS(ambient)
 
 	// FT2-protected decode on the llama config: the overhead the paper's
 	// Fig. 14 normalizes against the unprotected numbers above.
@@ -152,15 +180,19 @@ func runBenchJSON(path string, seed int64) error {
 	}
 
 	// Serving throughput at increasing concurrency, against the serial
-	// baseline of the same requests run one-by-one through GenerateInto.
-	// Aggregate throughput scales with replica count, which defaults to
-	// GOMAXPROCS — on a single-core box the levels mostly measure the
-	// scheduler's multiplexing overhead.
-	serveRes, err := benchServe(seed)
-	if err != nil {
-		return err
+	// baseline of the same requests run one-by-one through GenerateInto on
+	// the same GOMAXPROCS setting. Batched rows fuse sessions into
+	// DecodeStepBatch; one BatchMax=1 row per setting isolates what fusion
+	// buys over pure time-slicing.
+	for _, procs := range procsSweep {
+		runtime.GOMAXPROCS(procs)
+		serveRes, err := benchServe(seed, procs)
+		if err != nil {
+			return err
+		}
+		rep.Serve = append(rep.Serve, serveRes...)
 	}
-	rep.Serve = serveRes
+	runtime.GOMAXPROCS(ambient)
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -170,9 +202,10 @@ func runBenchJSON(path string, seed int64) error {
 }
 
 // benchServe measures the serving layer at 1, 4, and 16 concurrent clients
-// running protected generations, and verifies every served output against
-// the GenerateInto oracle.
-func benchServe(seed int64) ([]benchServeResult, error) {
+// running protected generations — batched, plus a BatchMax=1 serial-fallback
+// comparison at the highest concurrency — and verifies every served output
+// against the GenerateInto oracle.
+func benchServe(seed int64, procs int) ([]benchServeResult, error) {
 	const (
 		prompts       = 8
 		maxTokens     = 32
@@ -221,11 +254,12 @@ func benchServe(seed int64) ([]benchServeResult, error) {
 	serialTPS := float64(serialTokens) / time.Since(serialStart).Seconds()
 	f.Detach()
 
-	var out []benchServeResult
-	for _, clients := range []int{1, 4, 16} {
-		srv, err := serve.New(cfg)
+	run := func(clients, batchMax int) (benchServeResult, error) {
+		rcfg := cfg
+		rcfg.BatchMax = batchMax
+		srv, err := serve.New(rcfg)
 		if err != nil {
-			return nil, err
+			return benchServeResult{}, err
 		}
 		st := srv.RunLoad(context.Background(), serve.LoadSpec{
 			Clients: clients, Requests: clients * reqsPerClient,
@@ -245,14 +279,30 @@ func benchServe(seed int64) ([]benchServeResult, error) {
 				}
 			}
 		}
-		out = append(out, benchServeResult{
+		return benchServeResult{
+			GOMAXPROCS:         procs,
+			Batched:            batchMax != 1,
 			Clients:            clients,
 			Requests:           st.Requests,
 			TokensPerSec:       st.TokensPerSec,
 			SerialTokensPerSec: serialTPS,
 			SpeedupVsSerial:    st.TokensPerSec / serialTPS,
 			OracleMatch:        match,
-		})
+		}, nil
 	}
-	return out, nil
+
+	var out []benchServeResult
+	for _, clients := range []int{1, 4, 16} {
+		res, err := run(clients, 0) // 0 = default BatchMax (4×replicas)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	// Serial-fallback comparison: same load, fusion disabled.
+	res, err := run(16, 1)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, res), nil
 }

@@ -13,9 +13,11 @@
 //	ft2serve -selftest
 //
 // runs the serving stack against an in-process load generator at 1, 4 and
-// 16 concurrent clients and exits non-zero unless every served output —
-// protected and bare — is bit-identical to a direct GenerateInto oracle
-// run, correction counters included.
+// 16 concurrent clients — once with batched decode (sessions fused into
+// DecodeStepBatch groups) and once with the serial fallback (-batch-max 1)
+// — and exits non-zero unless every served output — protected and bare —
+// is bit-identical to a direct GenerateInto oracle run, correction counters
+// included.
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "concurrent sessions time-sliced over the replicas (0 = 4×replicas, min 16)")
 	queueDepth := flag.Int("queue", 0, "admission queue depth; a full queue answers 429 (0 = 64)")
 	sliceSteps := flag.Int("slice", 0, "decode steps per scheduling slice (0 = 8)")
+	batchMax := flag.Int("batch-max", 0, "max sessions fused into one batched decode step (0 = 4×replicas; 1 = serial)")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = 30s)")
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on shutdown before in-flight requests are failed")
 	throttle := flag.Duration("throttle", 0, "artificial pause before every decode step (demos/smoke tests)")
@@ -62,6 +65,7 @@ func main() {
 		MaxSessions:     *maxSessions,
 		QueueDepth:      *queueDepth,
 		SliceSteps:      *sliceSteps,
+		BatchMax:        *batchMax,
 		DefaultDeadline: *deadline,
 		StepDelay:       *throttle,
 	}
@@ -84,8 +88,8 @@ func main() {
 		os.Exit(1)
 	}
 	ecfg := srv.Config()
-	fmt.Printf("ft2serve: serving %s (%d replicas, %d sessions, queue %d) — listening on http://%s\n",
-		ecfg.Model, ecfg.Replicas, ecfg.MaxSessions, ecfg.QueueDepth, ln.Addr())
+	fmt.Printf("ft2serve: serving %s (%d replicas, %d sessions, batch %d, queue %d) — listening on http://%s\n",
+		ecfg.Model, ecfg.Replicas, ecfg.MaxSessions, ecfg.BatchMax, ecfg.QueueDepth, ln.Addr())
 
 	hs := &http.Server{Handler: srv.Handler()}
 	httpErr := make(chan error, 1)
@@ -156,40 +160,50 @@ func runSelfTest(ctx context.Context, cfg serve.Config) int {
 	}
 	srv.Shutdown(ctx)
 
-	for _, clients := range []int{1, 4, 16} {
-		for _, protected := range []bool{true, false} {
-			srv, err := serve.New(cfg)
-			if err != nil {
-				return fail("%v", err)
-			}
-			st := srv.RunLoad(ctx, serve.LoadSpec{
-				Clients:   clients,
-				Requests:  2 * clients,
-				MaxTokens: maxTokens,
-				Protected: protected,
-				PromptFor: promptFor,
-			})
-			srv.Shutdown(context.Background())
-			if st.Failed > 0 {
-				for i, e := range st.Errs {
-					if e != nil {
-						return fail("clients=%d protected=%v request %d failed: %v", clients, protected, i, e)
+	// Both scheduling regimes must reproduce the oracle: the fused batched
+	// path (configured BatchMax) and the pure serial fallback (BatchMax 1).
+	for _, batchMax := range []int{cfg.BatchMax, 1} {
+		bcfg := cfg
+		bcfg.BatchMax = batchMax
+		mode := "batched"
+		if batchMax == 1 {
+			mode = "serial"
+		}
+		for _, clients := range []int{1, 4, 16} {
+			for _, protected := range []bool{true, false} {
+				srv, err := serve.New(bcfg)
+				if err != nil {
+					return fail("%v", err)
+				}
+				st := srv.RunLoad(ctx, serve.LoadSpec{
+					Clients:   clients,
+					Requests:  2 * clients,
+					MaxTokens: maxTokens,
+					Protected: protected,
+					PromptFor: promptFor,
+				})
+				srv.Shutdown(context.Background())
+				if st.Failed > 0 {
+					for i, e := range st.Errs {
+						if e != nil {
+							return fail("%s clients=%d protected=%v request %d failed: %v", mode, clients, protected, i, e)
+						}
 					}
 				}
-			}
-			for i, res := range st.Results {
-				want := oracles[protected][i%prompts]
-				if !equalInts(res.Tokens, want.tokens) {
-					return fail("clients=%d protected=%v request %d: served tokens %v != oracle %v",
-						clients, protected, i, res.Tokens, want.tokens)
+				for i, res := range st.Results {
+					want := oracles[protected][i%prompts]
+					if !equalInts(res.Tokens, want.tokens) {
+						return fail("%s clients=%d protected=%v request %d: served tokens %v != oracle %v",
+							mode, clients, protected, i, res.Tokens, want.tokens)
+					}
+					if protected && res.Corrections.OutOfBound != want.corr.OutOfBound {
+						return fail("%s clients=%d request %d: served %d out-of-bound corrections != oracle %d",
+							mode, clients, i, res.Corrections.OutOfBound, want.corr.OutOfBound)
+					}
 				}
-				if protected && res.Corrections.OutOfBound != want.corr.OutOfBound {
-					return fail("clients=%d request %d: served %d out-of-bound corrections != oracle %d",
-						clients, i, res.Corrections.OutOfBound, want.corr.OutOfBound)
-				}
+				fmt.Printf("ft2serve: selftest %-7s clients=%-2d protected=%-5v %3d requests ok, %.1f tok/s\n",
+					mode, clients, protected, st.Requests, st.TokensPerSec)
 			}
-			fmt.Printf("ft2serve: selftest clients=%-2d protected=%-5v %3d requests ok, %.1f tok/s\n",
-				clients, protected, st.Requests, st.TokensPerSec)
 		}
 	}
 	fmt.Println("ft2serve: selftest passed — served outputs bit-identical to the GenerateInto oracle")

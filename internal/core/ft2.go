@@ -103,6 +103,12 @@ func Attach(m *model.Model, opts Options) *FT2 {
 // caller registered first).
 func (f *FT2) Install() { f.handle = f.m.RegisterHook(f.hook) }
 
+// Hook returns the controller's forward hook without registering it, for
+// per-session installation in batched decode (model.BatchItem.Hooks): each
+// session's controller observes and corrects only that session's rows while
+// every controller shares the same read-only bounds store.
+func (f *FT2) Hook() model.Hook { return f.hook }
+
 // Detach removes FT2's hook from the model.
 func (f *FT2) Detach() { f.m.RemoveHook(f.handle) }
 

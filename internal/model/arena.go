@@ -27,6 +27,19 @@ type arena struct {
 	final   *tensor.Tensor // final-norm output, 1 × hidden
 	logits  *tensor.Tensor // readout, 1 × vocab
 
+	// Batched-decode readout buffers (B × …). Separate from last/final/
+	// logits because the single-row path relies on those keeping their 1-row
+	// shape across calls.
+	lastB   *tensor.Tensor // per-session residual copies, B × hidden
+	finalB  *tensor.Tensor // final-norm output, B × hidden
+	logitsB *tensor.Tensor // readout, B × vocab
+
+	// rowOut/rowIn are reusable one-row tensor headers whose Data is
+	// re-aimed at one batch row at a time when per-session hooks run; see
+	// runBatchHooks.
+	rowOut *tensor.Tensor
+	rowIn  *tensor.Tensor
+
 	scores    []float32 // attention score row, maxSeq
 	positions []int     // absolute positions for Generate, maxSeq
 	stepTok   [1]int    // single-token slice for decode steps
@@ -50,6 +63,11 @@ func newArena(cfg Config) *arena {
 		last:      tensor.New(1, h),
 		final:     tensor.New(1, h),
 		logits:    tensor.New(1, cfg.Vocab),
+		lastB:     tensor.New(1, h),
+		finalB:    tensor.New(1, h),
+		logitsB:   tensor.New(1, cfg.Vocab),
+		rowOut:    tensor.New(0, 0),
+		rowIn:     tensor.New(0, 0),
 		scores:    make([]float32, s),
 		positions: make([]int, s),
 	}

@@ -1,0 +1,259 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"ft2/internal/tensor"
+)
+
+// BatchItem is one session's slot in a DecodeStepBatch call: the session's
+// generation state, the token to feed it, and the forward hooks (fault
+// injectors, FT2 protection) to run against that session's rows only.
+type BatchItem struct {
+	State *DecodeState
+	Tok   int
+	// Hooks run per layer invocation against a one-row view of this
+	// session's slice of the layer output, in order — exactly what a
+	// model-level hook sees when the session decodes alone.
+	Hooks []Hook
+}
+
+// DecodeStepBatch advances B independent sessions by one decode step each in
+// a single fused forward pass: the sessions' hidden states are stacked into
+// one B-row activation matrix, so every linear layer (attention projections,
+// MLP, LM head) streams its weight matrix once per step instead of once per
+// session. Attention stays per-session over each state's own KV slab.
+//
+// Bit identity: every linear output row is an independent Dot(x-row, w-row)
+// with the same FP op order as the single-session kernel, normalization and
+// readout are computed row-by-row, and attention reads only the session's
+// own KV — so each session's decoded token (and its entire KV/state
+// evolution) is bit-identical to what a serial DecodeStep sequence produces.
+// The batch equivalence tests and `ft2serve -selftest` assert this.
+//
+// The results are appended to dst (one token per item, in order) and each
+// item's State advances exactly as DecodeStep would advance it. Per-session
+// hooks ride on BatchItem.Hooks; model-level hooks registered with
+// RegisterHook cannot be attributed to a session and make the call panic.
+// Duplicate States within one call are a caller bug (the same KV slab would
+// be appended twice).
+func (m *Model) DecodeStepBatch(items []BatchItem, dst []int) []int {
+	if len(items) == 0 {
+		panic("model: DecodeStepBatch with no items")
+	}
+	if len(m.hooks) != 0 {
+		panic("model: DecodeStepBatch with model-level hooks registered; attach per-session hooks via BatchItem.Hooks")
+	}
+	m.ensureRuntime()
+	for i := range items {
+		st := items[i].State
+		if !st.Started() {
+			panic("model: DecodeStepBatch item before Prefill or Restore")
+		}
+		m.checkCompatible(st)
+		st.step++
+		if pos := st.pos(); pos >= m.Cfg.MaxSeq {
+			panic(fmt.Sprintf("model: decode position %d exceeds max seq %d", pos, m.Cfg.MaxSeq))
+		}
+	}
+	return m.decodeBatch(items, dst)
+}
+
+// decodeBatch is the fused forward pass over the stacked batch rows; items'
+// step counters are already advanced.
+func (m *Model) decodeBatch(items []BatchItem, dst []int) []int {
+	cfg := m.Cfg
+	sc := m.scratch
+	b := len(items)
+
+	x := sc.x.Reuse(b, cfg.Hidden)
+	for r := range items {
+		it := &items[r]
+		if it.Tok < 0 || it.Tok >= cfg.Vocab {
+			panic(fmt.Sprintf("model: token %d out of vocab %d", it.Tok, cfg.Vocab))
+		}
+		copy(x.Row(r), m.embed.Row(it.Tok))
+		if cfg.Family == FamilyOPT {
+			row := x.Row(r)
+			for c, pv := range m.posEmb.Row(it.State.pos()) {
+				row[c] += pv
+			}
+		}
+	}
+	x.Quantize(m.DType)
+
+	for bIdx, blk := range m.blocks {
+		switch cfg.Family {
+		case FamilyGPTJ:
+			normed := m.applyNormInto(sc.normed, blk.ln1, x)
+			attn := m.attentionBatch(bIdx, blk, normed, items)
+			ffn := m.mlpBatch(bIdx, blk, normed, items)
+			tensor.AddInPlace(x, attn)
+			tensor.AddInPlace(x, ffn)
+		default:
+			normed := m.applyNormInto(sc.normed, blk.ln1, x)
+			attn := m.attentionBatch(bIdx, blk, normed, items)
+			tensor.AddInPlace(x, attn)
+			normed2 := m.applyNormInto(sc.normed2, blk.ln2, x)
+			ffn := m.mlpBatch(bIdx, blk, normed2, items)
+			tensor.AddInPlace(x, ffn)
+		}
+		x.Quantize(m.DType)
+	}
+
+	// Per-session readout: every batch row is that session's final position.
+	last := sc.lastB.Reuse(b, cfg.Hidden)
+	copy(last.Data, x.Data)
+	for r := range items {
+		it := &items[r]
+		row := last.Row(r)
+		var ss float64
+		for _, v := range row {
+			ss += float64(v) * float64(v)
+		}
+		it.State.lastStreamNorm = float32(math.Sqrt(ss))
+
+		if cfg.TeacherWeight > 0 && m.streamNorm > 0 {
+			emb := m.embed.Row(m.teacher[it.Tok])
+			var tn float64
+			for _, v := range emb {
+				tn += float64(v) * float64(v)
+			}
+			if tn > 0 {
+				scale := cfg.TeacherWeight * m.streamNorm / float32(math.Sqrt(tn))
+				for i, v := range emb {
+					row[i] += scale * v
+				}
+			}
+		}
+	}
+
+	final := m.applyNormInto(sc.finalB, m.lnF, last)
+	logits := tensor.MatMulTInto(sc.logitsB.Reuse(b, cfg.Vocab), final, m.embed)
+	logits.Scale(cfg.LogitScale)
+	for r := range items {
+		tok := argmax(logits.Row(r))
+		items[r].State.lastTok = tok
+		dst = append(dst, tok)
+	}
+	return dst
+}
+
+// applyLinearBatch is applyLinearInto with per-session hooks.
+func (m *Model) applyLinearBatch(dst *tensor.Tensor, ref LayerRef, l linear, x *tensor.Tensor, items []BatchItem) *tensor.Tensor {
+	dst.Reuse(x.Rows, l.w.Rows)
+	tensor.LinearInto(dst, x, l.w, l.b)
+	dst.Quantize(m.DType)
+	m.runBatchHooks(ref, SiteLinearOut, x, dst, items)
+	return dst
+}
+
+// attentionBatch runs one decode row of causal self-attention per session:
+// shared batched K/Q/V projections, then per-session rope, KV append, and
+// per-head attention over that session's own slab. Row r of the result is
+// bit-identical to what the single-session attention produces for that
+// session's step.
+func (m *Model) attentionBatch(bIdx int, blk *block, x *tensor.Tensor, items []BatchItem) *tensor.Tensor {
+	cfg := m.Cfg
+	d := cfg.HeadDim()
+	maxSeq := cfg.MaxSeq
+	sc := m.scratch
+
+	k := m.applyLinearBatch(sc.k, LayerRef{bIdx, KProj}, blk.kProj, x, items)
+	q := m.applyLinearBatch(sc.q, LayerRef{bIdx, QProj}, blk.qProj, x, items)
+	v := m.applyLinearBatch(sc.v, LayerRef{bIdx, VProj}, blk.vProj, x, items)
+
+	if cfg.Family != FamilyOPT {
+		for r := range items {
+			pos := items[r].State.pos()
+			qrow, krow := q.Row(r), k.Row(r)
+			for h := 0; h < cfg.Heads; h++ {
+				m.rope.Apply(qrow[h*d:(h+1)*d], pos)
+				m.rope.Apply(krow[h*d:(h+1)*d], pos)
+			}
+		}
+	}
+
+	// Append each session's new K/V row to its own head-blocked slabs.
+	for r := range items {
+		cache := &items[r].State.kv[bIdx]
+		base := cache.rows
+		krow, vrow := k.Row(r), v.Row(r)
+		for h := 0; h < cfg.Heads; h++ {
+			off := (h*maxSeq + base) * d
+			copy(cache.k[off:off+d], krow[h*d:(h+1)*d])
+			copy(cache.v[off:off+d], vrow[h*d:(h+1)*d])
+		}
+		cache.rows++
+	}
+
+	ctxOut := sc.ctx.Reuse(x.Rows, cfg.Hidden)
+	ctxOut.Zero()
+	scale := float32(1 / math.Sqrt(float64(d)))
+	for r := range items {
+		cache := &items[r].State.kv[bIdx]
+		limit := cache.rows // causal: everything up to and including own row
+		scores := sc.scores[:limit]
+		for h := 0; h < cfg.Heads; h++ {
+			lo := h * d
+			kh := cache.k[h*maxSeq*d:]
+			vh := cache.v[h*maxSeq*d:]
+			qrow := q.Row(r)[lo : lo+d]
+			maxv := float32(math.Inf(-1))
+			for j := 0; j < limit; j++ {
+				s := tensor.Dot(qrow, kh[j*d:(j+1)*d]) * scale
+				scores[j] = s
+				if !math.IsNaN(float64(s)) && s > maxv {
+					maxv = s
+				}
+			}
+			var sum float32
+			for j := 0; j < limit; j++ {
+				e := float32(math.Exp(float64(scores[j] - maxv)))
+				scores[j] = e
+				sum += e
+			}
+			orow := ctxOut.Row(r)[lo : lo+d]
+			if sum > 0 {
+				inv := 1 / sum
+				for j := 0; j < limit; j++ {
+					wgt := scores[j] * inv
+					if wgt == 0 {
+						continue
+					}
+					vrow := vh[j*d : (j+1)*d]
+					for t := 0; t < d; t++ {
+						orow[t] += wgt * vrow[t]
+					}
+				}
+			}
+		}
+	}
+	ctxOut.Quantize(m.DType)
+	return m.applyLinearBatch(sc.attn, LayerRef{bIdx, OutProj}, blk.outProj, ctxOut, items)
+}
+
+// mlpBatch is the family-specific MLP over the stacked batch rows with
+// per-session hooks.
+func (m *Model) mlpBatch(bIdx int, blk *block, x *tensor.Tensor, items []BatchItem) *tensor.Tensor {
+	sc := m.scratch
+	switch m.Cfg.Family {
+	case FamilyOPT, FamilyGPTJ:
+		h := m.applyLinearBatch(sc.ffnA, LayerRef{bIdx, FC1}, blk.fc1, x, items)
+		m.Cfg.Activation.Apply(h)
+		h.Quantize(m.DType)
+		m.runBatchHooks(LayerRef{bIdx, FC1}, SiteActivationOut, nil, h, items)
+		return m.applyLinearBatch(sc.ffnOut, LayerRef{bIdx, FC2}, blk.fc2, h, items)
+	case FamilyLlama:
+		gate := m.applyLinearBatch(sc.ffnA, LayerRef{bIdx, GateProj}, blk.gateProj, x, items)
+		up := m.applyLinearBatch(sc.ffnB, LayerRef{bIdx, UpProj}, blk.upProj, x, items)
+		m.Cfg.Activation.Apply(gate)
+		tensor.MulInPlace(gate, up)
+		gate.Quantize(m.DType)
+		m.runBatchHooks(LayerRef{bIdx, GateProj}, SiteActivationOut, nil, gate, items)
+		return m.applyLinearBatch(sc.ffnOut, LayerRef{bIdx, DownProj}, blk.downProj, gate, items)
+	default:
+		panic("model: unknown family")
+	}
+}

@@ -32,12 +32,12 @@ func BenchmarkDecodeStep(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.step = 1
+				m.st.step = 1
 				sc.stepTok[0] = tok
 				sc.stepPos[0] = len(prompt)
 				m.forward(sc.stepTok[:], sc.stepPos[:])
-				for j := range m.kv {
-					m.kv[j].rows = len(prompt)
+				for j := range m.st.kv {
+					m.st.kv[j].rows = len(prompt)
 				}
 			}
 			b.StopTimer()

@@ -85,8 +85,49 @@ func (m *Model) runHooks(ref LayerRef, site Site, in, out *tensor.Tensor) {
 	if len(m.hooks) == 0 {
 		return
 	}
-	ctx := HookCtx{Layer: ref, Site: site, Input: in, Step: m.step, FirstToken: m.step == 0}
+	ctx := HookCtx{Layer: ref, Site: site, Input: in, Step: m.st.step, FirstToken: m.st.step == 0}
 	for _, e := range m.hooks {
 		e.fn(ctx, out)
 	}
+	// Hooks mutate out through its raw Data (fault injection, clamping);
+	// drop any cached derived state.
+	out.MarkMutated()
+}
+
+// runBatchHooks fires each row's per-session hooks against a one-row view
+// of that row's slice of out (and of in, for redundant-execution
+// protections), so hooks observe exactly the tensor shape — and therefore
+// the flat neuron indexing — they see in single-session decode. The views
+// alias reusable headers in the scratch arena and are only valid for the
+// duration of the hook call, like every hook tensor.
+func (m *Model) runBatchHooks(ref LayerRef, site Site, in, out *tensor.Tensor, items []BatchItem) {
+	any := false
+	for i := range items {
+		if len(items[i].Hooks) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	sc := m.scratch
+	for r := range items {
+		it := &items[r]
+		if len(it.Hooks) == 0 {
+			continue
+		}
+		sc.rowOut.Rows, sc.rowOut.Cols = 1, out.Cols
+		sc.rowOut.Data = out.Data[r*out.Cols : (r+1)*out.Cols]
+		ctx := HookCtx{Layer: ref, Site: site, Step: it.State.step}
+		if in != nil {
+			sc.rowIn.Rows, sc.rowIn.Cols = 1, in.Cols
+			sc.rowIn.Data = in.Data[r*in.Cols : (r+1)*in.Cols]
+			ctx.Input = sc.rowIn
+		}
+		for _, h := range it.Hooks {
+			h(ctx, sc.rowOut)
+		}
+	}
+	out.MarkMutated()
 }

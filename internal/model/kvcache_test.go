@@ -35,7 +35,7 @@ func TestKVCacheEquivalenceBitwise(t *testing.T) {
 			cachedLogits = append(cachedLogits, append([]float32(nil), logits...))
 			tok := argmax(logits)
 			for s := 1; s < genTokens; s++ {
-				m.step = s
+				m.st.step = s
 				m.scratch.stepTok[0] = tok
 				m.scratch.stepPos[0] = len(prompt) + s - 1
 				logits = m.forward(m.scratch.stepTok[:], m.scratch.stepPos[:])

@@ -61,11 +61,9 @@ type Model struct {
 	hooks      []hookEntry
 	nextHookID int
 
-	// generation state
-	step      int
-	promptLen int
-	lastTok   int
-	kv        []kvCache
+	// st is the active generation state (see DecodeState); swapped per
+	// session by the serving scheduler, lazily allocated on first Prefill.
+	st *DecodeState
 
 	// rope caches the rotary sin/cos factors for non-OPT families.
 	rope *tensor.RopeTable
@@ -172,7 +170,7 @@ func New(cfg Config, seed int64, dtype numerics.DType) (*Model, error) {
 		probe[i] = firstRealToken + (i*37)%(cfg.Vocab-firstRealToken)
 	}
 	m.Generate(probe, 4)
-	m.streamNorm = m.lastStreamNorm
+	m.streamNorm = m.st.lastStreamNorm
 	m.resetState()
 	return m, nil
 }
@@ -373,7 +371,7 @@ func (m *Model) attention(bIdx int, blk *block, x *tensor.Tensor, positions []in
 	}
 
 	// Append to the KV cache, transposing rows into the head-blocked slabs.
-	cache := &m.kv[bIdx]
+	cache := &m.st.kv[bIdx]
 	base := cache.rows // absolute position of x's first row
 	for r := 0; r < x.Rows; r++ {
 		krow, vrow := k.Row(r), v.Row(r)
@@ -506,7 +504,7 @@ func (m *Model) forward(tokens []int, positions []int) []float32 {
 	for _, v := range last.Data {
 		ss += float64(v) * float64(v)
 	}
-	m.lastStreamNorm = float32(math.Sqrt(ss))
+	m.st.lastStreamNorm = float32(math.Sqrt(ss))
 
 	if cfg.TeacherWeight > 0 && m.streamNorm > 0 {
 		// Inject the next-token prior as a stream component of fixed
@@ -532,30 +530,28 @@ func (m *Model) forward(tokens []int, positions []int) []float32 {
 	return logits.Row(0)
 }
 
-// resetState clears the KV cache and step counter for a fresh generation,
-// lazily building the slab cache and scratch arena on first use. The slabs
-// are preallocated once to MaxSeq capacity and only their fill counters
-// reset, so repeated generations never touch the allocator.
-func (m *Model) resetState() {
+// ensureRuntime lazily builds the shared forward-pass machinery (scratch
+// arena, rope table) without touching generation state, so batched decode
+// over caller-owned DecodeStates can prepare a freshly built model too.
+func (m *Model) ensureRuntime() {
 	if m.scratch == nil {
 		m.scratch = newArena(m.Cfg)
 	}
 	if m.rope == nil && m.Cfg.Family != FamilyOPT {
 		m.rope = tensor.NewRopeTable(m.Cfg.MaxSeq, m.Cfg.HeadDim(), 10000)
 	}
-	if m.kv == nil {
-		m.kv = make([]kvCache, m.Cfg.Blocks)
-		slab := m.Cfg.MaxSeq * m.Cfg.Hidden
-		for i := range m.kv {
-			m.kv[i].k = make([]float32, slab)
-			m.kv[i].v = make([]float32, slab)
-		}
+}
+
+// resetState clears the active generation state for a fresh generation,
+// lazily building the state, slab cache, and scratch arena on first use. The
+// slabs are preallocated once to MaxSeq capacity and only their fill
+// counters reset, so repeated generations never touch the allocator.
+func (m *Model) resetState() {
+	m.ensureRuntime()
+	if m.st == nil {
+		m.st = m.NewDecodeState()
 	}
-	for i := range m.kv {
-		m.kv[i].rows = 0
-	}
-	m.step = 0
-	m.promptLen = 0
+	m.st.Reset()
 }
 
 // Prefill resets the generation state and processes the whole prompt in a
@@ -571,28 +567,23 @@ func (m *Model) Prefill(prompt []int) int {
 		panic(fmt.Sprintf("model: prompt %d exceeds max seq %d", len(prompt), m.Cfg.MaxSeq))
 	}
 	m.resetState()
-	m.promptLen = len(prompt)
+	m.st.promptLen = len(prompt)
 	positions := m.scratch.positions[:len(prompt)]
 	for i := range positions {
 		positions[i] = i
 	}
-	m.lastTok = argmax(m.forward(prompt, positions))
-	return m.lastTok
+	m.st.lastTok = argmax(m.forward(prompt, positions))
+	return m.st.lastTok
 }
 
 // Started reports whether the model holds live generation state — a
 // Prefill or Restore happened — i.e. whether DecodeStep may be called.
-func (m *Model) Started() bool { return m.promptLen > 0 }
+func (m *Model) Started() bool { return m.st.Started() }
 
 // SeqLen returns the sequence positions currently occupied (prompt plus
 // decoded steps); the next DecodeStep claims position SeqLen, which must
 // stay below Cfg.MaxSeq.
-func (m *Model) SeqLen() int {
-	if m.promptLen == 0 {
-		return 0
-	}
-	return m.promptLen + m.step
-}
+func (m *Model) SeqLen() int { return m.st.SeqLen() }
 
 // DecodeStep runs one decode step: it feeds tok (normally the token the
 // previous step returned) as the next sequence position against the KV
@@ -600,19 +591,19 @@ func (m *Model) SeqLen() int {
 // hooks observe advances by one per call; the first call after Prefill is
 // step 1.
 func (m *Model) DecodeStep(tok int) int {
-	if m.promptLen == 0 {
+	if !m.st.Started() {
 		panic("model: DecodeStep before Prefill or Restore")
 	}
 	sc := m.scratch
-	m.step++
-	pos := m.promptLen + m.step - 1
+	m.st.step++
+	pos := m.st.pos()
 	if pos >= m.Cfg.MaxSeq {
 		panic(fmt.Sprintf("model: decode position %d exceeds max seq %d", pos, m.Cfg.MaxSeq))
 	}
 	sc.stepTok[0] = tok
 	sc.stepPos[0] = pos
-	m.lastTok = argmax(m.forward(sc.stepTok[:], sc.stepPos[:]))
-	return m.lastTok
+	m.st.lastTok = argmax(m.forward(sc.stepTok[:], sc.stepPos[:]))
+	return m.st.lastTok
 }
 
 // Generate greedily decodes n tokens after the prompt, invoking forward

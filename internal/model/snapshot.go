@@ -65,26 +65,27 @@ func (s *Snapshot) Compatible(cfg Config) error {
 // steps — after Prefill or a DecodeStep returned and before the next
 // DecodeStep — and captures the state "before step NextStep".
 func (m *Model) Checkpoint(into *Snapshot) {
-	if m.kv == nil || m.promptLen == 0 {
+	if !m.st.Started() {
 		panic("model: Checkpoint before Prefill")
 	}
 	cfg := m.Cfg
 	d := cfg.HeadDim()
-	rows := m.kv[0].rows
+	st := m.st
+	rows := st.kv[0].rows
 	into.family = cfg.Family
 	into.blocks, into.hidden, into.maxSeq, into.headDim = cfg.Blocks, cfg.Hidden, cfg.MaxSeq, d
-	into.nextStep = m.step + 1
-	into.lastTok = m.lastTok
-	into.promptLen = m.promptLen
+	into.nextStep = st.step + 1
+	into.lastTok = st.lastTok
+	into.promptLen = st.promptLen
 	into.rows = rows
-	into.lastStreamNorm = m.lastStreamNorm
+	into.lastStreamNorm = st.lastStreamNorm
 
 	if len(into.k) != cfg.Blocks {
 		into.k = make([][]float32, cfg.Blocks)
 		into.v = make([][]float32, cfg.Blocks)
 	}
 	span := rows * cfg.Hidden
-	for b := range m.kv {
+	for b := range st.kv {
 		if cap(into.k[b]) < span {
 			into.k[b] = make([]float32, span)
 			into.v[b] = make([]float32, span)
@@ -94,8 +95,8 @@ func (m *Model) Checkpoint(into *Snapshot) {
 		// Compact each head's contiguous run: slab offset h*MaxSeq*d,
 		// snapshot offset h*rows*d.
 		for h := 0; h < cfg.Heads; h++ {
-			copy(dk[h*rows*d:(h+1)*rows*d], m.kv[b].k[h*cfg.MaxSeq*d:])
-			copy(dv[h*rows*d:(h+1)*rows*d], m.kv[b].v[h*cfg.MaxSeq*d:])
+			copy(dk[h*rows*d:(h+1)*rows*d], st.kv[b].k[h*cfg.MaxSeq*d:])
+			copy(dv[h*rows*d:(h+1)*rows*d], st.kv[b].v[h*cfg.MaxSeq*d:])
 		}
 	}
 }
@@ -116,17 +117,18 @@ func (m *Model) Restore(s *Snapshot) int {
 			s.family, s.blocks, s.hidden, s.maxSeq, cfg.Name))
 	}
 	m.resetState()
-	m.step = s.nextStep - 1
-	m.lastTok = s.lastTok
-	m.promptLen = s.promptLen
-	m.lastStreamNorm = s.lastStreamNorm
+	st := m.st
+	st.step = s.nextStep - 1
+	st.lastTok = s.lastTok
+	st.promptLen = s.promptLen
+	st.lastStreamNorm = s.lastStreamNorm
 	d := s.headDim
-	for b := range m.kv {
+	for b := range st.kv {
 		for h := 0; h < cfg.Heads; h++ {
-			copy(m.kv[b].k[h*cfg.MaxSeq*d:], s.k[b][h*s.rows*d:(h+1)*s.rows*d])
-			copy(m.kv[b].v[h*cfg.MaxSeq*d:], s.v[b][h*s.rows*d:(h+1)*s.rows*d])
+			copy(st.kv[b].k[h*cfg.MaxSeq*d:], s.k[b][h*s.rows*d:(h+1)*s.rows*d])
+			copy(st.kv[b].v[h*cfg.MaxSeq*d:], s.v[b][h*s.rows*d:(h+1)*s.rows*d])
 		}
-		m.kv[b].rows = s.rows
+		st.kv[b].rows = s.rows
 	}
 	return s.lastTok
 }

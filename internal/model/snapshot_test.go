@@ -151,7 +151,7 @@ func TestSnapshotMemoryBytes(t *testing.T) {
 	m := MustNew(cfg, 9, numerics.FP16)
 	prompt := []int{1, 2, 3, 4, 5}
 	m.Prefill(prompt)
-	tok := m.DecodeStep(m.lastTok)
+	tok := m.DecodeStep(m.st.lastTok)
 	_ = tok
 
 	var snap Snapshot
@@ -171,7 +171,7 @@ func TestSnapshotMemoryBytes(t *testing.T) {
 func TestSnapshotRejectsWrongArchitecture(t *testing.T) {
 	m := MustNew(smallCfg(FamilyLlama), 3, numerics.FP16)
 	m.Prefill([]int{1, 2, 3})
-	m.DecodeStep(m.lastTok)
+	m.DecodeStep(m.st.lastTok)
 	var snap Snapshot
 	m.Checkpoint(&snap)
 

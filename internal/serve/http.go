@@ -176,6 +176,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.mx.render(w, s.cfg.Model, s.cfg.Replicas, s.cfg.MaxSessions,
+	s.mx.render(w, s.cfg.Model, s.cfg.Replicas, s.cfg.MaxSessions, s.cfg.BatchMax,
 		s.sch.queueDepth(), s.sch.activeSessions())
 }

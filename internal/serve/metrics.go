@@ -18,6 +18,7 @@ type metrics struct {
 	start       time.Time
 	draining    atomic.Bool
 	tokensTotal atomic.Int64
+	batchSteps  atomic.Int64 // decode steps driven (each advances ≥1 session)
 
 	statusMu sync.Mutex
 	status   map[int]int64 // HTTP status → requests settled with it
@@ -26,18 +27,20 @@ type metrics struct {
 	corrByKind    [model.NumLayerKinds]KindCorrections
 	firstTokenNaN int64
 
-	tokenLat *latencyRing // per-decode-step latency
-	queueLat *latencyRing // admission → first slice
-	reqLat   *latencyRing // admission → settled
+	tokenLat  *latencyRing // per-decode-step latency
+	queueLat  *latencyRing // admission → first slice
+	reqLat    *latencyRing // admission → settled
+	batchSize *latencyRing // sessions fused per decode step (achieved batch)
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		start:    time.Now(),
 		status:   make(map[int]int64),
-		tokenLat: newLatencyRing(8192),
-		queueLat: newLatencyRing(2048),
-		reqLat:   newLatencyRing(2048),
+		tokenLat:  newLatencyRing(8192),
+		queueLat:  newLatencyRing(2048),
+		reqLat:    newLatencyRing(2048),
+		batchSize: newLatencyRing(8192),
 	}
 }
 
@@ -101,12 +104,13 @@ func (r *latencyRing) quantiles(qs ...float64) []float64 {
 
 // render writes the text-format metrics. queueDepth/active/replicas come
 // from the scheduler at scrape time.
-func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, queueDepth, active int) {
+func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, batchMax, queueDepth, active int) {
 	uptime := time.Since(m.start).Seconds()
 	fmt.Fprintf(w, "ft2serve_uptime_seconds %.3f\n", uptime)
 	fmt.Fprintf(w, "ft2serve_model{name=%q} 1\n", modelName)
 	fmt.Fprintf(w, "ft2serve_replicas %d\n", replicas)
 	fmt.Fprintf(w, "ft2serve_max_sessions %d\n", maxSessions)
+	fmt.Fprintf(w, "ft2serve_batch_max %d\n", batchMax)
 	fmt.Fprintf(w, "ft2serve_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "ft2serve_active_sessions %d\n", active)
 	drain := 0
@@ -130,6 +134,11 @@ func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, q
 	fmt.Fprintf(w, "ft2serve_tokens_generated_total %d\n", tokens)
 	if uptime > 0 {
 		fmt.Fprintf(w, "ft2serve_tokens_per_sec %.2f\n", float64(tokens)/uptime)
+	}
+	fmt.Fprintf(w, "ft2serve_batched_steps_total %d\n", m.batchSteps.Load())
+	if qs := m.batchSize.quantiles(0.5, 0.99); qs != nil {
+		fmt.Fprintf(w, "ft2serve_batch_size{quantile=\"0.5\"} %.1f\n", qs[0])
+		fmt.Fprintf(w, "ft2serve_batch_size{quantile=\"0.99\"} %.1f\n", qs[1])
 	}
 
 	for _, lr := range []struct {

@@ -6,17 +6,37 @@ import (
 	"ft2/internal/numerics"
 )
 
-// replica is one model instance plus its reusable FT2 controller. A replica
-// is owned by exactly one scheduler worker; sessions borrow it for a slice
-// at a time.
+// replica is one model instance plus its per-batch-slot FT2 controllers. A
+// replica is owned by exactly one scheduler worker; sessions borrow it for a
+// slice at a time — serially (SwapState + Prefill/DecodeStep) or fused into
+// one DecodeStepBatch call.
 type replica struct {
-	m   *model.Model
-	ft2 *core.FT2
-	// resident is the session whose generation state currently lives in the
-	// replica's KV cache (nil when none). A session advancing on the
-	// replica it is resident on skips the Restore/Checkpoint round trip.
-	resident *Session
+	m    *model.Model
+	opts core.Options
+
+	// ctls[i] is the controller protecting the session in batch slot i, and
+	// hookSets[i] the prebuilt one-element hook slice handed to
+	// model.BatchItem.Hooks — built once so the per-step batch assembly
+	// allocates nothing. Every controller resumes the session's own fork
+	// state at slice start, so counters stay per-session even though the
+	// controllers are replica-owned.
+	ctls     []*core.FT2
+	hookSets [][]model.Hook
 }
+
+// controller returns the slot's FT2 controller, growing the set on demand.
+func (r *replica) controller(slot int) *core.FT2 {
+	for len(r.ctls) <= slot {
+		f := core.New(r.m, r.opts)
+		r.ctls = append(r.ctls, f)
+		r.hookSets = append(r.hookSets, []model.Hook{f.Hook()})
+	}
+	return r.ctls[slot]
+}
+
+// hooks returns the prebuilt hook slice for a slot (controller(slot) must
+// have been called first this slice).
+func (r *replica) hooks(slot int) []model.Hook { return r.hookSets[slot] }
 
 // newReplica builds one replica of the pool's model. All replicas of a pool
 // share (cfg, seed, dtype) and therefore have bit-identical weights.
@@ -25,10 +45,7 @@ func newReplica(cfg model.Config, seed int64, d numerics.DType, opts core.Option
 	if err != nil {
 		return nil, err
 	}
-	// The controller is built once and installed per protected slice; it
-	// never runs with hooks left over from another session because every
-	// slice starts from ClearHooks.
-	return &replica{m: m, ft2: core.New(m, opts)}, nil
+	return &replica{m: m, opts: opts}, nil
 }
 
 // pool is the fixed set of replicas, one per scheduler worker.

@@ -7,15 +7,20 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"ft2/internal/core"
+	"ft2/internal/model"
 )
 
 // scheduler implements continuous batching over the replica pool: admitted
-// sessions circulate through a ready ring, each worker repeatedly takes the
-// next ready session, advances it by one slice on its replica, and puts it
-// back — so a long generation shares replicas with short ones, a finished
+// sessions circulate through a ready ring; each worker repeatedly gathers up
+// to BatchMax ready sessions into a group, advances the whole group one
+// slice on its replica — fused into DecodeStepBatch calls so every weight
+// matrix streams once per step for the whole group — and puts the survivors
+// back. A long generation shares replicas with short ones, a finished
 // session frees its slot immediately, and the next queued request is
-// admitted mid-flight. A worker whose ready ring is empty keeps its current
-// session resident and skips the park/restore copies entirely.
+// admitted mid-flight. Sessions own their KV state (model.DecodeState), so
+// moving between replicas costs a pointer swap, not a snapshot copy.
 type scheduler struct {
 	cfg  Config
 	pool *pool
@@ -23,9 +28,10 @@ type scheduler struct {
 
 	mu       sync.RWMutex // guards draining + admit-channel close
 	draining bool
-	admit    chan *Session // bounded admission queue
-	ready    chan *Session // circulating active sessions, cap MaxSessions
-	slots    chan struct{} // active-session semaphore, cap MaxSessions
+	admit    chan *Session            // bounded admission queue
+	ready    chan *Session            // circulating active sessions, cap MaxSessions
+	slots    chan struct{}            // active-session semaphore, cap MaxSessions
+	states   chan *model.DecodeState  // recycled session KV states
 
 	sessions   map[*Session]struct{} // admitted, not yet finished
 	sessionsMu sync.Mutex
@@ -45,6 +51,7 @@ func newScheduler(cfg Config, pool *pool, mx *metrics) *scheduler {
 		admit:          make(chan *Session, cfg.QueueDepth),
 		ready:          make(chan *Session, cfg.MaxSessions),
 		slots:          make(chan struct{}, cfg.MaxSessions),
+		states:         make(chan *model.DecodeState, cfg.MaxSessions),
 		sessions:       make(map[*Session]struct{}),
 		dispatcherDone: make(chan struct{}),
 	}
@@ -109,65 +116,152 @@ func (sch *scheduler) dispatch() {
 	}
 }
 
-// worker owns one replica slot and drives ready sessions over it.
+// group is a worker's reusable slice batch: the sessions fused into this
+// slice, their per-slice step budgets, and the assembly buffers for
+// DecodeStepBatch. Reused across slices so steady-state scheduling does not
+// allocate.
+type group struct {
+	pending  []*Session // gathered from the ready ring
+	sessions []*Session // after prefill/weed; nil = settled mid-slice
+	rem      []int      // decode steps left this slice, parallel to sessions
+	ctls     []*core.FT2
+	idx      []int // participant indices of the current step
+	items    []model.BatchItem
+	toks     []int
+}
+
+// worker owns one replica slot and drives groups of ready sessions over it.
 func (sch *scheduler) worker(idx int) {
 	defer sch.workers.Done()
 	r := sch.pool.replicas[idx]
+	g := &group{}
 	for s := range sch.ready {
-		r = sch.drive(r, s)
+		r = sch.runSlice(r, g, s)
 	}
 }
 
-// drive advances s slice by slice. When other sessions are waiting it parks
-// s after each slice and round-robins; when none are, s stays resident and
-// decodes without snapshot traffic. Returns the (possibly rebuilt) replica.
-func (sch *scheduler) drive(r *replica, s *Session) *replica {
-	for {
-		done, err := sch.sliceGuarded(r, s)
-		if err != nil {
-			if r.resident == s {
-				r.resident = nil
-			}
-			sch.finish(s, err)
-			<-sch.slots
-			if s.err != nil && errStatus(s.err) == 500 {
-				// A panic escaped the engine mid-slice: the replica's KV
-				// state and hook list are suspect. Replace it.
-				if nr, rerr := sch.pool.rebuild(); rerr == nil {
-					r = nr
-				} else {
-					r.m.ClearHooks()
-				}
-			}
-			return r
-		}
-		if done {
-			r.resident = nil
-			sch.finish(s, nil)
-			<-sch.slots
-			return r
-		}
+// runSlice advances one group of sessions by one scheduling slice: gather up
+// to BatchMax ready sessions, prefill the unstarted ones individually (row
+// counts differ per prompt), then run the whole group through fused batched
+// decode steps. Returns the (possibly rebuilt) replica.
+func (sch *scheduler) runSlice(r *replica, g *group, first *Session) *replica {
+	g.pending = append(g.pending[:0], first)
+gather:
+	for len(g.pending) < sch.cfg.BatchMax {
 		select {
-		case next, ok := <-sch.ready:
+		case s, ok := <-sch.ready:
 			if !ok {
-				// Ring closed with s still active: forced shutdown. Keep
-				// driving s — its context has been canceled, so the next
-				// slice fails fast.
+				break gather // ring closed: forced shutdown, drive what we hold
+			}
+			g.pending = append(g.pending, s)
+		default:
+			break gather
+		}
+	}
+
+	g.sessions, g.rem, g.ctls = g.sessions[:0], g.rem[:0], g.ctls[:0]
+	for _, s := range g.pending {
+		if err := s.checkCtx(); err != nil {
+			sch.settle(s, err)
+			continue
+		}
+		budget := sch.cfg.SliceSteps
+		if !s.started {
+			finished, err := sch.prefillGuarded(r, s)
+			if err != nil {
+				sch.settle(s, err)
+				if errStatus(err) == 500 {
+					r = sch.replaceReplica(r)
+				}
 				continue
 			}
-			s.park(r)
-			sch.ready <- s // slot freed by the receive above: never blocks
-			s = next
-		default:
-			// No one is waiting: keep s resident and continue.
+			if finished {
+				sch.settle(s, nil)
+				continue
+			}
+			budget-- // the prefill consumed one of this slice's steps
 		}
+		g.sessions = append(g.sessions, s)
+		g.rem = append(g.rem, budget)
 	}
+	if len(g.sessions) == 0 {
+		return r
+	}
+
+	// Reinstate each protected session's counters and first-token bounds on
+	// its slot's controller; the decode hooks only read the shared bounds
+	// store, so many sessions of one bounds lineage can decode in one batch.
+	for i, s := range g.sessions {
+		var f *core.FT2
+		if s.req.Protected {
+			f = r.controller(i)
+			f.ResumeFork(s.ftState)
+		}
+		g.ctls = append(g.ctls, f)
+	}
+
+	if err := sch.decodeSlice(r, g); err != nil {
+		// A panic escaped the engine mid-slice: every session still in the
+		// group fails, and the replica's KV/hook state is suspect.
+		for _, s := range g.sessions {
+			if s != nil {
+				sch.settle(s, err)
+			}
+		}
+		return sch.replaceReplica(r)
+	}
+	return r
 }
 
-// sliceGuarded is the per-slice fault boundary: any panic out of the
-// engine (or a hook) is converted into a 500-class error for this request
-// instead of crashing the server.
-func (sch *scheduler) sliceGuarded(r *replica, s *Session) (done bool, err error) {
+// prefillGuarded runs a session's prefill on r inside the panic boundary,
+// returning whether the generation already finished with the first token.
+func (sch *scheduler) prefillGuarded(r *replica, s *Session) (finished bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			log.Printf("serve: panic in session prefill: %v\n%s", p, debug.Stack())
+			err = &apiError{Status: 500,
+				Msg: fmt.Sprintf("serve: internal error: %v", p)}
+		}
+	}()
+	m := r.m
+	m.ClearHooks()
+	if s.state == nil {
+		s.state = sch.obtainState(r)
+	}
+	prev := m.SwapState(s.state)
+	defer m.SwapState(prev)
+	var f *core.FT2
+	if s.req.Protected {
+		f = r.controller(0)
+		f.Reset()
+		f.Install()
+		defer m.ClearHooks()
+	}
+	s.startAt = time.Now()
+	sch.mx.queueLat.observe(msSince(s.admitted, s.startAt))
+	tok := m.Prefill(s.prompt)
+	s.started = true
+	s.lastTok = tok
+	s.emit(tok)
+	sch.mx.tokensTotal.Add(1)
+	if s.req.Protected {
+		// The first-token bounds are complete once the prefill returned;
+		// clone them out of the controller so other sessions' Resets cannot
+		// clear them.
+		s.ftState = f.CaptureForkState()
+	}
+	return s.finishedAfter(tok), nil
+}
+
+// decodeSlice is the fused decode phase and its fault boundary: each
+// iteration advances every live session with step budget left by one token —
+// one DecodeStepBatch call when two or more participate, a serial
+// swapped-state DecodeStep when one does (or when BatchMax pins the group
+// size to 1). Finished and expired sessions settle mid-loop; survivors are
+// re-enqueued to the ready ring. Any panic out of the engine (or a hook)
+// becomes a 500-class error for the whole group instead of crashing the
+// server.
+func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			log.Printf("serve: panic in session slice: %v\n%s", p, debug.Stack())
@@ -175,11 +269,123 @@ func (sch *scheduler) sliceGuarded(r *replica, s *Session) (done bool, err error
 				Msg: fmt.Sprintf("serve: internal error: %v", p)}
 		}
 	}()
-	return s.advance(r, sch.cfg.SliceSteps, sch.cfg.StepDelay, sch.mx)
+	m := r.m
+	m.ClearHooks()
+	for {
+		// Step boundary: settle sessions whose deadline expired or whose
+		// client went away.
+		for i, s := range g.sessions {
+			if s == nil {
+				continue
+			}
+			if cerr := s.checkCtx(); cerr != nil {
+				sch.finishInGroup(g, i, cerr)
+			}
+		}
+		g.idx = g.idx[:0]
+		for i, s := range g.sessions {
+			if s != nil && g.rem[i] > 0 {
+				g.idx = append(g.idx, i)
+			}
+		}
+		if len(g.idx) == 0 {
+			break
+		}
+		if sch.cfg.StepDelay > 0 {
+			time.Sleep(sch.cfg.StepDelay)
+		}
+
+		t0 := time.Now()
+		if len(g.idx) == 1 {
+			i := g.idx[0]
+			s := g.sessions[i]
+			m.ClearHooks()
+			if g.ctls[i] != nil {
+				g.ctls[i].Install()
+			}
+			prev := m.SwapState(s.state)
+			s.lastTok = m.DecodeStep(s.lastTok)
+			m.SwapState(prev)
+			m.ClearHooks()
+		} else {
+			g.items = g.items[:0]
+			for _, i := range g.idx {
+				s := g.sessions[i]
+				var hooks []model.Hook
+				if g.ctls[i] != nil {
+					hooks = r.hooks(i)
+				}
+				g.items = append(g.items, model.BatchItem{State: s.state, Tok: s.lastTok, Hooks: hooks})
+			}
+			g.toks = m.DecodeStepBatch(g.items, g.toks[:0])
+			for n, i := range g.idx {
+				g.sessions[i].lastTok = g.toks[n]
+			}
+		}
+		sch.mx.tokenLat.observe(msSince(t0, time.Now()))
+		sch.mx.batchSize.observe(float64(len(g.idx)))
+		sch.mx.batchSteps.Add(1)
+
+		for _, i := range g.idx {
+			s := g.sessions[i]
+			s.emit(s.lastTok)
+			sch.mx.tokensTotal.Add(1)
+			g.rem[i]--
+			if s.finishedAfter(s.lastTok) {
+				sch.finishInGroup(g, i, nil)
+			}
+		}
+	}
+
+	// Survivors: capture their correction counters and put them back on the
+	// ring (cap MaxSessions ≥ active sessions: never blocks).
+	for i, s := range g.sessions {
+		if s == nil {
+			continue
+		}
+		if g.ctls[i] != nil {
+			s.syncFT2(g.ctls[i])
+		}
+		sch.ready <- s
+	}
+	return nil
 }
 
-// finish settles a session: terminal result, stream close, bookkeeping.
-func (sch *scheduler) finish(s *Session, err error) {
+// finishInGroup settles a session mid-slice and removes it from the group.
+func (sch *scheduler) finishInGroup(g *group, i int, err error) {
+	s := g.sessions[i]
+	if g.ctls[i] != nil {
+		s.syncFT2(g.ctls[i])
+	}
+	g.sessions[i] = nil
+	sch.settle(s, err)
+}
+
+// obtainState recycles a finished session's KV state or allocates a fresh
+// one. States are architecture-identical across replicas, so any worker may
+// reuse any state.
+func (sch *scheduler) obtainState(r *replica) *model.DecodeState {
+	select {
+	case st := <-sch.states:
+		return st
+	default:
+		return r.m.NewDecodeState()
+	}
+}
+
+// replaceReplica swaps in a freshly built replica after a panic poisoned the
+// current one; if the rebuild fails the old one is kept with hooks cleared.
+func (sch *scheduler) replaceReplica(r *replica) *replica {
+	if nr, err := sch.pool.rebuild(); err == nil {
+		return nr
+	}
+	r.m.ClearHooks()
+	return r
+}
+
+// settle finishes a session: terminal result, stream close, bookkeeping,
+// slot release, state recycling.
+func (sch *scheduler) settle(s *Session, err error) {
 	if err != nil {
 		s.err = err
 	}
@@ -201,7 +407,15 @@ func (sch *scheduler) finish(s *Session, err error) {
 	if s.req.Protected {
 		sch.mx.addCorrections(s.ftState)
 	}
+	if st := s.state; st != nil {
+		s.state = nil
+		select {
+		case sch.states <- st:
+		default:
+		}
+	}
 	sch.inflight.Done()
+	<-sch.slots
 }
 
 // beginDrain stops admission: subsequent submits fail with ErrDraining and

@@ -9,14 +9,16 @@
 //     bit-identical), each paired with a reusable FT2 controller.
 //   - A continuous-batching scheduler admits requests through a bounded
 //     queue and multiplexes up to MaxSessions active sessions over the
-//     replicas: each session advances in slices of SliceSteps decode steps,
-//     then yields the replica to the next waiting session. Sessions are
-//     parked with model.Checkpoint + core.CaptureForkState-style FT2 state
-//     and resumed with model.Restore + core.ResumeFork — the same
-//     bit-exact fork primitives the campaign engine uses — so a served
-//     generation is bit-identical to a standalone GenerateInto run no
-//     matter how often it was preempted. A session that stays alone on its
-//     replica is kept resident and never pays the snapshot copies.
+//     replicas: each worker gathers up to BatchMax ready sessions into a
+//     group and advances the whole group one slice of SliceSteps decode
+//     steps through model.DecodeStepBatch — every weight matrix streams
+//     once per step for the group instead of once per session — then puts
+//     the survivors back on the ready ring. Each session owns its KV state
+//     (model.DecodeState) and its FT2 fork state, so moving between
+//     replicas is a pointer swap and a served generation is bit-identical
+//     to a standalone GenerateInto run no matter how it was batched or
+//     preempted. Groups of one (and BatchMax=1) fall back to serial
+//     DecodeStep — same bits either way.
 //   - Robustness: per-request deadlines via context, 429 backpressure when
 //     the admission queue is full, 503 while draining, and a per-slice
 //     recover boundary so a request that trips an engine panic is answered
@@ -57,8 +59,12 @@ type Config struct {
 	QueueDepth int
 	// SliceSteps is the decode steps a session runs per scheduling slice
 	// before yielding its replica (default 8). Smaller slices interleave
-	// finer at a higher checkpoint/restore cost.
+	// finer at a higher scheduling cost.
 	SliceSteps int
+	// BatchMax caps how many ready sessions a worker fuses into one
+	// DecodeStepBatch group (default 4×Replicas, capped at MaxSessions).
+	// 1 disables fusion: every session steps serially.
+	BatchMax int
 	// DefaultDeadline bounds a request that carries no deadline of its own
 	// (default 30s; ≤0 keeps the default — a server must never hold a slot
 	// forever).
@@ -105,6 +111,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.SliceSteps <= 0 {
 		c.SliceSteps = 8
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 4 * c.Replicas
+	}
+	if c.BatchMax > c.MaxSessions {
+		c.BatchMax = c.MaxSessions
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 30 * time.Second

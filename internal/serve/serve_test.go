@@ -100,6 +100,60 @@ func TestServedMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestBatchMaxSweep pins the fusion contract across batch widths: the same
+// protected load served with BatchMax 1 (pure serial fallback), 2, and 8
+// produces bit-identical tokens — fusing sessions into DecodeStepBatch
+// changes throughput, never results — and all match the GenerateInto oracle.
+// The batched runs must also account every step in the batch metrics.
+func TestBatchMaxSweep(t *testing.T) {
+	prompts := testPrompts(t, 5)
+	const requests, maxTokens = 10, 15
+
+	run := func(batchMax int) [][]int {
+		cfg := testConfig(t)
+		cfg.BatchMax = batchMax
+		srv := newTestServer(t, cfg)
+		st := srv.RunLoad(context.Background(), LoadSpec{
+			Clients: 8, Requests: requests, MaxTokens: maxTokens,
+			Protected: true, PromptFor: prompts,
+		})
+		if st.Failed > 0 {
+			t.Fatalf("batchMax=%d: %v", batchMax, st.Errs)
+		}
+		if steps := srv.mx.batchSteps.Load(); steps <= 0 {
+			t.Fatalf("batchMax=%d: no batched steps accounted", batchMax)
+		}
+		out := make([][]int, requests)
+		for i, r := range st.Results {
+			out[i] = r.Tokens
+		}
+		return out
+	}
+
+	resolved, err := testConfig(t).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := run(1)
+	for i := range serial {
+		want, _, err := Oracle(resolved, prompts(i), maxTokens, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalTokens(serial[i], want) {
+			t.Fatalf("batchMax=1 request %d: %v != oracle %v", i, serial[i], want)
+		}
+	}
+	for _, bm := range []int{2, 8} {
+		batched := run(bm)
+		for i := range serial {
+			if !equalTokens(batched[i], serial[i]) {
+				t.Fatalf("batchMax=%d request %d: %v != serial %v", bm, i, batched[i], serial[i])
+			}
+		}
+	}
+}
+
 // TestContinuousBatching checks the defining property of the scheduler: a
 // short request admitted while a long one is mid-flight finishes first,
 // because sessions interleave in slices instead of running to completion.

@@ -12,10 +12,12 @@ import (
 )
 
 // Session is one admitted generation request moving through the scheduler.
-// A session is driven by exactly one worker at a time; between slices it is
-// parked as a model.Snapshot plus FT2 fork state, so it can resume on any
-// replica bit-identically. Clients observe it through Tokens (streaming)
-// and Wait.
+// A session owns its generation state (a model.DecodeState holding its KV
+// slabs) plus its FT2 fork state, so it can advance on any replica — swapped
+// in for serial steps or handed to DecodeStepBatch alongside other sessions
+// — with no snapshot copies and bit-identical results. A session is driven
+// by exactly one worker at a time; clients observe it through Tokens
+// (streaming) and Wait.
 type Session struct {
 	req    Request
 	prompt []int
@@ -30,7 +32,7 @@ type Session struct {
 	lastTok int
 
 	started  bool
-	snap     model.Snapshot
+	state    *model.DecodeState // owned generation state (KV slabs)
 	ftState  core.ForkState
 	admitted time.Time
 	startAt  time.Time // first slice began (queue latency endpoint)
@@ -76,78 +78,6 @@ func (s *Session) checkCtx() error {
 // away before its response was ready.
 const statusClientClosed = 499
 
-// advance runs one scheduling slice of up to steps decode steps (the first
-// slice spends one of them on the prefill) on replica r. It returns whether
-// the session finished. The caller (the scheduler worker) guarantees that
-// r.resident is either nil or this session, and wraps the call in the
-// panic-recovery boundary.
-func (s *Session) advance(r *replica, steps int, stepDelay time.Duration, mx *metrics) (bool, error) {
-	if err := s.checkCtx(); err != nil {
-		return false, err
-	}
-	if r.resident != nil && r.resident != s {
-		panic("serve: advancing a session on a replica with another session resident")
-	}
-	m, f := r.m, r.ft2
-	m.ClearHooks()
-	if s.req.Protected {
-		if s.started {
-			// Reinstate this session's counters and first-token bounds; the
-			// decode hook only reads the bounds store, so the same store may
-			// back many sessions concurrently.
-			f.ResumeFork(s.ftState)
-		} else {
-			f.Reset()
-		}
-		f.Install()
-	}
-
-	var tok int
-	switch {
-	case !s.started:
-		s.startAt = time.Now()
-		mx.queueLat.observe(msSince(s.admitted, s.startAt))
-		tok = m.Prefill(s.prompt)
-		s.started = true
-		s.emit(tok)
-		mx.tokensTotal.Add(1)
-		steps--
-		if s.req.Protected {
-			// The first-token bounds are complete once the prefill returned;
-			// clone them out of the controller so other sessions' Resets
-			// cannot clear them.
-			s.ftState = f.CaptureForkState()
-		}
-	case r.resident != s:
-		tok = m.Restore(&s.snap)
-	default:
-		tok = s.lastTok
-	}
-	r.resident = s
-
-	finished := s.finishedAfter(tok)
-	for !finished && steps > 0 {
-		if stepDelay > 0 {
-			time.Sleep(stepDelay)
-		}
-		if err := s.checkCtx(); err != nil {
-			s.lastTok = tok
-			s.syncFT2(f)
-			return false, err
-		}
-		t0 := time.Now()
-		tok = m.DecodeStep(tok)
-		mx.tokenLat.observe(msSince(t0, time.Now()))
-		mx.tokensTotal.Add(1)
-		s.emit(tok)
-		steps--
-		finished = s.finishedAfter(tok)
-	}
-	s.lastTok = tok
-	s.syncFT2(f)
-	return finished, nil
-}
-
 // finishedAfter reports whether the generation is complete once tok has
 // been emitted.
 func (s *Session) finishedAfter(tok int) bool {
@@ -155,21 +85,13 @@ func (s *Session) finishedAfter(tok int) bool {
 }
 
 // syncFT2 captures the controller's correction counters into the session's
-// fork state so they survive parking (the bounds pointer is already ours).
+// fork state so they survive the slice (the bounds pointer is already ours).
 func (s *Session) syncFT2(f *core.FT2) {
 	if !s.req.Protected || !s.started {
 		return
 	}
 	s.ftState.Stats = f.Stats()
 	s.ftState.ByKind = f.StatsByKind()
-}
-
-// park checkpoints the session's generation state out of the replica so
-// another session can use it. Must only be called after an advance that
-// returned unfinished.
-func (s *Session) park(r *replica) {
-	r.m.Checkpoint(&s.snap)
-	r.resident = nil
 }
 
 // finalize builds the terminal Result (called by the scheduler with the

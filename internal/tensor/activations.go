@@ -64,6 +64,7 @@ func (a ActivationKind) String() string {
 func (a ActivationKind) Apply(t *Tensor) {
 	switch a {
 	case ActNone:
+		return
 	case ActReLU:
 		ReLU(t)
 	case ActGELU:
@@ -73,6 +74,7 @@ func (a ActivationKind) Apply(t *Tensor) {
 	default:
 		panic("tensor: unknown activation")
 	}
+	t.MarkMutated()
 }
 
 // RopeTable caches the sin/cos factors of rotary position embeddings for
@@ -140,4 +142,5 @@ func RotaryEmbed(t *Tensor, positions []int, rotDim int, base float64) {
 			row[2*i+1] = float32(a*sin + b*cos)
 		}
 	}
+	t.MarkMutated()
 }

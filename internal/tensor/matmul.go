@@ -1,16 +1,20 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
-// parallelThreshold is the number of multiply-adds below which MatMul runs
-// single-threaded; goroutine fan-out only pays off for larger products.
+// parallelThreshold is the number of multiply-adds below which the matmuls
+// run single-threaded; even pooled handoff only pays off for larger
+// products.
 const parallelThreshold = 1 << 15
 
-// MatMul returns a × b (a: m×k, b: k×n). The multiplication is row-blocked
-// across GOMAXPROCS workers for large products.
+// grainWork is the minimum number of multiply-adds a parallel chunk should
+// carry; finer chunks spend more time on cursor traffic than arithmetic.
+const grainWork = 1 << 13
+
+// MatMul returns a × b (a: m×k, b: k×n). Large products are split across
+// the resident worker pool — row-blocked when m offers enough parallelism,
+// column-blocked otherwise — with per-element FP op order identical to the
+// serial loop either way.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Cols != b.Rows {
 		panic("tensor: MatMul shape mismatch")
@@ -24,35 +28,58 @@ func matMulInto(out, a, b *Tensor) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	// The zero-skipping fast path in matMulRows is only sound when b is
 	// fully finite: 0 × NaN and 0 × ±Inf are NaN and must propagate, or a
-	// sparse activation row would silently mask an injected fault.
-	skipZeros := allFinite(b.Data)
+	// sparse activation row would silently mask an injected fault. The scan
+	// result is cached on b (weights never change after load).
+	skipZeros := b.AllFinite()
 	work := m * k * n
 	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || m == 1 || workers == 1 {
+	defer out.MarkMutated()
+	if workers == 1 || work < parallelThreshold {
 		matMulRows(out, a, b, 0, m, skipZeros)
 		return
 	}
-	if workers > m {
-		workers = m
+	if m >= workers {
+		chunk := rowChunk(m, k*n, workers)
+		runPooled(kernelMatMulRows, out, a, b, skipZeros, m, chunk, workers-1)
+		return
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRows(out, a, b, lo, hi, skipZeros)
-		}(lo, hi)
+	// Few rows, wide product: split the output columns instead so a decode
+	// step (m = 1 or a small batch) still uses every core. out must be
+	// zeroed before the accumulating column kernel runs; New and the
+	// serial/row paths overwrite, so only this path clears it here.
+	out.Zero()
+	chunk := colChunk(n, m*k, workers)
+	if (n+chunk-1)/chunk == 1 {
+		matMulRows(out, a, b, 0, m, skipZeros)
+		return
 	}
-	wg.Wait()
+	runPooled(kernelMatMulCols, out, a, b, skipZeros, n, chunk, workers-1)
+}
+
+// rowChunk sizes row-split chunks: enough of them for the pool to balance
+// (≈4 per worker) but each at least grainWork multiply-adds.
+func rowChunk(m, workPerRow, workers int) int {
+	chunk := (m + workers*4 - 1) / (workers * 4)
+	if min := (grainWork + workPerRow - 1) / workPerRow; chunk < min {
+		chunk = min
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// colChunk sizes column-split chunks the same way, with workPerCol
+// multiply-adds per output column.
+func colChunk(n, workPerCol, workers int) int {
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if min := (grainWork + workPerCol - 1) / workPerCol; chunk < min {
+		chunk = min
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
 }
 
 // matMulRows computes rows [lo,hi) of out = a×b with a k-outer loop that
@@ -77,6 +104,28 @@ func matMulRows(out, a, b *Tensor, lo, hi int, skipZeros bool) {
 	}
 }
 
+// matMulCols computes columns [lo,hi) of every row of out = a×b. The
+// accumulation per element runs in the same kk-ascending order as
+// matMulRows, so splitting by columns is bit-identical to the serial loop.
+// out must be zeroed over [lo,hi) before the call.
+func matMulCols(out, a, b *Tensor, lo, hi int, skipZeros bool) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 && skipZeros {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j := lo; j < hi; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
 // allFinite reports whether every element is finite (no NaN, no ±Inf).
 func allFinite(xs []float32) bool {
 	for _, v := range xs {
@@ -96,7 +145,9 @@ func MatMulT(a, b *Tensor) *Tensor {
 // MatMulTInto computes a × bᵀ into out (a: m×k, b: n×k, out: m×n),
 // overwriting every element of out. It allocates nothing, which keeps the
 // per-token decode step off the garbage collector; out must not alias a
-// or b.
+// or b. Every out element is an independent Dot(a-row, b-row), so the
+// row- and column-split parallel paths are bit-identical to the serial
+// loop at any worker count.
 func MatMulTInto(out, a, b *Tensor) *Tensor {
 	if a.Cols != b.Cols {
 		panic("tensor: MatMulT shape mismatch")
@@ -106,32 +157,27 @@ func MatMulTInto(out, a, b *Tensor) *Tensor {
 		panic("tensor: MatMulTInto output shape mismatch")
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if m*k*n < parallelThreshold || m == 1 || workers == 1 {
-		// Closure-free serial path: the decode hot path lands here every
-		// step, and a per-call closure object would put it back on the heap.
+	if workers == 1 || m*k*n < parallelThreshold {
+		// The single-core decode hot path lands here every step; it stays
+		// free of pool traffic entirely.
 		matMulTRows(out, a, b, 0, m)
+		out.MarkMutated()
 		return out
 	}
-	if workers > m {
-		workers = m
+	if m >= workers {
+		chunk := rowChunk(m, k*n, workers)
+		runPooled(kernelMatMulTRows, out, a, b, false, m, chunk, workers-1)
+		out.MarkMutated()
+		return out
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulTRows(out, a, b, lo, hi)
-		}(lo, hi)
+	chunk := colChunk(n, m*k, workers)
+	if (n+chunk-1)/chunk == 1 {
+		matMulTRows(out, a, b, 0, m)
+		out.MarkMutated()
+		return out
 	}
-	wg.Wait()
+	runPooled(kernelMatMulTCols, out, a, b, false, n, chunk, workers-1)
+	out.MarkMutated()
 	return out
 }
 
@@ -142,6 +188,20 @@ func matMulTRows(out, a, b *Tensor, lo, hi int) {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
+			orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+		}
+	}
+}
+
+// matMulTCols computes columns [lo,hi) of every row of out = a×bᵀ — the
+// small-m split that lets a single decode step use every core. Each element
+// is the same Dot call the row kernel makes, so results are bit-identical.
+func matMulTCols(out, a, b *Tensor, lo, hi int) {
+	k, n := a.Cols, b.Rows
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := lo; j < hi; j++ {
 			orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
 		}
 	}

@@ -22,6 +22,7 @@ func AddInPlace(a, b *Tensor) {
 	for i, v := range b.Data {
 		a.Data[i] += v
 	}
+	a.MarkMutated()
 }
 
 // MulInPlace multiplies a by b element-wise (a *= b).
@@ -32,6 +33,7 @@ func MulInPlace(a, b *Tensor) {
 	for i, v := range b.Data {
 		a.Data[i] *= v
 	}
+	a.MarkMutated()
 }
 
 // Scale multiplies every element by s in place.
@@ -39,6 +41,7 @@ func (t *Tensor) Scale(s float32) {
 	for i := range t.Data {
 		t.Data[i] *= s
 	}
+	t.MarkMutated()
 }
 
 // SoftmaxRows applies a numerically stable softmax to each row in place.
@@ -66,6 +69,7 @@ func SoftmaxRows(t *Tensor) {
 			row[i] *= inv
 		}
 	}
+	t.MarkMutated()
 }
 
 // LayerNorm normalizes each row to zero mean / unit variance then applies
@@ -103,6 +107,7 @@ func LayerNormInto(out, x *Tensor, gamma, beta []float32, eps float32) *Tensor {
 			orow[i] = (v-mean)*inv*gamma[i] + beta[i]
 		}
 	}
+	out.MarkMutated()
 	return out
 }
 
@@ -134,6 +139,7 @@ func RMSNormInto(out, x *Tensor, gamma []float32, eps float32) *Tensor {
 			orow[i] = v * inv * gamma[i]
 		}
 	}
+	out.MarkMutated()
 	return out
 }
 

@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the resident worker pool behind the parallel matmul
+// paths. The previous design spawned GOMAXPROCS goroutines per call, which
+// put a scheduler round trip and a stack handoff on every large product; the
+// pool spawns its helpers once and hands work over with a channel send plus
+// atomic chunk claiming.
+//
+// Execution model: a job covers a grid of `chunks` equal slices of [0, n).
+// Chunk indices are claimed through an atomic cursor, so any number of
+// helpers — including zero — may participate. The submitting goroutine
+// always works the grid itself, which guarantees completion even when every
+// helper is busy with other jobs, and a sync.WaitGroup counting one unit per
+// chunk tells the submitter when the last claimed chunk finished.
+//
+// Jobs carry plain operand pointers (no closures) and are recycled through a
+// freelist, so the decode hot path can fan out without touching the heap.
+//
+// Recycling safety: a helper can hold a stale *job after the submitter
+// returned (it received the pointer from the channel but lost the race for
+// the last chunk). Before a job is recycled its cursor is parked at jobIdle,
+// far above any real chunk count, so a stale claim always fails the bounds
+// check without reading the operand fields; those fields are only read after
+// a claim that observed the new owner's cursor reset, which (all cursor
+// operations being sequentially consistent atomics) also publishes them.
+
+// kernel identifies which row/column kernel a pooled job runs.
+type kernel uint8
+
+const (
+	kernelMatMulRows kernel = iota
+	kernelMatMulCols
+	kernelMatMulTRows
+	kernelMatMulTCols
+)
+
+// jobIdle parks a job's cursor between uses: any stale chunk claim lands
+// above every plausible chunk count and exits without touching the operands.
+const jobIdle = int64(1) << 40
+
+type job struct {
+	kind      kernel
+	out, a, b *Tensor
+	skipZeros bool
+
+	chunk  atomic.Int64 // elements per chunk
+	n      atomic.Int64 // grid size (rows or cols)
+	chunks atomic.Int64 // total chunk count = ceil(n/chunk)
+	cursor atomic.Int64 // next chunk index to claim
+	wg     sync.WaitGroup
+}
+
+func (j *job) exec(lo, hi int) {
+	switch j.kind {
+	case kernelMatMulRows:
+		matMulRows(j.out, j.a, j.b, lo, hi, j.skipZeros)
+	case kernelMatMulCols:
+		matMulCols(j.out, j.a, j.b, lo, hi, j.skipZeros)
+	case kernelMatMulTRows:
+		matMulTRows(j.out, j.a, j.b, lo, hi)
+	case kernelMatMulTCols:
+		matMulTCols(j.out, j.a, j.b, lo, hi)
+	}
+}
+
+// run claims and executes chunks until the grid is exhausted.
+func (j *job) run() {
+	for {
+		idx := j.cursor.Add(1) - 1
+		if idx >= j.chunks.Load() {
+			return
+		}
+		chunk, n := j.chunk.Load(), j.n.Load()
+		lo := idx * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		j.exec(int(lo), int(hi))
+		j.wg.Done()
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolWork chan *job
+	poolFree chan *job
+)
+
+// startPool spawns the resident helpers. The pool is sized for the
+// GOMAXPROCS in effect at first parallel use (the submitter itself is the
+// final worker, so helpers = procs-1, floor 1 so single-proc processes that
+// later raise GOMAXPROCS still have a helper to hand off to). Callers cap
+// per-job helper requests by the *current* GOMAXPROCS, so lowering it later
+// narrows parallelism without touching the pool.
+func startPool() {
+	helpers := runtime.GOMAXPROCS(0) - 1
+	if helpers < 1 {
+		helpers = 1
+	}
+	poolWork = make(chan *job, 256)
+	poolFree = make(chan *job, 64)
+	for i := 0; i < helpers; i++ {
+		go func() {
+			for j := range poolWork {
+				j.run()
+			}
+		}()
+	}
+}
+
+// runPooled executes a kernel over grid [0,n) split into chunk-sized slices,
+// recruiting up to maxHelpers resident helpers. Steady-state it performs no
+// heap allocation: jobs cycle through the freelist and the kernel arguments
+// travel as struct fields, not closures.
+func runPooled(kind kernel, out, a, b *Tensor, skipZeros bool, n, chunk, maxHelpers int) {
+	poolOnce.Do(startPool)
+	var j *job
+	select {
+	case j = <-poolFree:
+	default:
+		j = &job{}
+	}
+	chunks := (n + chunk - 1) / chunk
+	j.kind, j.out, j.a, j.b, j.skipZeros = kind, out, a, b, skipZeros
+	j.chunk.Store(int64(chunk))
+	j.n.Store(int64(n))
+	j.chunks.Store(int64(chunks))
+	j.wg.Add(chunks)
+	// Publish: helpers only read the fields above after a claim that
+	// observed this reset.
+	j.cursor.Store(0)
+
+	helpers := chunks - 1
+	if helpers > maxHelpers {
+		helpers = maxHelpers
+	}
+	for i := 0; i < helpers; i++ {
+		select {
+		case poolWork <- j:
+		default:
+			// Queue full: the submitter and already-recruited helpers
+			// finish the grid on their own.
+			i = helpers
+		}
+	}
+	j.run()
+	j.wg.Wait()
+
+	// Park the cursor so stale claims from helpers that still hold the
+	// pointer fail the bounds check, then recycle.
+	j.cursor.Store(jobIdle)
+	j.out, j.a, j.b = nil, nil, nil
+	select {
+	case poolFree <- j:
+	default:
+	}
+}

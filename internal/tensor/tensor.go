@@ -13,8 +13,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"ft2/internal/numerics"
+)
+
+// finiteness cache states (Tensor.finite).
+const (
+	finiteUnknown uint32 = iota
+	finiteYes
+	finiteNo
 )
 
 // Tensor is a row-major dense matrix of float32 values. Rank is 1 or 2:
@@ -22,6 +30,37 @@ import (
 type Tensor struct {
 	Rows, Cols int
 	Data       []float32
+
+	// finite caches the all-elements-finite scan (finiteUnknown/-Yes/-No).
+	// Weight tensors never change after load, so MatMul's zero-skip
+	// soundness check pays its O(k·n) scan once instead of every forward
+	// pass. Mutating methods reset it; code that writes through Data or Row
+	// directly must call MarkMutated. Atomic because replicas share
+	// read-only weight tensors across serving goroutines, and two of them
+	// may fill the cache concurrently.
+	finite atomic.Uint32
+}
+
+// MarkMutated invalidates cached derived state (the finiteness cache) after
+// the contents were changed through Data, Row, or any other direct-slice
+// write. The mutating methods on Tensor call it themselves.
+func (t *Tensor) MarkMutated() { t.finite.Store(finiteUnknown) }
+
+// AllFinite reports whether every element is finite (no NaN, no ±Inf),
+// scanning at most once until the next mutation.
+func (t *Tensor) AllFinite() bool {
+	switch t.finite.Load() {
+	case finiteYes:
+		return true
+	case finiteNo:
+		return false
+	}
+	if allFinite(t.Data) {
+		t.finite.Store(finiteYes)
+		return true
+	}
+	t.finite.Store(finiteNo)
+	return false
 }
 
 // New allocates a zeroed rows×cols tensor.
@@ -40,10 +79,11 @@ func FromSlice(rows, cols int, data []float32) *Tensor {
 	return &Tensor{Rows: rows, Cols: cols, Data: data}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (including the cached finiteness state).
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.Rows, t.Cols)
 	copy(c.Data, t.Data)
+	c.finite.Store(t.finite.Load())
 	return c
 }
 
@@ -51,7 +91,10 @@ func (t *Tensor) Clone() *Tensor {
 func (t *Tensor) At(r, c int) float32 { return t.Data[r*t.Cols+c] }
 
 // Set stores v at (r, c).
-func (t *Tensor) Set(r, c int, v float32) { t.Data[r*t.Cols+c] = v }
+func (t *Tensor) Set(r, c int, v float32) {
+	t.Data[r*t.Cols+c] = v
+	t.MarkMutated()
+}
 
 // Row returns the r-th row as a slice aliasing the tensor's storage.
 func (t *Tensor) Row(r int) []float32 { return t.Data[r*t.Cols : (r+1)*t.Cols] }
@@ -75,6 +118,7 @@ func (t *Tensor) Reuse(rows, cols int) *Tensor {
 		t.Data = t.Data[:n]
 	}
 	t.Rows, t.Cols = rows, cols
+	t.MarkMutated()
 	return t
 }
 
@@ -83,6 +127,7 @@ func (t *Tensor) Zero() {
 	for i := range t.Data {
 		t.Data[i] = 0
 	}
+	t.finite.Store(finiteYes)
 }
 
 // Fill sets every element to v.
@@ -90,6 +135,7 @@ func (t *Tensor) Fill(v float32) {
 	for i := range t.Data {
 		t.Data[i] = v
 	}
+	t.MarkMutated()
 }
 
 // RandNormal fills the tensor with N(0, std²) draws from rng.
@@ -97,11 +143,13 @@ func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
 	for i := range t.Data {
 		t.Data[i] = float32(rng.NormFloat64() * std)
 	}
+	t.MarkMutated()
 }
 
 // Quantize rounds every element through the given dtype's storage format.
 // For FP16 this is the precision gate the paper's FP16 models pass every
-// activation through; for FP32 it is the identity.
+// activation through; for FP32 it is the identity. FP16 rounding maps
+// overflow to ±Inf, so it invalidates the finiteness cache.
 func (t *Tensor) Quantize(d numerics.DType) {
 	if d != numerics.FP16 {
 		return
@@ -109,6 +157,7 @@ func (t *Tensor) Quantize(d numerics.DType) {
 	for i, v := range t.Data {
 		t.Data[i] = numerics.RoundF16(v)
 	}
+	t.MarkMutated()
 }
 
 // HasNaN reports whether any element is NaN.
