@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-mp bench bench-json smoke serve-smoke serve-smoke-mp ci
+.PHONY: build test vet race race-mp bench bench-json perfguard smoke serve-smoke serve-smoke-mp ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench:
 bench-json:
 	$(GO) run ./cmd/ft2bench -bench-json BENCH_decode.json
 
+# Performance guard: with the calibrated kernel cost model, P=4
+# single-session decode must not lose to P=1 on any model family and decode
+# must stay allocation-free. Fails the build on regression.
+perfguard:
+	$(GO) run ./cmd/ft2bench -perfguard
+
 # End-to-end resilience check: SIGINT a small campaign mid-run, resume it
 # from the journal, and diff the final table against an uninterrupted run.
 smoke:
@@ -44,4 +50,4 @@ serve-smoke:
 serve-smoke-mp:
 	GOMAXPROCS=4 scripts/serve_smoke.sh
 
-ci: vet build test race race-mp smoke serve-smoke serve-smoke-mp
+ci: vet build test race race-mp perfguard smoke serve-smoke serve-smoke-mp

@@ -23,6 +23,7 @@ import (
 // normalized per generated token, at one GOMAXPROCS setting.
 type benchModelResult struct {
 	Model        string  `json:"model"`
+	Weights      string  `json:"weights"` // weight storage mode: f32 or f16
 	GOMAXPROCS   int     `json:"gomaxprocs"`
 	GenTokens    int     `json:"gen_tokens"`
 	TokensPerSec float64 `json:"tokens_per_sec"`
@@ -89,9 +90,9 @@ func runBenchJSON(path string, seed int64) error {
 	defer runtime.GOMAXPROCS(ambient)
 	rep := benchReport{GOMAXPROCS: ambient, NumCPU: runtime.NumCPU()}
 
-	// Prime the resident matmul worker pool at the sweep maximum, so every
-	// sweep point recruits from the same helper set (the pool sizes itself at
-	// first parallel use).
+	// Warm the resident matmul worker pool at the sweep maximum (it resizes
+	// with GOMAXPROCS, so this just front-loads helper spawning out of the
+	// timed sections).
 	runtime.GOMAXPROCS(procsSweep[len(procsSweep)-1])
 	pa, pb := tensor.New(64, 64), tensor.New(64, 64)
 	pa.Fill(1)
@@ -102,7 +103,7 @@ func runBenchJSON(path string, seed int64) error {
 	// steady-state decode is measured allocation-free; one warm-up call
 	// outside the timer pays for scratch arenas and KV slabs.
 	buf := make([]int, 0, ds.GenTokens)
-	measure := func(name string, gen func(dst []int, prompt []int, n int) []int) benchModelResult {
+	measure := func(name, weights string, gen func(dst []int, prompt []int, n int) []int) benchModelResult {
 		gen(buf, prompt, ds.GenTokens)
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -113,6 +114,7 @@ func runBenchJSON(path string, seed int64) error {
 		perOp := float64(res.NsPerOp())
 		return benchModelResult{
 			Model:        name,
+			Weights:      weights,
 			GOMAXPROCS:   runtime.GOMAXPROCS(0),
 			GenTokens:    ds.GenTokens,
 			TokensPerSec: float64(ds.GenTokens) / (perOp / 1e9),
@@ -133,7 +135,13 @@ func runBenchJSON(path string, seed int64) error {
 			if err != nil {
 				return err
 			}
-			rep.Models = append(rep.Models, measure(name, m.GenerateInto))
+			rep.Models = append(rep.Models, measure(name, "f32", m.GenerateInto))
+			m16, err := model.New(cfg, seed, numerics.FP16)
+			if err != nil {
+				return err
+			}
+			m16.EnableF16Weights()
+			rep.Models = append(rep.Models, measure(name, "f16", m16.GenerateInto))
 		}
 	}
 	runtime.GOMAXPROCS(ambient)
@@ -149,7 +157,7 @@ func runBenchJSON(path string, seed int64) error {
 		return err
 	}
 	f := core.Attach(m, core.Defaults())
-	rep.FT2 = measure("llama2-7b-sim", f.GenerateInto)
+	rep.FT2 = measure("llama2-7b-sim", "f32", f.GenerateInto)
 	f.Detach()
 
 	// Campaign throughput, WindowAll, golden-checkpoint forking on (the

@@ -26,6 +26,7 @@ import (
 	"ft2/internal/cliutil"
 	"ft2/internal/experiments"
 	"ft2/internal/report"
+	"ft2/internal/tensor"
 )
 
 func main() {
@@ -38,10 +39,34 @@ func main() {
 	seed := flag.Int64("seed", 42, "base seed")
 	quick := flag.Bool("quick", false, "use the quick (smoke-test) sizes")
 	benchJSON := flag.String("bench-json", "", "measure decode and campaign throughput, write the JSON report to this path, and exit")
+	perfguard := flag.Bool("perfguard", false, "run the CI performance guard (P=4 decode must not lose to P=1; decode must not allocate) and exit")
+	kernelCal := flag.String("kernel-cal", "", "kernel cost-model calibration file (cmd/calibrate -kernels); empty = micro-calibrate at startup of bench modes")
 	cf := cliutil.RegisterCampaign(flag.CommandLine)
 	flag.Parse()
 
+	loadKernelCal := func() {
+		if *kernelCal != "" {
+			if err := tensor.LoadCalibration(*kernelCal); err != nil {
+				fmt.Fprintf(os.Stderr, "ft2bench: %v\n", err)
+				os.Exit(2)
+			}
+			return
+		}
+		tensor.AutoCalibrate()
+	}
+
+	if *perfguard {
+		loadKernelCal()
+		if err := runPerfGuard(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ft2bench: perfguard FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("ft2bench: perfguard passed")
+		return
+	}
+
 	if *benchJSON != "" {
+		loadKernelCal()
 		if err := runBenchJSON(*benchJSON, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "ft2bench: bench-json failed: %v\n", err)
 			os.Exit(1)

@@ -34,6 +34,7 @@ import (
 	"ft2/internal/data"
 	"ft2/internal/numerics"
 	"ft2/internal/serve"
+	"ft2/internal/tensor"
 )
 
 func main() {
@@ -49,6 +50,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = 30s)")
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on shutdown before in-flight requests are failed")
 	throttle := flag.Duration("throttle", 0, "artificial pause before every decode step (demos/smoke tests)")
+	weights := flag.String("weights", "f32", "weight storage: f32, or f16 (packed binary16, halves streamed bytes on F16C hosts)")
+	kernelCal := flag.String("kernel-cal", "", "kernel cost-model calibration file (cmd/calibrate -kernels); empty = micro-calibrate at startup")
 	selftest := flag.Bool("selftest", false, "run the in-process load-generator self-test and exit")
 	base := cliutil.RegisterBase(flag.CommandLine)
 	flag.Parse()
@@ -56,6 +59,18 @@ func main() {
 	dtype := numerics.FP16
 	if *dtypeName == "fp32" {
 		dtype = numerics.FP32
+	}
+	if *weights != "f32" && *weights != "f16" {
+		fmt.Fprintf(os.Stderr, "ft2serve: unknown -weights %q (want f32 or f16)\n", *weights)
+		os.Exit(2)
+	}
+	if *kernelCal != "" {
+		if err := tensor.LoadCalibration(*kernelCal); err != nil {
+			fmt.Fprintf(os.Stderr, "ft2serve: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		tensor.AutoCalibrate()
 	}
 	cfg := serve.Config{
 		Model:           *modelName,
@@ -68,6 +83,7 @@ func main() {
 		BatchMax:        *batchMax,
 		DefaultDeadline: *deadline,
 		StepDelay:       *throttle,
+		WeightsF16:      *weights == "f16",
 	}
 
 	ctx, stop := base.Context()

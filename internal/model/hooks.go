@@ -117,12 +117,13 @@ func (m *Model) runBatchHooks(ref LayerRef, site Site, in, out *tensor.Tensor, i
 		if len(it.Hooks) == 0 {
 			continue
 		}
-		sc.rowOut.Rows, sc.rowOut.Cols = 1, out.Cols
-		sc.rowOut.Data = out.Data[r*out.Cols : (r+1)*out.Cols]
+		// Tracked views: a hook that writes its row (fault injectors do)
+		// marks the view mutated, which propagates to the full batch
+		// tensor so its cached finiteness can never go stale.
+		sc.rowOut.BindRowView(out, r)
 		ctx := HookCtx{Layer: ref, Site: site, Step: it.State.step}
 		if in != nil {
-			sc.rowIn.Rows, sc.rowIn.Cols = 1, in.Cols
-			sc.rowIn.Data = in.Data[r*in.Cols : (r+1)*in.Cols]
+			sc.rowIn.BindRowView(in, r)
 			ctx.Input = sc.rowIn
 		}
 		for _, h := range it.Hooks {

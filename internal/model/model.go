@@ -58,6 +58,10 @@ type Model struct {
 	streamNorm     float32
 	lastStreamNorm float32
 
+	// weightsF16 records that the weight matrices were switched to packed
+	// binary16 storage (see weights.go).
+	weightsF16 bool
+
 	hooks      []hookEntry
 	nextHookID int
 
@@ -162,16 +166,7 @@ func New(cfg Config, seed int64, dtype numerics.DType) (*Model, error) {
 		m.teacher[i] = firstRealToken + order[i%n]
 	}
 
-	// Calibrate the sane residual-stream norm on a fixed probe sequence
-	// (teacher disabled: streamNorm is still zero here, so forward takes
-	// the plain readout path).
-	probe := make([]int, 8)
-	for i := range probe {
-		probe[i] = firstRealToken + (i*37)%(cfg.Vocab-firstRealToken)
-	}
-	m.Generate(probe, 4)
-	m.streamNorm = m.st.lastStreamNorm
-	m.resetState()
+	m.calibrateStreamNorm()
 	return m, nil
 }
 

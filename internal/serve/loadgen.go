@@ -115,6 +115,9 @@ func Oracle(cfg Config, prompt []int, maxTokens int, protected bool) ([]int, Cor
 	if err != nil {
 		return nil, Corrections{}, err
 	}
+	if cfg.WeightsF16 {
+		m.EnableF16Weights()
+	}
 	if !protected {
 		return m.Generate(prompt, maxTokens), Corrections{}, nil
 	}

@@ -35,8 +35,8 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:    time.Now(),
-		status:   make(map[int]int64),
+		start:     time.Now(),
+		status:    make(map[int]int64),
 		tokenLat:  newLatencyRing(8192),
 		queueLat:  newLatencyRing(2048),
 		reqLat:    newLatencyRing(2048),

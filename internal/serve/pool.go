@@ -40,10 +40,13 @@ func (r *replica) hooks(slot int) []model.Hook { return r.hookSets[slot] }
 
 // newReplica builds one replica of the pool's model. All replicas of a pool
 // share (cfg, seed, dtype) and therefore have bit-identical weights.
-func newReplica(cfg model.Config, seed int64, d numerics.DType, opts core.Options) (*replica, error) {
+func newReplica(cfg model.Config, seed int64, d numerics.DType, opts core.Options, f16 bool) (*replica, error) {
 	m, err := model.New(cfg, seed, d)
 	if err != nil {
 		return nil, err
+	}
+	if f16 {
+		m.EnableF16Weights()
 	}
 	return &replica{m: m, opts: opts}, nil
 }
@@ -54,13 +57,14 @@ type pool struct {
 	seed     int64
 	dtype    numerics.DType
 	ft2Opts  core.Options
+	f16      bool
 	replicas []*replica
 }
 
 func newPool(c Config) (*pool, error) {
-	p := &pool{cfg: c.ModelCfg, seed: c.Seed, dtype: c.DType, ft2Opts: c.FT2Opts}
+	p := &pool{cfg: c.ModelCfg, seed: c.Seed, dtype: c.DType, ft2Opts: c.FT2Opts, f16: c.WeightsF16}
 	for i := 0; i < c.Replicas; i++ {
-		r, err := newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts)
+		r, err := newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts, p.f16)
 		if err != nil {
 			return nil, err
 		}
@@ -73,5 +77,5 @@ func newPool(c Config) (*pool, error) {
 // session slice). The scheduler worker that owns the slot calls it before
 // touching the next session.
 func (p *pool) rebuild() (*replica, error) {
-	return newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts)
+	return newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts, p.f16)
 }

@@ -28,10 +28,10 @@ type scheduler struct {
 
 	mu       sync.RWMutex // guards draining + admit-channel close
 	draining bool
-	admit    chan *Session            // bounded admission queue
-	ready    chan *Session            // circulating active sessions, cap MaxSessions
-	slots    chan struct{}            // active-session semaphore, cap MaxSessions
-	states   chan *model.DecodeState  // recycled session KV states
+	admit    chan *Session           // bounded admission queue
+	ready    chan *Session           // circulating active sessions, cap MaxSessions
+	slots    chan struct{}           // active-session semaphore, cap MaxSessions
+	states   chan *model.DecodeState // recycled session KV states
 
 	sessions   map[*Session]struct{} // admitted, not yet finished
 	sessionsMu sync.Mutex

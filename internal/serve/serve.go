@@ -72,6 +72,12 @@ type Config struct {
 	// FT2Opts tunes the protection applied when a request asks for it
 	// (zero value: core.Defaults()).
 	FT2Opts core.Options
+	// WeightsF16 stores every replica's weight matrices as packed binary16
+	// (model.EnableF16Weights): half the streamed bytes per decode step on
+	// F16C hosts, bit-identical outputs per the oracle selftest. All
+	// replicas and the Oracle share the storage mode, so served tokens are
+	// comparable either way.
+	WeightsF16 bool
 	// StepDelay inserts an artificial pause before every decode step — a
 	// throttle for demos and smoke tests that need generations slow enough
 	// to observe scheduling, draining, and preemption. Production: 0.

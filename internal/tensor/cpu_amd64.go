@@ -4,10 +4,23 @@ package tensor
 func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 func xgetbvAsm() (eax, edx uint32)
 
-// hasAVX reports whether the CPU supports AVX and the OS has enabled the
-// YMM register state. SSE2 is part of the amd64 baseline, but AVX is not,
-// so the wide dot kernel needs this runtime gate.
-var hasAVX = detectAVX()
+// Kernel tiers, detected once at startup. SSE2 is part of the amd64
+// baseline; everything above it needs a runtime gate. The tier in effect
+// fixes the floating-point op order of every kernel for the lifetime of the
+// process, so all paths that must agree bit-for-bit (serial vs pooled,
+// single-session vs batched, f32 vs f16-streamed) observe the same
+// arithmetic.
+var (
+	// hasAVX: AVX and OS-enabled YMM state — gates the 8-lane mul/add dot.
+	hasAVX = detectAVX()
+	// hasFMA: AVX2 + FMA3 on top of hasAVX — gates the fused-multiply-add
+	// row kernels used by the MatMulT paths (dotRow / dotRow4).
+	hasFMA = hasAVX && detectFeature1(1<<12) && detectAVX2()
+	// hasF16C: F16C half-precision conversion on top of hasFMA — gates the
+	// packed-f16 streaming kernels. Tied to hasFMA so the f16 kernels only
+	// ever pair with FMA-tier f32 kernels of identical op order.
+	hasF16C = hasFMA && detectFeature1(1<<29)
+)
 
 func detectAVX() bool {
 	maxID, _, _, _ := cpuidAsm(0, 0)
@@ -22,4 +35,25 @@ func detectAVX() bool {
 	}
 	lo, _ := xgetbvAsm()
 	return lo&0x6 == 0x6 // XCR0: XMM and YMM state enabled by the OS
+}
+
+// detectFeature1 tests a CPUID leaf-1 ECX feature bit (FMA: bit 12,
+// F16C: bit 29).
+func detectFeature1(bit uint32) bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidAsm(1, 0)
+	return ecx&bit != 0
+}
+
+// detectAVX2 tests CPUID leaf-7 EBX bit 5.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, ebx, _, _ := cpuidAsm(7, 0)
+	return ebx&(1<<5) != 0
 }

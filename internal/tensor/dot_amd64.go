@@ -1,15 +1,24 @@
 package tensor
 
-// dotVec (SSE) and dotVecAVX are the vector kernels in dot_amd64.s.
+// dotVec (SSE) and dotVecAVX are the vector kernels in dot_amd64.s;
+// dotVecFMA/dotVec4FMA (AVX2+FMA3) and dotVecF16C/dotVec4F16C (F16C) are
+// the row kernels of the blocked MatMulT paths, appended by the cost-model
+// dispatch work.
 func dotVec(a, b *float32, n int) float32
 func dotVecAVX(a, b *float32, n int) float32
+func dotVecFMA(a, b *float32, n int) float32
+func dotVecF16C(a *float32, b *uint16, n int) float32
+func dotVec4FMA(a *float32, lda int, b *float32, n int) (r0, r1, r2, r3 float32)
+func dotVec4F16C(a *float32, lda int, b *uint16, n int) (r0, r1, r2, r3 float32)
 
 // Dot computes the dot product of a and b (len(b) >= len(a)) with a SIMD
 // kernel: 8-lane AVX when the host enables it, 4-lane SSE otherwise.
 // Lane-parallel accumulation reorders the float32 sums relative to a
 // sequential loop; all engine paths (prefill and decode) go through this
 // same kernel, so cached and recomputed activations stay bit-identical to
-// each other.
+// each other. Dot deliberately does NOT use the FMA tier: attention scores
+// (head-dim 12 slices) and every other public Dot caller keep the exact
+// multiply-then-add numerics they had before the FMA kernels existed.
 func Dot(a, b []float32) float32 {
 	n := len(a)
 	if n == 0 {
@@ -20,4 +29,59 @@ func Dot(a, b []float32) float32 {
 		return dotVecAVX(&a[0], &b[0], n)
 	}
 	return dotVec(&a[0], &b[0], n)
+}
+
+// dotRow is the row kernel behind the MatMulT (x × wᵀ) paths: the
+// FMA-tier kernel where the host supports it, plain Dot otherwise. The
+// choice is fixed at startup, so every MatMulT path — serial, row-split,
+// col-split, 4-row blocked, f16-streamed — computes each output element
+// with the same FP op order and stays bit-identical to every other.
+func dotRow(a, b []float32) float32 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	b = b[:n]
+	if hasFMA {
+		return dotVecFMA(&a[0], &b[0], n)
+	}
+	return Dot(a, b)
+}
+
+// dotRow4 computes four dot products of consecutive a-rows (stride lda
+// floats, rows i.e. a[0:n], a[lda:lda+n], ...) against one shared b row,
+// streaming b once instead of four times. Per-row op order is identical to
+// dotRow, so blocking rows in groups of four is invisible in the results.
+func dotRow4(a []float32, lda int, b []float32) (r0, r1, r2, r3 float32) {
+	n := len(b)
+	if hasFMA && n > 0 {
+		_ = a[3*lda+n-1] // one bounds check for all four rows
+		return dotVec4FMA(&a[0], lda, &b[0], n)
+	}
+	return dotRow(a[:n], b),
+		dotRow(a[lda:lda+n], b),
+		dotRow(a[2*lda:2*lda+n], b),
+		dotRow(a[3*lda:3*lda+n], b)
+}
+
+// dotRowF16 is dotRow with b stored as packed binary16. Callers must gate
+// on hasF16C (halfData does); conversion through VCVTPH2PS is exact, so the
+// result is bit-identical to dotRow over the pre-decoded f32 master copy.
+func dotRowF16(a []float32, b []uint16) float32 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	b = b[:n]
+	return dotVecF16C(&a[0], &b[0], n)
+}
+
+// dotRow4F16 is dotRow4 with b stored as packed binary16; hasF16C only.
+func dotRow4F16(a []float32, lda int, b []uint16) (r0, r1, r2, r3 float32) {
+	n := len(b)
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	_ = a[3*lda+n-1]
+	return dotVec4F16C(&a[0], lda, &b[0], n)
 }

@@ -2,6 +2,14 @@
 
 package tensor
 
+// Non-amd64 hosts have no SIMD kernels: one scalar tier for everything, and
+// no packed-f16 streaming (halfData gates on hasF16C, so the f32 master copy
+// is always used — bit-identical by construction).
+var (
+	hasFMA  = false
+	hasF16C = false
+)
+
 // Dot is a 4-way unrolled dot product; with independent accumulators the
 // compiler keeps four FMA chains in flight, roughly doubling throughput on
 // the scalar path. (amd64 builds use the SSE kernel in dot_amd64.s instead.)
@@ -20,4 +28,25 @@ func Dot(a, b []float32) float32 {
 		s0 += a[i] * b[i]
 	}
 	return s0 + s1 + s2 + s3
+}
+
+// dotRow/dotRow4 mirror the amd64 tier wiring with the scalar kernel.
+func dotRow(a, b []float32) float32 { return Dot(a, b) }
+
+func dotRow4(a []float32, lda int, b []float32) (r0, r1, r2, r3 float32) {
+	n := len(b)
+	return dotRow(a[:n], b),
+		dotRow(a[lda:lda+n], b),
+		dotRow(a[2*lda:2*lda+n], b),
+		dotRow(a[3*lda:3*lda+n], b)
+}
+
+// The f16 kernels are unreachable without hasF16C; halfData never hands out
+// a packed view here.
+func dotRowF16(a []float32, b []uint16) float32 {
+	panic("tensor: f16 kernel without F16C tier")
+}
+
+func dotRow4F16(a []float32, lda int, b []uint16) (r0, r1, r2, r3 float32) {
+	panic("tensor: f16 kernel without F16C tier")
 }

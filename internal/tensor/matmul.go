@@ -2,19 +2,13 @@ package tensor
 
 import "runtime"
 
-// parallelThreshold is the number of multiply-adds below which the matmuls
-// run single-threaded; even pooled handoff only pays off for larger
-// products.
-const parallelThreshold = 1 << 15
-
 // grainWork is the minimum number of multiply-adds a parallel chunk should
 // carry; finer chunks spend more time on cursor traffic than arithmetic.
 const grainWork = 1 << 13
 
-// MatMul returns a × b (a: m×k, b: k×n). Large products are split across
-// the resident worker pool — row-blocked when m offers enough parallelism,
-// column-blocked otherwise — with per-element FP op order identical to the
-// serial loop either way.
+// MatMul returns a × b (a: m×k, b: k×n). The cost-model dispatcher
+// (dispatch.go) picks serial, row-split, or column-split per shape; the
+// per-element FP op order is identical on every path.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Cols != b.Rows {
 		panic("tensor: MatMul shape mismatch")
@@ -31,55 +25,21 @@ func matMulInto(out, a, b *Tensor) {
 	// sparse activation row would silently mask an injected fault. The scan
 	// result is cached on b (weights never change after load).
 	skipZeros := b.AllFinite()
-	work := m * k * n
-	workers := runtime.GOMAXPROCS(0)
 	defer out.MarkMutated()
-	if workers == 1 || work < parallelThreshold {
+	p := currentCostModel().plan(kindMatMul, m, k, n, runtime.GOMAXPROCS(0))
+	switch p.mode {
+	case planRows:
+		runPooled(kernelMatMulRows, out, a, b, skipZeros, m, p.chunk, p.helpers)
+	case planCols:
+		// Few rows, wide product: split the output columns so a small-m
+		// product still uses every core. out must be zeroed before the
+		// accumulating column kernel runs; New and the serial/row paths
+		// overwrite, so only this path clears it here.
+		out.Zero()
+		runPooled(kernelMatMulCols, out, a, b, skipZeros, n, p.chunk, p.helpers)
+	default:
 		matMulRows(out, a, b, 0, m, skipZeros)
-		return
 	}
-	if m >= workers {
-		chunk := rowChunk(m, k*n, workers)
-		runPooled(kernelMatMulRows, out, a, b, skipZeros, m, chunk, workers-1)
-		return
-	}
-	// Few rows, wide product: split the output columns instead so a decode
-	// step (m = 1 or a small batch) still uses every core. out must be
-	// zeroed before the accumulating column kernel runs; New and the
-	// serial/row paths overwrite, so only this path clears it here.
-	out.Zero()
-	chunk := colChunk(n, m*k, workers)
-	if (n+chunk-1)/chunk == 1 {
-		matMulRows(out, a, b, 0, m, skipZeros)
-		return
-	}
-	runPooled(kernelMatMulCols, out, a, b, skipZeros, n, chunk, workers-1)
-}
-
-// rowChunk sizes row-split chunks: enough of them for the pool to balance
-// (≈4 per worker) but each at least grainWork multiply-adds.
-func rowChunk(m, workPerRow, workers int) int {
-	chunk := (m + workers*4 - 1) / (workers * 4)
-	if min := (grainWork + workPerRow - 1) / workPerRow; chunk < min {
-		chunk = min
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	return chunk
-}
-
-// colChunk sizes column-split chunks the same way, with workPerCol
-// multiply-adds per output column.
-func colChunk(n, workPerCol, workers int) int {
-	chunk := (n + workers*4 - 1) / (workers * 4)
-	if min := (grainWork + workPerCol - 1) / workPerCol; chunk < min {
-		chunk = min
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	return chunk
 }
 
 // matMulRows computes rows [lo,hi) of out = a×b with a k-outer loop that
@@ -137,7 +97,7 @@ func allFinite(xs []float32) bool {
 }
 
 // MatMulT returns a × bᵀ (a: m×k, b: n×k). Used for attention scores
-// (Q × Kᵀ) where both operands are stored row-major.
+// (Q × Kᵀ) and every linear layer (weights stored out×in).
 func MatMulT(a, b *Tensor) *Tensor {
 	return MatMulTInto(New(a.Rows, b.Rows), a, b)
 }
@@ -145,9 +105,9 @@ func MatMulT(a, b *Tensor) *Tensor {
 // MatMulTInto computes a × bᵀ into out (a: m×k, b: n×k, out: m×n),
 // overwriting every element of out. It allocates nothing, which keeps the
 // per-token decode step off the garbage collector; out must not alias a
-// or b. Every out element is an independent Dot(a-row, b-row), so the
-// row- and column-split parallel paths are bit-identical to the serial
-// loop at any worker count.
+// or b. Every out element is an independent dotRow(a-row, b-row), so the
+// serial, row-split, column-split, 4-row-blocked, and f16-streamed paths
+// are bit-identical at any worker count.
 func MatMulTInto(out, a, b *Tensor) *Tensor {
 	if a.Cols != b.Cols {
 		panic("tensor: MatMulT shape mismatch")
@@ -156,53 +116,81 @@ func MatMulTInto(out, a, b *Tensor) *Tensor {
 	if out.Rows != m || out.Cols != n {
 		panic("tensor: MatMulTInto output shape mismatch")
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers == 1 || m*k*n < parallelThreshold {
-		// The single-core decode hot path lands here every step; it stays
-		// free of pool traffic entirely.
+	p := currentCostModel().plan(kindMatMulT, m, k, n, runtime.GOMAXPROCS(0))
+	switch p.mode {
+	case planRows:
+		runPooled(kernelMatMulTRows, out, a, b, false, m, p.chunk, p.helpers)
+	case planCols:
+		runPooled(kernelMatMulTCols, out, a, b, false, n, p.chunk, p.helpers)
+	default:
+		// The decode hot path (m = 1 or a small batch on a host without
+		// spare cores) lands here every step, free of pool traffic.
 		matMulTRows(out, a, b, 0, m)
-		out.MarkMutated()
-		return out
 	}
-	if m >= workers {
-		chunk := rowChunk(m, k*n, workers)
-		runPooled(kernelMatMulTRows, out, a, b, false, m, chunk, workers-1)
-		out.MarkMutated()
-		return out
-	}
-	chunk := colChunk(n, m*k, workers)
-	if (n+chunk-1)/chunk == 1 {
-		matMulTRows(out, a, b, 0, m)
-		out.MarkMutated()
-		return out
-	}
-	runPooled(kernelMatMulTCols, out, a, b, false, n, chunk, workers-1)
 	out.MarkMutated()
 	return out
 }
 
-// matMulTRows computes rows [lo,hi) of out = a×bᵀ.
+// matMulTRows computes rows [lo,hi) of out = a×bᵀ, blocked: rows are taken
+// in groups of four so each weight row of b is streamed once per group
+// instead of once per output row, through the 4-row microkernel when the
+// FMA tier is present. When b carries a streamable packed-f16 shadow the
+// F16C variants read half the bytes; op order per element is identical
+// either way, so blocking and streaming mode are invisible in the results.
 func matMulTRows(out, a, b *Tensor, lo, hi int) {
 	k, n := a.Cols, b.Rows
-	for i := lo; i < hi; i++ {
+	bh := b.halfData()
+	i := lo
+	if hasFMA && k > 0 {
+		for ; i+4 <= hi; i += 4 {
+			ablk := a.Data[i*k : (i+3)*k+k]
+			o0 := out.Data[i*n : (i+1)*n]
+			o1 := out.Data[(i+1)*n : (i+2)*n]
+			o2 := out.Data[(i+2)*n : (i+3)*n]
+			o3 := out.Data[(i+3)*n : (i+4)*n]
+			if bh != nil {
+				for j := 0; j < n; j++ {
+					o0[j], o1[j], o2[j], o3[j] = dotRow4F16(ablk, k, bh[j*k:(j+1)*k])
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					o0[j], o1[j], o2[j], o3[j] = dotRow4(ablk, k, b.Data[j*k:(j+1)*k])
+				}
+			}
+		}
+	}
+	for ; i < hi; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+		if bh != nil {
+			for j := 0; j < n; j++ {
+				orow[j] = dotRowF16(arow, bh[j*k:(j+1)*k])
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				orow[j] = dotRow(arow, b.Data[j*k:(j+1)*k])
+			}
 		}
 	}
 }
 
 // matMulTCols computes columns [lo,hi) of every row of out = a×bᵀ — the
 // small-m split that lets a single decode step use every core. Each element
-// is the same Dot call the row kernel makes, so results are bit-identical.
+// is the same dotRow the row kernel makes, so results are bit-identical.
 func matMulTCols(out, a, b *Tensor, lo, hi int) {
 	k, n := a.Cols, b.Rows
+	bh := b.halfData()
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*n : (i+1)*n]
-		for j := lo; j < hi; j++ {
-			orow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+		if bh != nil {
+			for j := lo; j < hi; j++ {
+				orow[j] = dotRowF16(arow, bh[j*k:(j+1)*k])
+			}
+		} else {
+			for j := lo; j < hi; j++ {
+				orow[j] = dotRow(arow, b.Data[j*k:(j+1)*k])
+			}
 		}
 	}
 }

@@ -88,39 +88,54 @@ func (j *job) run() {
 }
 
 var (
-	poolOnce sync.Once
-	poolWork chan *job
-	poolFree chan *job
+	poolMu      sync.Mutex
+	poolWork    chan *job
+	poolFree    chan *job
+	poolHelpers atomic.Int32
 )
 
-// startPool spawns the resident helpers. The pool is sized for the
-// GOMAXPROCS in effect at first parallel use (the submitter itself is the
-// final worker, so helpers = procs-1, floor 1 so single-proc processes that
-// later raise GOMAXPROCS still have a helper to hand off to). Callers cap
-// per-job helper requests by the *current* GOMAXPROCS, so lowering it later
-// narrows parallelism without touching the pool.
-func startPool() {
-	helpers := runtime.GOMAXPROCS(0) - 1
-	if helpers < 1 {
-		helpers = 1
+// ensurePool keeps the resident helper set in step with GOMAXPROCS instead
+// of sizing once at first use: helpers = procs-1 (floor 1, so single-proc
+// processes that later raise GOMAXPROCS still have a helper to hand off
+// to), grown on demand whenever GOMAXPROCS rises between phases — bench
+// sweeps, servers re-tuned at runtime. Helpers are never killed when
+// GOMAXPROCS drops: callers cap per-job recruitment by the current plan, so
+// surplus helpers just stay parked on the channel. The fast path is one
+// atomic load; its acquire ordering also publishes the channels created
+// under the mutex.
+func ensurePool(procs int) {
+	want := int32(procs - 1)
+	if want < 1 {
+		want = 1
 	}
-	poolWork = make(chan *job, 256)
-	poolFree = make(chan *job, 64)
-	for i := 0; i < helpers; i++ {
+	if poolHelpers.Load() >= want {
+		return
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if poolWork == nil {
+		poolWork = make(chan *job, 256)
+		poolFree = make(chan *job, 64)
+	}
+	for poolHelpers.Load() < want {
 		go func() {
 			for j := range poolWork {
 				j.run()
 			}
 		}()
+		poolHelpers.Add(1)
 	}
 }
+
+// poolHelperCount reports the resident helper count (tests only).
+func poolHelperCount() int { return int(poolHelpers.Load()) }
 
 // runPooled executes a kernel over grid [0,n) split into chunk-sized slices,
 // recruiting up to maxHelpers resident helpers. Steady-state it performs no
 // heap allocation: jobs cycle through the freelist and the kernel arguments
 // travel as struct fields, not closures.
 func runPooled(kind kernel, out, a, b *Tensor, skipZeros bool, n, chunk, maxHelpers int) {
-	poolOnce.Do(startPool)
+	ensurePool(runtime.GOMAXPROCS(0))
 	var j *job
 	select {
 	case j = <-poolFree:

@@ -39,12 +39,48 @@ type Tensor struct {
 	// read-only weight tensors across serving goroutines, and two of them
 	// may fill the cache concurrently.
 	finite atomic.Uint32
+
+	// half is the packed binary16 shadow built by PackF16 (pack.go); halfOK
+	// is 1 while the shadow matches Data and 0 after any mutation.
+	half   []uint16
+	halfOK atomic.Uint32
+
+	// base points at the tensor a view was carved from (RowView /
+	// BindRowView). MarkMutated on the view propagates to base, so cached
+	// state on the parent can never go stale through a view write.
+	base *Tensor
 }
 
-// MarkMutated invalidates cached derived state (the finiteness cache) after
-// the contents were changed through Data, Row, or any other direct-slice
-// write. The mutating methods on Tensor call it themselves.
-func (t *Tensor) MarkMutated() { t.finite.Store(finiteUnknown) }
+// MarkMutated invalidates cached derived state — the finiteness cache and
+// the packed-f16 shadow — after the contents were changed through Data,
+// Row, or any other direct-slice write. The mutating methods on Tensor call
+// it themselves; writes through a tracked view propagate to the parent.
+func (t *Tensor) MarkMutated() {
+	t.finite.Store(finiteUnknown)
+	if t.half != nil {
+		t.halfOK.Store(0)
+	}
+	if t.base != nil {
+		t.base.MarkMutated()
+	}
+}
+
+// RowView returns a 1×Cols tensor aliasing row r of t, with mutation
+// tracking: MarkMutated on the view invalidates t's cached state too.
+func (t *Tensor) RowView(r int) *Tensor {
+	return &Tensor{Rows: 1, Cols: t.Cols, Data: t.Row(r), base: t}
+}
+
+// BindRowView re-aims view (typically a reusable scratch header) at row r
+// of t without allocating. Any cached state carried by the old binding is
+// dropped and mutations through the view now invalidate t.
+func (view *Tensor) BindRowView(t *Tensor, r int) *Tensor {
+	view.Rows, view.Cols = 1, t.Cols
+	view.Data = t.Row(r)
+	view.half, view.base = nil, t
+	view.finite.Store(finiteUnknown)
+	return view
+}
 
 // AllFinite reports whether every element is finite (no NaN, no ±Inf),
 // scanning at most once until the next mutation.
@@ -79,11 +115,18 @@ func FromSlice(rows, cols int, data []float32) *Tensor {
 	return &Tensor{Rows: rows, Cols: cols, Data: data}
 }
 
-// Clone returns a deep copy (including the cached finiteness state).
+// Clone returns a deep copy (including the cached finiteness state and any
+// packed-f16 shadow). The clone is standalone: it never aliases t and is
+// not a tracked view even when t was one.
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.Rows, t.Cols)
 	copy(c.Data, t.Data)
 	c.finite.Store(t.finite.Load())
+	if t.half != nil {
+		c.half = make([]uint16, len(t.half))
+		copy(c.half, t.half)
+		c.halfOK.Store(t.halfOK.Load())
+	}
 	return c
 }
 
@@ -122,11 +165,13 @@ func (t *Tensor) Reuse(rows, cols int) *Tensor {
 	return t
 }
 
-// Zero sets every element to 0.
+// Zero sets every element to 0. It is a mutation like any other (shadow
+// and parent invalidation), but the finiteness answer is known afterwards.
 func (t *Tensor) Zero() {
 	for i := range t.Data {
 		t.Data[i] = 0
 	}
+	t.MarkMutated()
 	t.finite.Store(finiteYes)
 }
 
