@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-mp bench bench-json perfguard smoke serve-smoke serve-smoke-mp ci
+.PHONY: build test vet race race-mp bench bench-json perfguard smoke serve-smoke serve-smoke-mp chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -50,4 +50,11 @@ serve-smoke:
 serve-smoke-mp:
 	GOMAXPROCS=4 scripts/serve_smoke.sh
 
-ci: vet build test race race-mp perfguard smoke serve-smoke serve-smoke-mp
+# Chaos-engineering check: derive an adaptive policy with ft2policy, run the
+# ft2serve chaos selftest (control sessions bit-identical to the oracle under
+# a seeded fault storm), then drive a live chaos-enabled server and verify
+# metrics, the injection journal, and a graceful drain under fire.
+chaos-smoke:
+	scripts/chaos_smoke.sh
+
+ci: vet build test race race-mp perfguard smoke serve-smoke serve-smoke-mp chaos-smoke

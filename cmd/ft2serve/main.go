@@ -21,7 +21,9 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,9 +32,12 @@ import (
 	"os"
 	"time"
 
+	"ft2/internal/chaos"
 	"ft2/internal/cliutil"
 	"ft2/internal/data"
+	"ft2/internal/fault"
 	"ft2/internal/numerics"
+	"ft2/internal/protect"
 	"ft2/internal/serve"
 	"ft2/internal/tensor"
 )
@@ -52,7 +57,15 @@ func main() {
 	throttle := flag.Duration("throttle", 0, "artificial pause before every decode step (demos/smoke tests)")
 	weights := flag.String("weights", "f32", "weight storage: f32, or f16 (packed binary16, halves streamed bytes on F16C hosts)")
 	kernelCal := flag.String("kernel-cal", "", "kernel cost-model calibration file (cmd/calibrate -kernels); empty = micro-calibrate at startup")
-	selftest := flag.Bool("selftest", false, "run the in-process load-generator self-test and exit")
+	policyPath := flag.String("protect-policy", "", "adaptive per-layer protection policy JSON (cmd/ft2policy); empty = uniform FT2")
+	chaosOn := flag.Bool("chaos", false, "enable the online chaos engine (faults injected into opted-in sessions at slice boundaries)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos fault-stream seed")
+	chaosRate := flag.Float64("chaos-rate", 0.25, "expected chaos fault arrivals per scheduling slice")
+	chaosBurst := flag.Int("chaos-burst", 1, "max simultaneous faults per arrival (multi-fault bursts)")
+	chaosWeight := flag.Float64("chaos-weight", 0.2, "fraction of chaos faults corrupting replica weights persistently")
+	chaosKV := flag.Float64("chaos-kv", 0.2, "fraction of chaos faults flipping resident KV-cache bits")
+	chaosJournal := flag.String("chaos-journal", "", "append every chaos injection/recovery event as JSONL to this path")
+	selftest := flag.Bool("selftest", false, "run the in-process load-generator self-test and exit (chaos regime when -chaos is set)")
 	base := cliutil.RegisterBase(flag.CommandLine)
 	flag.Parse()
 
@@ -85,11 +98,39 @@ func main() {
 		StepDelay:       *throttle,
 		WeightsF16:      *weights == "f16",
 	}
+	if *policyPath != "" {
+		f, err := os.Open(*policyPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ft2serve:", err)
+			os.Exit(2)
+		}
+		pol, err := protect.LoadPolicy(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ft2serve:", err)
+			os.Exit(2)
+		}
+		cfg.ProtectPolicy = pol
+		fmt.Printf("ft2serve: protection policy: %s\n", pol)
+	}
+	if *chaosOn {
+		cfg.Chaos = &chaos.Config{
+			Seed:    *chaosSeed,
+			Rate:    *chaosRate,
+			Burst:   *chaosBurst,
+			Mix:     fault.TargetMix{Weight: *chaosWeight, KV: *chaosKV},
+			DType:   dtype,
+			Journal: *chaosJournal,
+		}
+	}
 
 	ctx, stop := base.Context()
 	defer stop()
 
 	if *selftest {
+		if cfg.Chaos != nil {
+			os.Exit(runChaosSelfTest(ctx, cfg))
+		}
 		os.Exit(runSelfTest(ctx, cfg))
 	}
 
@@ -224,6 +265,114 @@ func runSelfTest(ctx context.Context, cfg serve.Config) int {
 	}
 	fmt.Println("ft2serve: selftest passed — served outputs bit-identical to the GenerateInto oracle")
 	return 0
+}
+
+// runChaosSelfTest drives the server with mixed victim/control traffic while
+// the chaos engine injects faults at slice boundaries, then asserts the
+// blast-radius contract: every control session is bit-identical to the
+// oracle, every injection is journaled, and confirmed persistent weight
+// corruption was scrubbed and recovered without failing any request.
+func runChaosSelfTest(ctx context.Context, cfg serve.Config) int {
+	const (
+		prompts   = 8
+		requests  = 24
+		maxTokens = 16
+	)
+	fail := func(format string, args ...interface{}) int {
+		fmt.Fprintf(os.Stderr, "ft2serve: chaos-selftest: "+format+"\n", args...)
+		return 1
+	}
+
+	ds, err := data.ByName("squad-sim", prompts)
+	if err != nil {
+		return fail("%v", err)
+	}
+	promptFor := func(i int) []int { return ds.Inputs[i%prompts].Prompt }
+	victim := func(i int) bool { return i%2 == 1 }
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return fail("%v", err)
+	}
+	ecfg := srv.Config()
+	cc := ecfg.Chaos
+	fmt.Printf("ft2serve: chaos-selftest %s rate=%.2g/slice burst=%d mix=%.0f%%w/%.0f%%kv seed=%d\n",
+		ecfg.Model, cc.Rate, cc.Burst, cc.Mix.Weight*100, cc.Mix.KV*100, cc.Seed)
+
+	st := srv.RunLoad(ctx, serve.LoadSpec{
+		Clients: 8, Requests: requests, MaxTokens: maxTokens,
+		Protected: true, PromptFor: promptFor, ChaosFor: victim,
+	})
+	if st.Failed > 0 {
+		for i, e := range st.Errs {
+			if e != nil {
+				return fail("request %d failed under chaos: %v", i, e)
+			}
+		}
+	}
+
+	victims := 0
+	for i, res := range st.Results {
+		if victim(i) {
+			victims++ // victims may legitimately diverge — that is the experiment
+			continue
+		}
+		want, _, err := serve.Oracle(ecfg, promptFor(i), maxTokens, true)
+		if err != nil {
+			return fail("oracle: %v", err)
+		}
+		if !equalInts(res.Tokens, want) {
+			return fail("control request %d diverged under chaos: served %v != oracle %v", i, res.Tokens, want)
+		}
+	}
+
+	c := srv.Chaos().Counters()
+	if c.Injected() == 0 {
+		return fail("chaos engine never injected (rate %.3g too low for this load?)", cc.Rate)
+	}
+	if c.ScrubDetected != c.Rebuilds {
+		return fail("scrub detected %d weight corruptions but %d rebuilds ran", c.ScrubDetected, c.Rebuilds)
+	}
+	events := srv.Chaos().Events()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return fail("shutdown: %v", err)
+	}
+	if cc.Journal != "" {
+		journaled, err := countJournalLines(cc.Journal)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if int64(journaled["inject"]) != c.Injected() {
+			return fail("journal records %d injections, counters say %d", journaled["inject"], c.Injected())
+		}
+	}
+
+	fmt.Printf("ft2serve: chaos-selftest %d requests ok (%d victims), %.1f tok/s\n",
+		st.Requests, victims, st.TokensPerSec)
+	fmt.Printf("ft2serve: chaos-selftest injected %d (%d activation, %d weight, %d kv) over %d journaled events\n",
+		c.Injected(), c.InjectedActivation, c.InjectedWeight, c.InjectedKV, len(events))
+	fmt.Printf("ft2serve: chaos-selftest recovered %d confirmed weight corruptions via replica rebuild\n", c.Rebuilds)
+	fmt.Println("ft2serve: chaos-selftest passed — control sessions bit-identical to the oracle under chaos")
+	return 0
+}
+
+// countJournalLines tallies chaos journal lines by event kind.
+func countJournalLines(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	kinds := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev chaos.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("bad journal line %q: %v", sc.Text(), err)
+		}
+		kinds[ev.Kind]++
+	}
+	return kinds, sc.Err()
 }
 
 func equalInts(a, b []int) bool {

@@ -24,6 +24,11 @@ type Result struct {
 	Corrected bool
 	// Row, Col locate the corrupted element when Corrected.
 	Row, Col int
+	// BadRows, BadCols are the row/column indices whose checksums
+	// mismatched, in ascending order — the full localization evidence, even
+	// when the pattern is not a single correctable element (multi-fault
+	// bursts produce several of each).
+	BadRows, BadCols []int
 }
 
 // Tolerance bounds the relative checksum discrepancy attributed to
@@ -90,7 +95,10 @@ func CheckedMatMul(a, b *tensor.Tensor, corrupt func(*tensor.Tensor)) (*tensor.T
 	badRows := checksumMismatches(c, expRow, true)
 	badCols := checksumMismatches(c, expCol, false)
 
-	res := Result{Detected: len(badRows) > 0 || len(badCols) > 0}
+	res := Result{
+		Detected: len(badRows) > 0 || len(badCols) > 0,
+		BadRows:  badRows, BadCols: badCols,
+	}
 	if !res.Detected {
 		return c, res, nil
 	}

@@ -81,7 +81,19 @@ type Spec struct {
 	// UseDMR replaces the method's protection with duplication in place
 	// over every linear layer (the high-overhead 0%-SDC alternative of the
 	// paper's limitations section; see protect.DMR).
-	UseDMR  bool
+	UseDMR bool
+	// Policy, when non-nil, replaces the method's protection with the
+	// adaptive per-layer-kind hybrid controller the serving layer runs
+	// (core.Hybrid): FT2 range restriction, ABFT checksum repair, DMR, or a
+	// stacked abft+ft2 per layer kind, with FT2Opts configuring the FT2
+	// tier. Method, UseDMR and CustomCoverage are ignored when set.
+	Policy *protect.Policy
+	// Targets routes a fraction of sampled faults to persistent weight
+	// corruption and resident KV-cache flips (see fault.TargetMix); the
+	// remainder stays transient activation flips. The zero value reproduces
+	// the historical activation-only sampling — and its journal
+	// fingerprint — exactly.
+	Targets fault.TargetMix
 	Dataset *data.Dataset
 	// Trials is the total number of fault injections, spread round-robin
 	// over the dataset inputs.
@@ -403,6 +415,13 @@ func (s Spec) validate() error {
 		// reject the degenerate window here instead.
 		return fmt.Errorf("campaign: window %v needs at least 2 generated tokens, dataset %s generates %d",
 			s.Window, s.Dataset.Name, s.Dataset.GenTokens)
+	case s.Targets.Weight < 0 || s.Targets.KV < 0 || s.Targets.Weight+s.Targets.KV > 1:
+		return fmt.Errorf("campaign: invalid target mix weight=%g kv=%g", s.Targets.Weight, s.Targets.KV)
+	case s.Targets.KV > 0 && s.Dataset.GenTokens < 2:
+		// fault.Plan.SampleKV would panic: the cache is only consulted from
+		// the first decode step on.
+		return fmt.Errorf("campaign: KV-cache targets need at least 2 generated tokens, dataset %s generates %d",
+			s.Dataset.Name, s.Dataset.GenTokens)
 	case s.needsOfflineBounds() && s.OfflineBounds == nil:
 		return fmt.Errorf("campaign: method %v requires offline bounds", s.Method)
 	}
@@ -410,6 +429,11 @@ func (s Spec) validate() error {
 }
 
 func (s Spec) needsOfflineBounds() bool {
+	if s.Policy != nil {
+		// The hybrid controller derives everything it needs online: FT2
+		// bounds from the first token, ABFT reference sums at build time.
+		return false
+	}
 	if s.CustomCoverage != nil {
 		return true
 	}
@@ -533,6 +557,7 @@ type trialRunner struct {
 	weight float64             // prefill weight, resolved once
 	plans  map[int]*fault.Plan // keyed by prompt length
 	inj    fault.Injector
+	hy     *core.Hybrid       // non-nil iff spec.Policy is set
 	dmr    *protect.DMR       // non-nil iff spec.UseDMR
 	prot   *protect.Protector // non-nil for bounds-based methods
 	ft2    *core.FT2          // non-nil iff spec.Method is MethodFT2
@@ -557,7 +582,11 @@ func newTrialRunner(spec Spec, golden [][]int, forks *forkStore) (*trialRunner, 
 		plans:  make(map[int]*fault.Plan),
 		outBuf: make([]int, 0, spec.Dataset.GenTokens),
 	}
-	if spec.UseDMR {
+	if spec.Policy != nil {
+		// refs nil: the replica is pristine here, so the hybrid captures its
+		// own ABFT reference sums at build time.
+		r.hy = core.NewHybrid(m, spec.FT2Opts, spec.Policy, nil)
+	} else if spec.UseDMR {
 		r.dmr = protect.NewDMR(m)
 	} else if spec.CustomCoverage != nil {
 		r.prot = &protect.Protector{
@@ -606,6 +635,7 @@ func (r *trialRunner) run(ctx context.Context, idx int) (trialOutcome, *TrialErr
 	plan := r.plans[len(input.Prompt)]
 	if plan == nil {
 		plan = fault.NewPlan(spec.ModelCfg, len(input.Prompt), spec.Dataset.GenTokens, spec.DType, spec.Fault, r.weight)
+		plan.Mix = spec.Targets
 		r.plans[len(input.Prompt)] = plan
 	}
 	var site fault.Site
@@ -631,7 +661,12 @@ func (r *trialRunner) runWithSite(ctx context.Context, idx int, site fault.Site)
 	spec, m := r.spec, r.m
 	inputIdx := idx % len(spec.Dataset.Inputs)
 	input := spec.Dataset.Inputs[inputIdx]
-	r.inj = fault.Injector{Site: site, DType: spec.DType}
+	r.inj = fault.Injector{Site: site, DType: spec.DType, M: m}
+	// A weight-target trial corrupts the shared replica persistently — for
+	// exactly the duration of its own inference. Revert restores the flipped
+	// element afterwards (no-op for transient targets), so the next trial
+	// starts from clean weights without rebuilding the replica.
+	defer r.inj.Revert()
 
 	var cp *forkPoint
 	if r.forks != nil && site.Step >= 1 {
@@ -662,6 +697,9 @@ func (r *trialRunner) runWithSite(ctx context.Context, idx int, site fault.Site)
 		// protected generation, and only steps NextStep.. are re-executed.
 		fi := &r.forks.inputs[inputIdx]
 		switch {
+		case r.hy != nil:
+			r.hy.ResumeFork(core.ForkState{Bounds: fi.ftBounds, FirstTokenNaN: cp.ftNaN, Stats: cp.corr})
+			r.hy.Install()
 		case r.dmr != nil:
 			r.dmr.Detected = cp.corr.OutOfBound
 			m.RegisterHook(r.dmr.Hook())
@@ -681,6 +719,9 @@ func (r *trialRunner) runWithSite(ctx context.Context, idx int, site fault.Site)
 		}
 	} else {
 		switch {
+		case r.hy != nil:
+			r.hy.Reset()
+			r.hy.Install()
 		case r.dmr != nil:
 			r.dmr.Detected = 0
 			m.RegisterHook(r.dmr.Hook())
@@ -697,6 +738,13 @@ func (r *trialRunner) runWithSite(ctx context.Context, idx int, site fault.Site)
 
 	var corr protect.CorrectionStats
 	switch {
+	case r.hy != nil:
+		corr = r.hy.Stats()
+		corr.NaN += r.hy.FirstTokenNaNCount()
+		// Fold the exact-correction tiers in as events (detections + DMR
+		// fixes), keeping the journal's OOB/NaN schema unchanged.
+		hc := r.hy.DrainCounts()
+		corr.OutOfBound += int(hc.ABFT.Detected + hc.DMRFixed)
 	case r.dmr != nil:
 		corr.OutOfBound = r.dmr.Detected
 	case r.prot != nil:

@@ -125,6 +125,15 @@ func buildForkStore(ctx context.Context, spec Spec) (*forkStore, error) {
 		// the fault-free reference run).
 		readCorr := func() (protect.CorrectionStats, int) { return protect.CorrectionStats{}, 0 }
 		switch {
+		case r.hy != nil:
+			// Checkpoints carry the FT2 tier's counters only: the ABFT/DMR
+			// tiers are per-step exact corrections whose counts are drained
+			// per trial, not resumed state.
+			r.hy.Reset()
+			r.hy.Install()
+			readCorr = func() (protect.CorrectionStats, int) {
+				return r.hy.Stats(), r.hy.FirstTokenNaNCount()
+			}
 		case r.dmr != nil:
 			r.dmr.Detected = 0
 			m.RegisterHook(r.dmr.Hook())
@@ -146,10 +155,13 @@ func buildForkStore(ctx context.Context, spec Spec) (*forkStore, error) {
 		f := inputFork{out: make([]int, 0, n)}
 		tok := m.Prefill(in.Prompt)
 		f.out = append(f.out, tok)
-		if r.ft2 != nil {
+		switch {
+		case r.ft2 != nil:
 			// Bounds are complete once the prefill finished; clone them out
 			// of the controller so later inputs' Resets cannot clear them.
 			f.ftBounds = r.ft2.CaptureForkState().Bounds
+		case r.hy != nil:
+			f.ftBounds = r.hy.CaptureForkState().Bounds
 		}
 		for s := 1; s < n; s++ {
 			if (s-1)%fs.stride == 0 {

@@ -27,6 +27,15 @@ func (s Spec) Fingerprint() string {
 		s.ModelCfg.Name, s.ModelSeed, s.DType, s.Fault, s.Method, s.Window,
 		s.Trials, s.BaseSeed, s.UseDMR, s.GPU.Name, s.PrefillWeight)
 	fmt.Fprintf(h, " ft2=%+v", s.FT2Opts)
+	// Target mix and policy are hashed only when set, so journals written
+	// before these knobs existed keep their fingerprints.
+	if !s.Targets.IsZero() {
+		fmt.Fprintf(h, " targets=%g/%g", s.Targets.Weight, s.Targets.KV)
+	}
+	if s.Policy != nil {
+		// Policy.String is a canonical sorted kind→tier listing.
+		fmt.Fprintf(h, " policy=%s", s.Policy)
+	}
 	if s.Dataset != nil {
 		fmt.Fprintf(h, " ds=%s inputs=%d gen=%d", s.Dataset.Name, len(s.Dataset.Inputs), s.Dataset.GenTokens)
 	}

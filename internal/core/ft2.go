@@ -91,6 +91,20 @@ func New(m *model.Model, opts Options) *FT2 {
 	return f
 }
 
+// NewWithKinds builds an FT2 controller covering exactly the given layer
+// kinds (at their linear-output sites) instead of the family's architectural
+// criticality heuristic — the constructor adaptive policies use to aim the
+// clamp at their FT2-tier kinds. Coverage is a constructor concern so that
+// Options stays a comparable value type.
+func NewWithKinds(m *model.Model, opts Options, kinds ...model.LayerKind) *FT2 {
+	f := New(m, opts)
+	f.cover = make(map[arch.CoveragePoint]bool, len(kinds))
+	for _, k := range kinds {
+		f.cover[arch.CoveragePoint{Kind: k, Site: model.SiteLinearOut}] = true
+	}
+	return f
+}
+
 // Attach is New followed by Install: it registers FT2's forward hook on the
 // model and returns the controller. Call Detach to remove it.
 func Attach(m *model.Model, opts Options) *FT2 {

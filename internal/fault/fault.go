@@ -14,20 +14,79 @@ import (
 	"ft2/internal/tensor"
 )
 
-// Site is one fault location: a generation step, a linear layer, a flat
-// element index into that layer's output tensor at that step, and the bit
-// positions to flip.
-type Site struct {
-	Step  int
-	Layer model.LayerRef
-	Elem  int
-	Bits  []int
-}
+// Target selects what state a fault corrupts. The zero value is the
+// classic transient activation flip, so existing plans and journals keep
+// their meaning.
+type Target int
+
+const (
+	// TargetActivation flips bits in one linear-layer output element at one
+	// step — a transient fault, gone next step.
+	TargetActivation Target = iota
+	// TargetWeight flips bits in one stored weight element — a persistent
+	// fault that corrupts every subsequent use of that weight until
+	// reverted or the replica is rebuilt.
+	TargetWeight
+	// TargetKVCache flips bits in one resident KV-cache element of the live
+	// generation — a semi-persistent fault that skews attention for every
+	// remaining step of that session.
+	TargetKVCache
+)
 
 // String implements fmt.Stringer.
-func (s Site) String() string {
-	return fmt.Sprintf("step=%d %s elem=%d bits=%v", s.Step, s.Layer, s.Elem, s.Bits)
+func (t Target) String() string {
+	switch t {
+	case TargetWeight:
+		return "weight"
+	case TargetKVCache:
+		return "kv"
+	default:
+		return "activation"
+	}
 }
+
+// Site is one fault location: a target kind, a generation step, a layer
+// reference, a flat element index, and the bit positions to flip.
+//
+// Element addressing per target:
+//   - TargetActivation: flat index into the layer's output tensor at Step.
+//   - TargetWeight: flat index into the layer's weight matrix (out×in); the
+//     flip is applied when execution reaches Step.
+//   - TargetKVCache: pos*Hidden + col into the block's K (Layer.Kind KProj)
+//     or V (VProj) slab in logical position-major order; the injector
+//     translates to the head-blocked slab layout at fire time.
+type Site struct {
+	Target Target
+	Step   int
+	Layer  model.LayerRef
+	Elem   int
+	Bits   []int
+}
+
+// String implements fmt.Stringer. The activation form is unchanged from
+// earlier releases so journal greps keep working.
+func (s Site) String() string {
+	switch s.Target {
+	case TargetWeight:
+		return fmt.Sprintf("weight step=%d %s elem=%d bits=%v", s.Step, s.Layer, s.Elem, s.Bits)
+	case TargetKVCache:
+		return fmt.Sprintf("kv step=%d %s elem=%d bits=%v", s.Step, s.Layer, s.Elem, s.Bits)
+	default:
+		return fmt.Sprintf("step=%d %s elem=%d bits=%v", s.Step, s.Layer, s.Elem, s.Bits)
+	}
+}
+
+// TargetMix sets the probability that a sampled fault targets weights or the
+// KV cache; the remainder goes to transient activation flips. The zero value
+// reproduces the activation-only sampling of earlier releases exactly (no
+// extra RNG draws).
+type TargetMix struct {
+	Weight float64
+	KV     float64
+}
+
+// IsZero reports whether the mix is all-activation.
+func (t TargetMix) IsZero() bool { return t.Weight == 0 && t.KV == 0 }
 
 // Plan enumerates the fault-site space of one inference configuration and
 // samples sites so that fault *arrival is uniform in wall-clock time* on the
@@ -48,11 +107,16 @@ type Plan struct {
 	// PrefillWeight is the execution-time weight of the prefill pass in
 	// decode-step equivalents (from perfmodel.PrefillStepWeight).
 	PrefillWeight float64
+	// Mix routes a fraction of samples to weight / KV-cache targets; the
+	// zero value keeps the plan activation-only. Set after NewPlan.
+	Mix TargetMix
 
 	layers      []model.LayerRef
 	layerElems  []int // output width per layer (columns)
 	perTokenSum int   // Σ layer widths
 	virtualRows int   // promptLen + genTokens - 1
+	weightElems []int // weight matrix size per layer (out×in)
+	weightSum   int64 // Σ weight sizes
 }
 
 // NewPlan builds a sampling plan. prefillWeight <= 0 defaults to 1 (the
@@ -74,6 +138,9 @@ func NewPlan(cfg model.Config, promptLen, genTokens int, d numerics.DType, fm nu
 		w := cfg.OutDim(ref.Kind)
 		p.layerElems = append(p.layerElems, w)
 		p.perTokenSum += w
+		we := cfg.OutDim(ref.Kind) * cfg.InDim(ref.Kind)
+		p.weightElems = append(p.weightElems, we)
+		p.weightSum += int64(we)
 	}
 	p.virtualRows = promptLen + genTokens - 1
 	return p
@@ -91,13 +158,71 @@ func (p *Plan) FirstTokenProbability() float64 {
 	return p.PrefillWeight / (p.PrefillWeight + float64(p.GenTokens-1))
 }
 
-// Sample draws a fault site: step by execution-time weight, then a uniform
-// neuron within the step, then bit positions per the fault model.
+// Sample draws a fault site: first the target kind per Mix, then — for
+// activation targets — step by execution-time weight and a uniform neuron
+// within the step, then bit positions per the fault model. A zero Mix takes
+// the historical all-activation path with an identical RNG consumption
+// pattern.
 func (p *Plan) Sample(rng *rand.Rand) Site {
+	if !p.Mix.IsZero() {
+		u := rng.Float64()
+		switch {
+		case u < p.Mix.Weight:
+			return p.SampleWeight(rng)
+		case u < p.Mix.Weight+p.Mix.KV:
+			return p.SampleKV(rng)
+		}
+	}
 	if rng.Float64() < p.FirstTokenProbability() {
 		return p.SampleFirstToken(rng)
 	}
 	return p.SampleFollowing(rng)
+}
+
+// SampleWeight draws a persistent weight-corruption site: arrival step by
+// execution-time weight (the flip lands mid-inference, including during the
+// prefill), then a uniform element over every weight matrix.
+func (p *Plan) SampleWeight(rng *rand.Rand) Site {
+	site := Site{Target: TargetWeight}
+	if p.GenTokens > 1 && rng.Float64() >= p.FirstTokenProbability() {
+		site.Step = 1 + rng.Intn(p.GenTokens-1)
+	}
+	e := rng.Int63n(p.weightSum)
+	for i, we := range p.weightElems {
+		if e < int64(we) {
+			site.Layer = p.layers[i]
+			site.Elem = int(e)
+			break
+		}
+		e -= int64(we)
+	}
+	site.Bits = p.Model.PickBits(p.DType, rng)
+	return site
+}
+
+// SampleKV draws a KV-cache corruption site: a decode step (the cache only
+// matters once it is consulted, step >= 1), a uniform block, K or V, and a
+// uniform resident (position, channel) pair among the rows filled when the
+// step begins. It panics when the plan has no decode steps.
+func (p *Plan) SampleKV(rng *rand.Rand) Site {
+	if p.GenTokens < 2 {
+		panic("fault: KV targets need at least two generated tokens")
+	}
+	step := 1 + rng.Intn(p.GenTokens-1)
+	resident := p.PromptLen + step - 1 // rows filled before step's KV append
+	pos := rng.Intn(resident)
+	col := rng.Intn(p.Cfg.Hidden)
+	kind := model.KProj
+	if rng.Intn(2) == 1 {
+		kind = model.VProj
+	}
+	return Site{
+		Target: TargetKVCache,
+		Step:   step,
+		Layer:  model.LayerRef{Block: rng.Intn(p.Cfg.Blocks), Kind: kind},
+		Elem:   pos*p.Cfg.Hidden + col,
+		Bits:   p.Model.PickBits(p.DType, rng),
+	}
 }
 
 // SampleFirstToken draws a site restricted to the prefill pass (step 0) —
@@ -135,19 +260,27 @@ func (p *Plan) buildSite(step, rowInStep, offset int, rng *rand.Rand) Site {
 	return site
 }
 
-// Injector corrupts exactly one neuron at the planned site. After the run,
+// Injector corrupts exactly one element at the planned site. After the run,
 // Fired reports whether the site was reached and Original/Corrupted record
-// the value transition (for per-site forensics).
+// the value transition (for per-site forensics). Weight and KV-cache targets
+// additionally need M — the model whose state the fault lands in; weight
+// flips persist until Revert (or a rebuild) restores the original value.
 type Injector struct {
 	Site  Site
 	DType numerics.DType
+	// M is the model the injection mutates. Required for TargetWeight and
+	// TargetKVCache; ignored for activation targets (those mutate the hook's
+	// output tensor directly).
+	M *model.Model
 
 	Fired     bool
 	Original  float32
 	Corrupted float32
+	reverted  bool
 }
 
-// NewInjector builds an injector for a sampled site.
+// NewInjector builds an injector for a sampled site. Callers planning weight
+// or KV-cache targets must also set M before installing the hook.
 func NewInjector(site Site, d numerics.DType) *Injector {
 	return &Injector{Site: site, DType: d}
 }
@@ -157,26 +290,122 @@ func (inj *Injector) Reset() {
 	inj.Fired = false
 	inj.Original = 0
 	inj.Corrupted = 0
+	inj.reverted = false
+}
+
+// Revert undoes a fired persistent weight corruption, restoring the original
+// element. It is idempotent and a no-op for transient targets (activation
+// flips vanish with the tensor; KV flips die with the generation state).
+// Campaigns call it after every weight-fault trial so the shared model is
+// clean for the next one.
+func (inj *Injector) Revert() {
+	if !inj.Fired || inj.reverted || inj.Site.Target != TargetWeight {
+		return
+	}
+	w := inj.M.Weight(inj.Site.Layer)
+	w.Data[inj.Site.Elem] = inj.Original
+	w.MarkMutated()
+	inj.reverted = true
 }
 
 // Hook returns the forward hook performing the injection. It fires at most
-// once per inference (single-fault assumption, Section 2.3) and only on
-// linear-layer outputs.
+// once per inference (single-fault assumption, Section 2.3): activation
+// targets fire on the planned layer's output; weight and KV targets fire on
+// the first linear-layer hook of the planned step — the earliest moment the
+// step is known to have begun — and mutate the model / generation state
+// directly.
 func (inj *Injector) Hook() model.Hook {
 	return func(ctx model.HookCtx, out *tensor.Tensor) {
-		if inj.Fired || ctx.Site != model.SiteLinearOut ||
-			ctx.Step != inj.Site.Step || ctx.Layer != inj.Site.Layer {
+		if inj.Fired || ctx.Site != model.SiteLinearOut {
 			return
 		}
-		if inj.Site.Elem >= len(out.Data) {
-			// Defensive: a mis-planned element index must fail loudly, not
-			// silently skip the injection and bias the campaign.
-			panic(fmt.Sprintf("fault: element %d out of range %d at %v",
-				inj.Site.Elem, len(out.Data), inj.Site))
+		switch inj.Site.Target {
+		case TargetWeight:
+			if ctx.Step != inj.Site.Step {
+				return
+			}
+			inj.fireWeight()
+		case TargetKVCache:
+			if ctx.Step != inj.Site.Step {
+				return
+			}
+			inj.fireKV()
+		default:
+			if ctx.Step != inj.Site.Step || ctx.Layer != inj.Site.Layer {
+				return
+			}
+			if inj.Site.Elem >= len(out.Data) {
+				// Defensive: a mis-planned element index must fail loudly, not
+				// silently skip the injection and bias the campaign.
+				panic(fmt.Sprintf("fault: element %d out of range %d at %v",
+					inj.Site.Elem, len(out.Data), inj.Site))
+			}
+			inj.Fired = true
+			inj.Original = out.Data[inj.Site.Elem]
+			inj.Corrupted = numerics.CorruptValue(inj.Original, inj.DType, inj.Site.Bits)
+			out.Data[inj.Site.Elem] = inj.Corrupted
 		}
-		inj.Fired = true
-		inj.Original = out.Data[inj.Site.Elem]
-		inj.Corrupted = numerics.CorruptValue(inj.Original, inj.DType, inj.Site.Bits)
-		out.Data[inj.Site.Elem] = inj.Corrupted
 	}
+}
+
+// Fire applies a weight or KV-cache fault immediately, outside any forward
+// pass — the chaos engine's slice-boundary application path, where the
+// mutation must land while no kernel is running. Activation targets have no
+// state to mutate outside a forward pass and must go through Hook.
+func (inj *Injector) Fire() {
+	switch inj.Site.Target {
+	case TargetWeight:
+		inj.fireWeight()
+	case TargetKVCache:
+		inj.fireKV()
+	default:
+		panic("fault: Fire is for weight/kv targets; activation faults fire via Hook")
+	}
+}
+
+// fireWeight flips the planned weight element in place.
+func (inj *Injector) fireWeight() {
+	if inj.M == nil {
+		panic("fault: weight target needs Injector.M")
+	}
+	w := inj.M.Weight(inj.Site.Layer)
+	if inj.Site.Elem >= len(w.Data) {
+		panic(fmt.Sprintf("fault: weight element %d out of range %d at %v",
+			inj.Site.Elem, len(w.Data), inj.Site))
+	}
+	inj.Fired = true
+	inj.Original = w.Data[inj.Site.Elem]
+	inj.Corrupted = numerics.CorruptValue(inj.Original, inj.DType, inj.Site.Bits)
+	w.Data[inj.Site.Elem] = inj.Corrupted
+	w.MarkMutated()
+}
+
+// fireKV flips the planned KV-cache element of the model's active
+// generation state, translating the logical pos*Hidden+col address to the
+// head-blocked slab layout.
+func (inj *Injector) fireKV() {
+	if inj.M == nil {
+		panic("fault: kv target needs Injector.M")
+	}
+	st := inj.M.State()
+	if st == nil || !st.Started() {
+		panic("fault: kv target with no live generation state")
+	}
+	cfg := inj.M.Cfg
+	slabK, slabV, rows := st.KVSlabs(inj.Site.Layer.Block)
+	slab := slabK
+	if inj.Site.Layer.Kind == model.VProj {
+		slab = slabV
+	}
+	pos, col := inj.Site.Elem/cfg.Hidden, inj.Site.Elem%cfg.Hidden
+	if pos >= rows {
+		panic(fmt.Sprintf("fault: kv position %d beyond %d resident rows at %v",
+			pos, rows, inj.Site))
+	}
+	hd := cfg.HeadDim()
+	off := (col/hd*cfg.MaxSeq+pos)*hd + col%hd
+	inj.Fired = true
+	inj.Original = slab[off]
+	inj.Corrupted = numerics.CorruptValue(inj.Original, inj.DType, inj.Site.Bits)
+	slab[off] = inj.Corrupted
 }

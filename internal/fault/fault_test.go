@@ -277,3 +277,213 @@ func TestSampleLayerProportionalToWidth(t *testing.T) {
 		}
 	}
 }
+
+func TestSiteStringTargets(t *testing.T) {
+	base := Site{Step: 3, Layer: model.LayerRef{Block: 1, Kind: model.VProj}, Elem: 7, Bits: []int{14}}
+	act := base
+	if s := act.String(); s != "step=3 block1.V_PROJ elem=7 bits=[14]" {
+		t.Errorf("activation form changed: %q", s)
+	}
+	w := base
+	w.Target = TargetWeight
+	if s := w.String(); s != "weight step=3 block1.V_PROJ elem=7 bits=[14]" {
+		t.Errorf("weight form: %q", s)
+	}
+	kv := base
+	kv.Target = TargetKVCache
+	if s := kv.String(); s != "kv step=3 block1.V_PROJ elem=7 bits=[14]" {
+		t.Errorf("kv form: %q", s)
+	}
+	for want, tgt := range map[string]Target{
+		"activation": TargetActivation, "weight": TargetWeight, "kv": TargetKVCache,
+	} {
+		if tgt.String() != want {
+			t.Errorf("Target(%d).String() = %q, want %q", tgt, tgt.String(), want)
+		}
+	}
+}
+
+// A mixed plan must route samples per the mix, keep every site in range for
+// its target kind, and stay deterministic under a fixed seed.
+func TestSampleTargetMix(t *testing.T) {
+	cfg := testCfg(t)
+	promptLen, gen := 8, 6
+	p := NewPlan(cfg, promptLen, gen, numerics.FP16, numerics.SingleBit, 1)
+	p.Mix = TargetMix{Weight: 0.3, KV: 0.2}
+	rng := rand.New(rand.NewSource(11))
+	counts := map[Target]int{}
+	n := 8000
+	for i := 0; i < n; i++ {
+		s := p.Sample(rng)
+		counts[s.Target]++
+		switch s.Target {
+		case TargetWeight:
+			w := cfg.OutDim(s.Layer.Kind) * cfg.InDim(s.Layer.Kind)
+			if s.Elem < 0 || s.Elem >= w {
+				t.Fatalf("weight elem %d out of range %d at %v", s.Elem, w, s)
+			}
+			if s.Step < 0 || s.Step >= gen {
+				t.Fatalf("weight step out of range: %v", s)
+			}
+		case TargetKVCache:
+			if s.Step < 1 || s.Step >= gen {
+				t.Fatalf("kv step out of range: %v", s)
+			}
+			if s.Layer.Kind != model.KProj && s.Layer.Kind != model.VProj {
+				t.Fatalf("kv must target K or V slab: %v", s)
+			}
+			resident := promptLen + s.Step - 1
+			if pos := s.Elem / cfg.Hidden; pos < 0 || pos >= resident {
+				t.Fatalf("kv position %d beyond %d resident rows: %v", pos, resident, s)
+			}
+		default:
+			rows := model.StepRows(promptLen, s.Step)
+			if s.Elem < 0 || s.Elem >= rows*cfg.OutDim(s.Layer.Kind) {
+				t.Fatalf("activation elem out of range: %v", s)
+			}
+		}
+	}
+	for tgt, want := range map[Target]float64{TargetWeight: 0.3, TargetKVCache: 0.2, TargetActivation: 0.5} {
+		got := float64(counts[tgt]) / float64(n)
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("target %v fraction %.3f, want ~%.2f", tgt, got, want)
+		}
+	}
+	// Determinism: the same seed replays the same site sequence.
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		sa, sb := p.Sample(a), p.Sample(b)
+		if sa.String() != sb.String() {
+			t.Fatalf("sampling not deterministic: %v vs %v", sa, sb)
+		}
+	}
+}
+
+func TestSampleKVNeedsDecodeSteps(t *testing.T) {
+	cfg := testCfg(t)
+	p := NewPlan(cfg, 8, 1, numerics.FP16, numerics.SingleBit, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleKV with one token must panic")
+		}
+	}()
+	p.SampleKV(rand.New(rand.NewSource(1)))
+}
+
+func TestInjectorWeightFireAndRevert(t *testing.T) {
+	cfg := testCfg(t)
+	m := model.MustNew(cfg, 7, numerics.FP16)
+	ref := model.LayerRef{Block: 0, Kind: model.VProj}
+	site := Site{Target: TargetWeight, Step: 1, Layer: ref, Elem: 5, Bits: []int{14}}
+	inj := NewInjector(site, numerics.FP16)
+	inj.M = m
+	clean := m.Weight(ref).Data[site.Elem]
+	m.RegisterHook(inj.Hook())
+	m.Generate([]int{4, 5, 6}, 3)
+	if !inj.Fired {
+		t.Fatal("weight injector never fired")
+	}
+	if inj.Original != clean {
+		t.Errorf("recorded original %g, weight was %g", inj.Original, clean)
+	}
+	if got := m.Weight(ref).Data[site.Elem]; got != inj.Corrupted {
+		t.Errorf("weight holds %g after run, want corrupted %g", got, inj.Corrupted)
+	}
+	inj.Revert()
+	if got := m.Weight(ref).Data[site.Elem]; got != clean {
+		t.Errorf("Revert left %g, want %g", got, clean)
+	}
+	inj.Revert() // idempotent
+	if got := m.Weight(ref).Data[site.Elem]; got != clean {
+		t.Errorf("second Revert corrupted the weight: %g", got)
+	}
+}
+
+// A persistent weight flip must change the weight checksum and be restored
+// exactly by Revert — the scrub contract the serving layer relies on.
+func TestInjectorWeightChecksumRoundTrip(t *testing.T) {
+	cfg := testCfg(t)
+	m := model.MustNew(cfg, 7, numerics.FP16)
+	before := m.WeightChecksum()
+	site := Site{Target: TargetWeight, Step: 0, Layer: model.LayerRef{Block: 1, Kind: model.FC1}, Elem: 9, Bits: []int{14}}
+	inj := NewInjector(site, numerics.FP16)
+	inj.M = m
+	m.RegisterHook(inj.Hook())
+	m.Generate([]int{4, 5, 6}, 2)
+	m.ClearHooks()
+	if !inj.Fired {
+		t.Fatal("never fired")
+	}
+	if m.WeightChecksum() == before {
+		t.Error("checksum unchanged by weight corruption")
+	}
+	inj.Revert()
+	if m.WeightChecksum() != before {
+		t.Error("checksum not restored by Revert")
+	}
+}
+
+func TestInjectorKVFires(t *testing.T) {
+	cfg := testCfg(t)
+	m := model.MustNew(cfg, 7, numerics.FP16)
+	promptLen := 4
+	pos, col := 2, cfg.Hidden-1
+	site := Site{
+		Target: TargetKVCache, Step: 2,
+		Layer: model.LayerRef{Block: 1, Kind: model.VProj},
+		Elem:  pos*cfg.Hidden + col, Bits: []int{14},
+	}
+	inj := NewInjector(site, numerics.FP16)
+	inj.M = m
+	m.RegisterHook(inj.Hook())
+	m.Generate([]int{4, 5, 6, 7}, 4)
+	if !inj.Fired {
+		t.Fatal("kv injector never fired")
+	}
+	_, v, rows := m.State().KVSlabs(1)
+	if rows != promptLen+4-1 {
+		t.Fatalf("unexpected resident rows %d", rows)
+	}
+	hd := cfg.HeadDim()
+	off := (col/hd*cfg.MaxSeq+pos)*hd + col%hd
+	bothNaN := math.IsNaN(float64(v[off])) && math.IsNaN(float64(inj.Corrupted))
+	if v[off] != inj.Corrupted && !bothNaN {
+		t.Errorf("slab holds %g, injector wrote %g", v[off], inj.Corrupted)
+	}
+}
+
+// A KV flip changes the session's continuation but not the weights — and a
+// fresh generation (fresh state) is clean again.
+func TestInjectorKVTransient(t *testing.T) {
+	cfg := testCfg(t)
+	m := model.MustNew(cfg, 7, numerics.FP16)
+	prompt := []int{4, 5, 6, 7}
+	golden := append([]int(nil), m.Generate(prompt, 6)...)
+	before := m.WeightChecksum()
+	site := Site{
+		Target: TargetKVCache, Step: 1,
+		Layer: model.LayerRef{Block: 0, Kind: model.KProj},
+		Elem:  1*cfg.Hidden + 3, Bits: []int{14},
+	}
+	inj := NewInjector(site, numerics.FP16)
+	inj.M = m
+	m.RegisterHook(inj.Hook())
+	m.Generate(prompt, 6)
+	m.ClearHooks()
+	if !inj.Fired {
+		t.Fatal("never fired")
+	}
+	if m.WeightChecksum() != before {
+		t.Error("kv fault must not touch weights")
+	}
+	again := m.Generate(prompt, 6)
+	if len(again) != len(golden) {
+		t.Fatalf("clean rerun length %d vs %d", len(again), len(golden))
+	}
+	for i := range golden {
+		if golden[i] != again[i] {
+			t.Fatalf("clean rerun diverged at %d after kv fault", i)
+		}
+	}
+}

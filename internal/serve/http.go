@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"ft2/internal/chaos"
 	"ft2/internal/data"
 	"ft2/internal/model"
 )
@@ -29,9 +30,19 @@ func New(c Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var eng *chaos.Engine
+	if cfg.Chaos != nil {
+		if eng, err = chaos.NewEngine(*cfg.Chaos, cfg.ModelCfg); err != nil {
+			return nil, err
+		}
+	}
 	mx := newMetrics()
-	return &Server{cfg: cfg, sch: newScheduler(cfg, pool, mx), mx: mx}, nil
+	return &Server{cfg: cfg, sch: newScheduler(cfg, pool, mx, eng), mx: mx}, nil
 }
+
+// Chaos returns the server's chaos engine (nil when chaos is off) — the
+// self-test and smoke harnesses read its journal and counters through it.
+func (s *Server) Chaos() *chaos.Engine { return s.sch.chaos }
 
 // Config returns the effective (default-resolved) configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -55,8 +66,17 @@ func (s *Server) BeginDrain() { s.sch.beginDrain() }
 // Shutdown drains and stops the scheduler: admission closes, every
 // admitted request is given until ctx expires to finish (then failed
 // fast), and the workers exit. Returns ctx.Err() when the grace period
-// lapsed.
-func (s *Server) Shutdown(ctx context.Context) error { return s.sch.shutdown(ctx) }
+// lapsed. The chaos journal (if any) is flushed and closed last, so every
+// injection of the run is on disk when Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.sch.shutdown(ctx)
+	if s.sch.chaos != nil {
+		if cerr := s.sch.chaos.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // Handler returns the HTTP surface:
 //
@@ -176,6 +196,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var cc *chaos.Counters
+	if s.sch.chaos != nil {
+		c := s.sch.chaos.Counters()
+		cc = &c
+	}
 	s.mx.render(w, s.cfg.Model, s.cfg.Replicas, s.cfg.MaxSessions, s.cfg.BatchMax,
-		s.sch.queueDepth(), s.sch.activeSessions())
+		s.sch.queueDepth(), s.sch.activeSessions(), cc)
 }

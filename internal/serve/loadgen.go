@@ -23,6 +23,10 @@ type LoadSpec struct {
 	Protected bool
 	// PromptFor returns the prompt token ids for request i (required).
 	PromptFor func(i int) []int
+	// ChaosFor, when non-nil, marks request i as a chaos victim
+	// (Request.Chaos); requests it declines stay control traffic the chaos
+	// engine must never touch.
+	ChaosFor func(i int) bool
 }
 
 // LoadStats is the outcome of a RunLoad: per-request results (indexed by
@@ -62,6 +66,7 @@ func (s *Server) RunLoad(ctx context.Context, spec LoadSpec) LoadStats {
 					PromptTokens: spec.PromptFor(i),
 					MaxTokens:    spec.MaxTokens,
 					Protected:    spec.Protected,
+					Chaos:        spec.ChaosFor != nil && spec.ChaosFor(i),
 				}
 				var sess *Session
 				var err error
@@ -121,9 +126,17 @@ func Oracle(cfg Config, prompt []int, maxTokens int, protected bool) ([]int, Cor
 	if !protected {
 		return m.Generate(prompt, maxTokens), Corrections{}, nil
 	}
-	f := core.New(m, cfg.FT2Opts)
+	// The oracle must run the exact protection the server applies: the
+	// policy-dispatching hybrid when a policy is loaded, plain FT2 otherwise.
+	var f controller
+	if cfg.ProtectPolicy != nil {
+		f = core.NewHybrid(m, cfg.FT2Opts, cfg.ProtectPolicy, nil)
+	} else {
+		f = core.New(m, cfg.FT2Opts)
+	}
 	f.Install()
-	out := f.Generate(prompt, maxTokens)
+	f.Reset()
+	out := m.Generate(prompt, maxTokens)
 	corr := correctionsReport(f.Stats(), f.FirstTokenNaNCount(), f.StatsByKind())
 	return out, corr, nil
 }

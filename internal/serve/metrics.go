@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ft2/internal/chaos"
 	"ft2/internal/core"
 	"ft2/internal/model"
 )
@@ -26,6 +27,15 @@ type metrics struct {
 	corrMu        sync.Mutex
 	corrByKind    [model.NumLayerKinds]KindCorrections
 	firstTokenNaN int64
+
+	// Chaos / adaptive-protection telemetry: replica rebuilds (panic or
+	// confirmed weight corruption), sessions a chaos fault targeted, and the
+	// exact-correction tiers' counters drained per slice from the hybrid
+	// controllers.
+	rebuilds   atomic.Int64
+	sdcSuspect atomic.Int64
+	hybridMu   sync.Mutex
+	hybrid     core.HybridCounts
 
 	tokenLat  *latencyRing // per-decode-step latency
 	queueLat  *latencyRing // admission → first slice
@@ -48,6 +58,15 @@ func (m *metrics) incStatus(code int) {
 	m.statusMu.Lock()
 	m.status[code]++
 	m.statusMu.Unlock()
+}
+
+func (m *metrics) addHybrid(c core.HybridCounts) {
+	m.hybridMu.Lock()
+	m.hybrid.ABFT.Detected += c.ABFT.Detected
+	m.hybrid.ABFT.Corrected += c.ABFT.Corrected
+	m.hybrid.ABFT.Uncorrectable += c.ABFT.Uncorrectable
+	m.hybrid.DMRFixed += c.DMRFixed
+	m.hybridMu.Unlock()
 }
 
 func (m *metrics) addCorrections(st core.ForkState) {
@@ -103,8 +122,9 @@ func (r *latencyRing) quantiles(qs ...float64) []float64 {
 }
 
 // render writes the text-format metrics. queueDepth/active/replicas come
-// from the scheduler at scrape time.
-func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, batchMax, queueDepth, active int) {
+// from the scheduler at scrape time; chaosC carries the chaos engine's
+// counters (nil when chaos is off).
+func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, batchMax, queueDepth, active int, chaosC *chaos.Counters) {
 	uptime := time.Since(m.start).Seconds()
 	fmt.Fprintf(w, "ft2serve_uptime_seconds %.3f\n", uptime)
 	fmt.Fprintf(w, "ft2serve_model{name=%q} 1\n", modelName)
@@ -169,4 +189,22 @@ func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, b
 	}
 	fmt.Fprintf(w, "ft2serve_ft2_first_token_nan_total %d\n", m.firstTokenNaN)
 	m.corrMu.Unlock()
+
+	m.hybridMu.Lock()
+	hy := m.hybrid
+	m.hybridMu.Unlock()
+	if hy != (core.HybridCounts{}) {
+		fmt.Fprintf(w, "ft2serve_abft_total{type=\"detected\"} %d\n", hy.ABFT.Detected)
+		fmt.Fprintf(w, "ft2serve_abft_total{type=\"corrected\"} %d\n", hy.ABFT.Corrected)
+		fmt.Fprintf(w, "ft2serve_abft_total{type=\"uncorrectable\"} %d\n", hy.ABFT.Uncorrectable)
+		fmt.Fprintf(w, "ft2serve_dmr_corrections_total %d\n", hy.DMRFixed)
+	}
+	fmt.Fprintf(w, "ft2serve_replica_rebuilds_total %d\n", m.rebuilds.Load())
+	if chaosC != nil {
+		fmt.Fprintf(w, "ft2serve_chaos_injected_total{target=\"activation\"} %d\n", chaosC.InjectedActivation)
+		fmt.Fprintf(w, "ft2serve_chaos_injected_total{target=\"weight\"} %d\n", chaosC.InjectedWeight)
+		fmt.Fprintf(w, "ft2serve_chaos_injected_total{target=\"kv\"} %d\n", chaosC.InjectedKV)
+		fmt.Fprintf(w, "ft2serve_chaos_scrub_detected_total %d\n", chaosC.ScrubDetected)
+		fmt.Fprintf(w, "ft2serve_chaos_sdc_suspect_sessions_total %d\n", m.sdcSuspect.Load())
+	}
 }

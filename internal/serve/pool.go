@@ -1,18 +1,48 @@
 package serve
 
 import (
+	"ft2/internal/abft"
 	"ft2/internal/core"
 	"ft2/internal/model"
 	"ft2/internal/numerics"
+	"ft2/internal/protect"
 )
 
-// replica is one model instance plus its per-batch-slot FT2 controllers. A
-// replica is owned by exactly one scheduler worker; sessions borrow it for a
-// slice at a time — serially (SwapState + Prefill/DecodeStep) or fused into
-// one DecodeStepBatch call.
+// controller abstracts the per-slot protection controller the scheduler
+// drives: plain FT2 when the server runs the architectural coverage, or the
+// policy-dispatching Hybrid when an adaptive protection policy is loaded.
+// Both round-trip per-session state through the same ForkState, so sessions
+// migrate between replicas identically either way.
+type controller interface {
+	Install()
+	Hook() model.Hook
+	Reset()
+	ResumeFork(core.ForkState)
+	CaptureForkState() core.ForkState
+	Stats() protect.CorrectionStats
+	StatsByKind() [model.NumLayerKinds]protect.CorrectionStats
+	FirstTokenNaNCount() int
+}
+
+// replica is one model instance plus its per-batch-slot protection
+// controllers. A replica is owned by exactly one scheduler worker; sessions
+// borrow it for a slice at a time — serially (SwapState + Prefill/DecodeStep)
+// or fused into one DecodeStepBatch call.
 type replica struct {
-	m    *model.Model
-	opts core.Options
+	m      *model.Model
+	opts   core.Options
+	policy *protect.Policy
+	refs   *abft.RefSums
+	slot   int // pool index, for chaos journaling
+
+	// checksum fingerprints the pristine weights at build time; scrub
+	// compares against it to confirm (or clear) a persistent-corruption
+	// suspicion.
+	checksum uint64
+	// tainted marks that chaos injected a persistent weight fault this
+	// slice; the owning worker must scrub before the replica serves anyone
+	// else.
+	tainted bool
 
 	// ctls[i] is the controller protecting the session in batch slot i, and
 	// hookSets[i] the prebuilt one-element hook slice handed to
@@ -20,16 +50,22 @@ type replica struct {
 	// allocates nothing. Every controller resumes the session's own fork
 	// state at slice start, so counters stay per-session even though the
 	// controllers are replica-owned.
-	ctls     []*core.FT2
+	ctls     []controller
 	hookSets [][]model.Hook
 }
 
-// controller returns the slot's FT2 controller, growing the set on demand.
-func (r *replica) controller(slot int) *core.FT2 {
+// controller returns the slot's protection controller, growing the set on
+// demand.
+func (r *replica) controller(slot int) controller {
 	for len(r.ctls) <= slot {
-		f := core.New(r.m, r.opts)
-		r.ctls = append(r.ctls, f)
-		r.hookSets = append(r.hookSets, []model.Hook{f.Hook()})
+		var c controller
+		if r.policy != nil {
+			c = core.NewHybrid(r.m, r.opts, r.policy, r.refs)
+		} else {
+			c = core.New(r.m, r.opts)
+		}
+		r.ctls = append(r.ctls, c)
+		r.hookSets = append(r.hookSets, []model.Hook{c.Hook()})
 	}
 	return r.ctls[slot]
 }
@@ -38,9 +74,18 @@ func (r *replica) controller(slot int) *core.FT2 {
 // have been called first this slice).
 func (r *replica) hooks(slot int) []model.Hook { return r.hookSets[slot] }
 
+// scrub re-fingerprints the weights and reports whether they still match
+// the build-time checksum — the confirmation step behind a
+// persistent-corruption suspicion. Any flipped bit (including one that
+// produced a non-finite weight) changes the checksum.
+func (r *replica) scrub() bool {
+	return r.m.WeightChecksum() == r.checksum
+}
+
 // newReplica builds one replica of the pool's model. All replicas of a pool
-// share (cfg, seed, dtype) and therefore have bit-identical weights.
-func newReplica(cfg model.Config, seed int64, d numerics.DType, opts core.Options, f16 bool) (*replica, error) {
+// share (cfg, seed, dtype) and therefore have bit-identical weights — and
+// identical checksums and ABFT reference sums.
+func newReplica(cfg model.Config, seed int64, d numerics.DType, opts core.Options, f16 bool, policy *protect.Policy, slot int) (*replica, error) {
 	m, err := model.New(cfg, seed, d)
 	if err != nil {
 		return nil, err
@@ -48,7 +93,11 @@ func newReplica(cfg model.Config, seed int64, d numerics.DType, opts core.Option
 	if f16 {
 		m.EnableF16Weights()
 	}
-	return &replica{m: m, opts: opts}, nil
+	r := &replica{m: m, opts: opts, policy: policy, slot: slot, checksum: m.WeightChecksum()}
+	if kinds := policy.Kinds(protect.TierABFT, protect.TierABFTFT2); len(kinds) > 0 {
+		r.refs = abft.CaptureRefSums(m, kinds...)
+	}
+	return r, nil
 }
 
 // pool is the fixed set of replicas, one per scheduler worker.
@@ -58,13 +107,15 @@ type pool struct {
 	dtype    numerics.DType
 	ft2Opts  core.Options
 	f16      bool
+	policy   *protect.Policy
 	replicas []*replica
 }
 
 func newPool(c Config) (*pool, error) {
-	p := &pool{cfg: c.ModelCfg, seed: c.Seed, dtype: c.DType, ft2Opts: c.FT2Opts, f16: c.WeightsF16}
+	p := &pool{cfg: c.ModelCfg, seed: c.Seed, dtype: c.DType, ft2Opts: c.FT2Opts,
+		f16: c.WeightsF16, policy: c.ProtectPolicy}
 	for i := 0; i < c.Replicas; i++ {
-		r, err := newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts, p.f16)
+		r, err := newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts, p.f16, p.policy, i)
 		if err != nil {
 			return nil, err
 		}
@@ -74,8 +125,9 @@ func newPool(c Config) (*pool, error) {
 }
 
 // rebuild replaces a replica whose state may be poisoned (a panic escaped a
-// session slice). The scheduler worker that owns the slot calls it before
-// touching the next session.
-func (p *pool) rebuild() (*replica, error) {
-	return newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts, p.f16)
+// session slice, or a weight scrub confirmed persistent corruption). The
+// scheduler worker that owns the slot calls it before touching the next
+// session.
+func (p *pool) rebuild(slot int) (*replica, error) {
+	return newReplica(p.cfg, p.seed, p.dtype, p.ft2Opts, p.f16, p.policy, slot)
 }

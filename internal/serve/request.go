@@ -28,6 +28,12 @@ type Request struct {
 	MaxTokens int `json:"max_tokens"`
 	// Protected runs the generation under FT2 (default false: bare model).
 	Protected bool `json:"protected"`
+	// Chaos opts the request in as a chaos-engineering victim: when the
+	// server runs a chaos engine, this session's activations and KV cache
+	// may be corrupted, and it may share a batch with persistent weight
+	// corruption. Requests that do not opt in are never targeted and stay
+	// bit-identical to the oracle. A no-op when the server runs no chaos.
+	Chaos bool `json:"chaos,omitempty"`
 	// Stream answers with one NDJSON line per token instead of a single
 	// JSON document.
 	Stream bool `json:"stream,omitempty"`

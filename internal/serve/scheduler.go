@@ -6,10 +6,14 @@ import (
 	"log"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ft2/internal/chaos"
 	"ft2/internal/core"
+	"ft2/internal/fault"
 	"ft2/internal/model"
+	"ft2/internal/tensor"
 )
 
 // scheduler implements continuous batching over the replica pool: admitted
@@ -22,9 +26,12 @@ import (
 // admitted mid-flight. Sessions own their KV state (model.DecodeState), so
 // moving between replicas costs a pointer swap, not a snapshot copy.
 type scheduler struct {
-	cfg  Config
-	pool *pool
-	mx   *metrics
+	cfg   Config
+	pool  *pool
+	mx    *metrics
+	chaos *chaos.Engine // nil when chaos is off
+
+	nextID atomic.Int64 // session ids for the chaos journal
 
 	mu       sync.RWMutex // guards draining + admit-channel close
 	draining bool
@@ -43,11 +50,12 @@ type scheduler struct {
 	closeOnce      sync.Once
 }
 
-func newScheduler(cfg Config, pool *pool, mx *metrics) *scheduler {
+func newScheduler(cfg Config, pool *pool, mx *metrics, eng *chaos.Engine) *scheduler {
 	sch := &scheduler{
 		cfg:            cfg,
 		pool:           pool,
 		mx:             mx,
+		chaos:          eng,
 		admit:          make(chan *Session, cfg.QueueDepth),
 		ready:          make(chan *Session, cfg.MaxSessions),
 		slots:          make(chan struct{}, cfg.MaxSessions),
@@ -81,6 +89,7 @@ func (sch *scheduler) submit(ctx context.Context, req Request, prompt []int) (*S
 		tokens:   make(chan int, req.MaxTokens),
 		done:     make(chan struct{}),
 		admitted: time.Now(),
+		id:       sch.nextID.Add(1),
 	}
 
 	sch.mu.RLock()
@@ -124,10 +133,15 @@ type group struct {
 	pending  []*Session // gathered from the ready ring
 	sessions []*Session // after prefill/weed; nil = settled mid-slice
 	rem      []int      // decode steps left this slice, parallel to sessions
-	ctls     []*core.FT2
-	idx      []int // participant indices of the current step
+	ctls     []controller
+	extras   []model.Hook // per-session chaos injector hook (usually nil)
+	idx      []int        // participant indices of the current step
 	items    []model.BatchItem
 	toks     []int
+
+	// chaos planning buffers, reused across slices.
+	views   []chaos.SessionView
+	victims []int // group indices behind views, parallel
 }
 
 // worker owns one replica slot and drives groups of ready sessions over it.
@@ -159,7 +173,7 @@ gather:
 		}
 	}
 
-	g.sessions, g.rem, g.ctls = g.sessions[:0], g.rem[:0], g.ctls[:0]
+	g.sessions, g.rem, g.ctls, g.extras = g.sessions[:0], g.rem[:0], g.ctls[:0], g.extras[:0]
 	for _, s := range g.pending {
 		if err := s.checkCtx(); err != nil {
 			sch.settle(s, err)
@@ -183,21 +197,26 @@ gather:
 		}
 		g.sessions = append(g.sessions, s)
 		g.rem = append(g.rem, budget)
+		g.extras = append(g.extras, nil)
 	}
 	if len(g.sessions) == 0 {
-		return r
+		return sch.postSlice(r)
 	}
 
 	// Reinstate each protected session's counters and first-token bounds on
 	// its slot's controller; the decode hooks only read the shared bounds
 	// store, so many sessions of one bounds lineage can decode in one batch.
 	for i, s := range g.sessions {
-		var f *core.FT2
+		var f controller
 		if s.req.Protected {
 			f = r.controller(i)
 			f.ResumeFork(s.ftState)
 		}
 		g.ctls = append(g.ctls, f)
+	}
+
+	if sch.chaos != nil {
+		sch.applyChaos(r, g)
 	}
 
 	if err := sch.decodeSlice(r, g); err != nil {
@@ -210,7 +229,133 @@ gather:
 		}
 		return sch.replaceReplica(r)
 	}
-	return r
+	return sch.postSlice(r)
+}
+
+// applyChaos plans and applies this slice's chaos faults while the worker
+// holds the replica and no kernel is running. KV and weight mutations land
+// right here at the boundary; activation faults become per-victim hooks
+// that fire at their planned step inside the slice. Weight faults are
+// replica-global, so the engine only emits them when every session in the
+// group opted in; the replica is marked tainted and scrubbed in postSlice
+// before it can serve anyone else.
+func (sch *scheduler) applyChaos(r *replica, g *group) {
+	g.views, g.victims = g.views[:0], g.victims[:0]
+	allChaos := true
+	for i, s := range g.sessions {
+		if !s.req.Chaos {
+			allChaos = false
+			continue
+		}
+		_, _, rows := s.state.KVSlabs(0)
+		g.views = append(g.views, chaos.SessionView{
+			ID: s.id, Step: s.state.Step(), Budget: g.rem[i], Rows: rows,
+		})
+		g.victims = append(g.victims, i)
+	}
+	plan := sch.chaos.PlanSlice(g.views, allChaos)
+	if plan.Empty() {
+		return
+	}
+	dtype := sch.chaos.Config().DType
+
+	for _, f := range plan.Activation {
+		i := g.victims[f.Session]
+		s := g.sessions[i]
+		hook := fault.NewInjector(f.Site, dtype).Hook()
+		if prev := g.extras[i]; prev != nil {
+			g.extras[i] = chainHooks(prev, hook)
+		} else {
+			g.extras[i] = hook
+		}
+		s.suspect = true
+		sch.chaos.Record(chaos.Event{Kind: chaos.EvInject, Target: fault.TargetActivation.String(),
+			Site: f.Site.String(), Session: s.id, Replica: r.slot, Step: f.Site.Step})
+	}
+
+	for _, f := range plan.KV {
+		i := g.victims[f.Session]
+		s := g.sessions[i]
+		inj := fault.NewInjector(f.Site, dtype)
+		inj.M = r.m
+		prev := r.m.SwapState(s.state)
+		inj.Fire()
+		r.m.SwapState(prev)
+		s.suspect = true
+		sch.chaos.Record(chaos.Event{Kind: chaos.EvInject, Target: fault.TargetKVCache.String(),
+			Site: f.Site.String(), Session: s.id, Replica: r.slot, Step: f.Site.Step})
+	}
+
+	for _, site := range plan.Weight {
+		inj := fault.NewInjector(site, dtype)
+		inj.M = r.m
+		inj.Fire()
+		r.tainted = true
+		for _, i := range g.victims {
+			g.sessions[i].suspect = true
+		}
+		sch.chaos.Record(chaos.Event{Kind: chaos.EvInject, Target: fault.TargetWeight.String(),
+			Site: site.String(), Replica: r.slot, Step: site.Step})
+	}
+}
+
+// chainHooks composes two hooks in order (burst: several activation faults
+// on one victim in one slice).
+func chainHooks(a, b model.Hook) model.Hook {
+	return func(ctx model.HookCtx, out *tensor.Tensor) {
+		a(ctx, out)
+		b(ctx, out)
+	}
+}
+
+// postSlice is the detection-and-recovery boundary run after every slice on
+// the owning worker: hybrid controllers drain their exact-correction
+// counters, and a replica under persistent-corruption suspicion — chaos
+// marked it tainted, or the ABFT tier recomputed a mismatch that would not
+// repair (the signature of corrupted weights rather than a transient flip)
+// — is scrubbed against its build-time weight checksum and rebuilt from
+// seed when the scrub confirms. Sessions own their KV and fork state, so
+// they survive the rebuild untouched.
+func (sch *scheduler) postSlice(r *replica) *replica {
+	counts := sch.drainHybrid(r)
+	suspicion := r.tainted || counts.ABFT.Uncorrectable > 0
+	r.tainted = false
+	if !suspicion {
+		return r
+	}
+	if r.scrub() {
+		return r
+	}
+	if sch.chaos != nil {
+		sch.chaos.Record(chaos.Event{Kind: chaos.EvScrubDetect, Replica: r.slot})
+	}
+	nr := sch.replaceReplica(r)
+	if sch.chaos != nil {
+		sch.chaos.Record(chaos.Event{Kind: chaos.EvRebuild, Replica: nr.slot})
+	}
+	return nr
+}
+
+// drainHybrid collects the exact-correction telemetry from every hybrid
+// controller of the replica into the server metrics, returning the totals
+// for suspicion checks. FT2-only controllers have nothing to drain.
+func (sch *scheduler) drainHybrid(r *replica) core.HybridCounts {
+	var total core.HybridCounts
+	for _, c := range r.ctls {
+		h, ok := c.(*core.Hybrid)
+		if !ok {
+			continue
+		}
+		d := h.DrainCounts()
+		total.ABFT.Detected += d.ABFT.Detected
+		total.ABFT.Corrected += d.ABFT.Corrected
+		total.ABFT.Uncorrectable += d.ABFT.Uncorrectable
+		total.DMRFixed += d.DMRFixed
+	}
+	if total != (core.HybridCounts{}) {
+		sch.mx.addHybrid(total)
+	}
+	return total
 }
 
 // prefillGuarded runs a session's prefill on r inside the panic boundary,
@@ -230,7 +375,7 @@ func (sch *scheduler) prefillGuarded(r *replica, s *Session) (finished bool, err
 	}
 	prev := m.SwapState(s.state)
 	defer m.SwapState(prev)
-	var f *core.FT2
+	var f controller
 	if s.req.Protected {
 		f = r.controller(0)
 		f.Reset()
@@ -300,6 +445,12 @@ func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
 			i := g.idx[0]
 			s := g.sessions[i]
 			m.ClearHooks()
+			// A chaos injector hook registers before the protection
+			// controller — faults corrupt the raw output, protection sees
+			// the corruption (the campaign runner's ordering).
+			if g.extras[i] != nil {
+				m.RegisterHook(g.extras[i])
+			}
 			if g.ctls[i] != nil {
 				g.ctls[i].Install()
 			}
@@ -312,7 +463,12 @@ func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
 			for _, i := range g.idx {
 				s := g.sessions[i]
 				var hooks []model.Hook
-				if g.ctls[i] != nil {
+				switch {
+				case g.extras[i] != nil && g.ctls[i] != nil:
+					hooks = []model.Hook{g.extras[i], g.ctls[i].Hook()}
+				case g.extras[i] != nil:
+					hooks = []model.Hook{g.extras[i]}
+				case g.ctls[i] != nil:
 					hooks = r.hooks(i)
 				}
 				g.items = append(g.items, model.BatchItem{State: s.state, Tok: s.lastTok, Hooks: hooks})
@@ -373,13 +529,16 @@ func (sch *scheduler) obtainState(r *replica) *model.DecodeState {
 	}
 }
 
-// replaceReplica swaps in a freshly built replica after a panic poisoned the
-// current one; if the rebuild fails the old one is kept with hooks cleared.
+// replaceReplica swaps in a freshly built replica after a panic or a
+// confirmed weight corruption poisoned the current one; if the rebuild
+// fails the old one is kept with hooks cleared.
 func (sch *scheduler) replaceReplica(r *replica) *replica {
-	if nr, err := sch.pool.rebuild(); err == nil {
+	if nr, err := sch.pool.rebuild(r.slot); err == nil {
+		sch.mx.rebuilds.Add(1)
 		return nr
 	}
 	r.m.ClearHooks()
+	r.tainted = false
 	return r
 }
 
@@ -406,6 +565,9 @@ func (sch *scheduler) settle(s *Session, err error) {
 	sch.mx.reqLat.observe(msSince(s.admitted, time.Now()))
 	if s.req.Protected {
 		sch.mx.addCorrections(s.ftState)
+	}
+	if s.suspect {
+		sch.mx.sdcSuspect.Add(1)
 	}
 	if st := s.state; st != nil {
 		s.state = nil

@@ -33,9 +33,11 @@ import (
 	"runtime"
 	"time"
 
+	"ft2/internal/chaos"
 	"ft2/internal/core"
 	"ft2/internal/model"
 	"ft2/internal/numerics"
+	"ft2/internal/protect"
 )
 
 // Config assembles a Server. The zero value is not usable: Model (or
@@ -72,6 +74,16 @@ type Config struct {
 	// FT2Opts tunes the protection applied when a request asks for it
 	// (zero value: core.Defaults()).
 	FT2Opts core.Options
+	// ProtectPolicy, when set, replaces the architectural FT2 coverage with
+	// an adaptive per-layer-kind tier policy: protected requests run under a
+	// core.Hybrid dispatching each layer kind to the tier the policy assigns
+	// (none / ft2 / abft / dmr / abft+ft2). Nil keeps plain FT2.
+	ProtectPolicy *protect.Policy
+	// Chaos enables online chaos engineering: a seeded deterministic fault
+	// stream injected into live sessions that opted in (Request.Chaos) at
+	// scheduler slice boundaries, with detection, scrubbing, and replica
+	// rebuild wired into the slice loop. Nil disables chaos entirely.
+	Chaos *chaos.Config
 	// WeightsF16 stores every replica's weight matrices as packed binary16
 	// (model.EnableF16Weights): half the streamed bytes per decode step on
 	// F16C hosts, bit-identical outputs per the oracle selftest. All

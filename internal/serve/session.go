@@ -36,6 +36,12 @@ type Session struct {
 	ftState  core.ForkState
 	admitted time.Time
 	startAt  time.Time // first slice began (queue latency endpoint)
+
+	// id identifies the session in the chaos journal; suspect marks that a
+	// chaos fault targeted it (directly, or via weight corruption on its
+	// group), so its output may silently diverge from the oracle.
+	id      int64
+	suspect bool
 }
 
 // Tokens streams the generated token ids in order; the channel is closed
@@ -86,7 +92,7 @@ func (s *Session) finishedAfter(tok int) bool {
 
 // syncFT2 captures the controller's correction counters into the session's
 // fork state so they survive the slice (the bounds pointer is already ours).
-func (s *Session) syncFT2(f *core.FT2) {
+func (s *Session) syncFT2(f controller) {
 	if !s.req.Protected || !s.started {
 		return
 	}

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Chaos-engineering smoke test: derive an adaptive protection policy with
+# ft2policy, run the ft2serve chaos selftest under it (seeded fault storm,
+# control sessions checked bit-for-bit against the oracle), then start a
+# live server with chaos enabled, drive protected traffic through it, check
+# the /metrics chaos counters and the injection journal, and SIGTERM it with
+# faults still landing to verify the drain stays graceful under fire.
+#
+# Usage: scripts/chaos_smoke.sh
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -KILL "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cd "$(dirname "$0")/.."
+go build -o "$WORK/ft2serve" ./cmd/ft2serve
+go build -o "$WORK/ft2policy" ./cmd/ft2policy
+
+echo "== derive an adaptive protection policy from a short vulnerability profile"
+"$WORK/ft2policy" -model qwen2-1.5b-sim -trials 40 -inputs 3 \
+    -o "$WORK/policy.json" | tail -n +2
+grep -q '"tier"' "$WORK/policy.json" || { echo "FAIL: policy file has no tier entries"; exit 1; }
+
+echo "== chaos selftest: control sessions bit-identical to the oracle under fault storm"
+# The chaos journal is opened O_APPEND, so give each run a fresh file.
+"$WORK/ft2serve" -chaos -selftest -model qwen2-1.5b-sim \
+    -protect-policy "$WORK/policy.json" \
+    -chaos-journal "$WORK/selftest-journal.ndjson" >"$WORK/selftest.log" ||
+    { echo "FAIL: chaos selftest"; cat "$WORK/selftest.log"; exit 1; }
+grep -q "chaos-selftest passed" "$WORK/selftest.log" || {
+    echo "FAIL: no pass notice in selftest output"; cat "$WORK/selftest.log"; exit 1; }
+[ -s "$WORK/selftest-journal.ndjson" ] || { echo "FAIL: selftest journal empty"; exit 1; }
+
+echo "== start a chaos-enabled server on an ephemeral port"
+"$WORK/ft2serve" -model qwen2-1.5b-sim -addr 127.0.0.1:0 -throttle 5ms \
+    -protect-policy "$WORK/policy.json" \
+    -chaos -chaos-rate 1 -chaos-journal "$WORK/journal.ndjson" \
+    >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+BASE=""
+for _ in $(seq 50); do
+    BASE="$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$WORK/server.log")"
+    [ -n "$BASE" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died on startup"; cat "$WORK/server.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$BASE" ] || { echo "FAIL: server never printed its address"; cat "$WORK/server.log"; exit 1; }
+echo "   serving at $BASE"
+
+echo "== protected chaos-victim traffic; faults land at scheduler slice boundaries"
+pids=()
+for i in 1 2 3 4; do
+    curl -sf "$BASE/v1/generate" \
+        -d "{\"dataset\":\"squad-sim\",\"input\":$i,\"max_tokens\":24,\"protected\":true,\"chaos\":true}" \
+        >"$WORK/gen$i.json" &
+    pids+=($!)
+done
+for p in "${pids[@]}"; do wait "$p" || { echo "FAIL: a generate request failed under chaos"; exit 1; }; done
+for i in 1 2 3 4; do
+    grep -q '"tokens":\[' "$WORK/gen$i.json" || { echo "FAIL: gen$i has no tokens"; cat "$WORK/gen$i.json"; exit 1; }
+done
+
+echo "== chaos counters on /metrics"
+curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
+grep -q 'ft2serve_chaos_injected_total{target=' "$WORK/metrics.txt" || {
+    echo "FAIL: no chaos injection counters"; cat "$WORK/metrics.txt"; exit 1; }
+injected="$(awk '/^ft2serve_chaos_injected_total/ { n += $2 } END { print n+0 }' "$WORK/metrics.txt")"
+[ "$injected" -gt 0 ] || { echo "FAIL: chaos enabled but nothing injected"; cat "$WORK/metrics.txt"; exit 1; }
+echo "   $injected faults injected"
+
+echo "== SIGTERM under fire: graceful drain with chaos still enabled"
+curl -sf "$BASE/v1/generate" \
+    -d '{"dataset":"squad-sim","input":0,"max_tokens":40,"protected":true,"chaos":true}' \
+    >"$WORK/inflight.json" &
+INFLIGHT=$!
+sleep 0.2
+kill -TERM "$SERVER_PID"
+wait "$INFLIGHT" || { echo "FAIL: in-flight request failed during drain"; cat "$WORK/server.log"; exit 1; }
+status=0
+wait "$SERVER_PID" || status=$?
+SERVER_PID=""
+[ "$status" -eq 0 ] || { echo "FAIL: server exited $status after SIGTERM, want 0"; cat "$WORK/server.log"; exit 1; }
+grep -q "drained, exiting" "$WORK/server.log" || {
+    echo "FAIL: no drain notice in the server log"; cat "$WORK/server.log"; exit 1; }
+
+echo "== injection journal survives the shutdown"
+[ -s "$WORK/journal.ndjson" ] || { echo "FAIL: chaos journal empty"; exit 1; }
+injects="$(grep -c '"kind":"inject"' "$WORK/journal.ndjson" || true)"
+[ "$injects" -gt 0 ] || { echo "FAIL: journal has no inject events"; cat "$WORK/journal.ndjson"; exit 1; }
+echo "   $injects inject events journaled"
+
+echo "PASS: chaos smoke — policy derivation, selftest, live fault storm, metrics, journal, drain"
