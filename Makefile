@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-mp bench bench-json perfguard smoke serve-smoke serve-smoke-mp chaos-smoke ci
+.PHONY: build test vet race race-mp bench bench-json perfguard smoke serve-smoke serve-smoke-mp chaos-smoke prefix-smoke ci
 
 build:
 	$(GO) build ./...
@@ -57,4 +57,11 @@ serve-smoke-mp:
 chaos-smoke:
 	scripts/chaos_smoke.sh
 
-ci: vet build test race race-mp perfguard smoke serve-smoke serve-smoke-mp chaos-smoke
+# Prefix-cache check: selftest (cold/warm shared-prefix storm vs the oracle),
+# chaos selftest with the cache on, then a live cache-enabled server — warm
+# HTTP responses bit-identical, prefix metrics live, SIGTERM drain with the
+# cache populated.
+prefix-smoke:
+	scripts/prefix_smoke.sh
+
+ci: vet build test race race-mp perfguard smoke serve-smoke serve-smoke-mp chaos-smoke prefix-smoke

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"sort"
@@ -100,6 +101,30 @@ type benchChaosResult struct {
 	HybridDominates bool                     `json:"hybrid_dominates"`
 }
 
+// benchPrefixResult is the prefix-cache section: the shared-prefix chat
+// storm (many clients, mostly-common prompts) served cold (cache off) vs
+// warm (cache on, primed by an untimed pass over the same prompt set). The
+// warm pass must compute no more prefill tokens than the prompts' unique
+// suffixes justify and beat the cold throughput outright, with every served
+// output still bit-identical to the GenerateInto oracle.
+type benchPrefixResult struct {
+	Model                string  `json:"model"`
+	Clients              int     `json:"clients"`
+	Requests             int     `json:"requests"`
+	PromptLen            int     `json:"prompt_len"`
+	SharedFrac           float64 `json:"shared_frac"`
+	MaxTokens            int     `json:"max_tokens"`
+	PromptTokens         int64   `json:"prompt_tokens"`
+	UniqueSuffixTokens   int64   `json:"unique_suffix_tokens"`
+	WarmPrefillTokens    int64   `json:"warm_computed_prefill_tokens"`
+	PrefillVsUniqueRatio float64 `json:"warm_prefill_vs_unique_ratio"`
+	WarmCacheHits        int64   `json:"warm_cache_hits"`
+	ColdTokensPerSec     float64 `json:"cold_tokens_per_sec"`
+	WarmTokensPerSec     float64 `json:"warm_tokens_per_sec"`
+	SpeedupWarmVsCold    float64 `json:"speedup_warm_vs_cold"`
+	OracleMatch          bool    `json:"oracle_match"`
+}
+
 type benchReport struct {
 	GOMAXPROCS int                   `json:"gomaxprocs"`
 	NumCPU     int                   `json:"num_cpu"`
@@ -107,6 +132,7 @@ type benchReport struct {
 	FT2        benchModelResult      `json:"ft2_protected"`
 	Campaigns  []benchCampaignResult `json:"campaigns"`
 	Serve      []benchServeResult    `json:"serve"`
+	Prefix     *benchPrefixResult    `json:"prefix,omitempty"`
 	Chaos      *benchChaosResult     `json:"chaos,omitempty"`
 }
 
@@ -246,6 +272,14 @@ func runBenchJSON(path string, seed int64) error {
 		rep.Serve = append(rep.Serve, serveRes...)
 	}
 	runtime.GOMAXPROCS(ambient)
+
+	// The shared-prefix storm: cold (cache off) vs warm (cache on, primed)
+	// serving of a 90%-shared 64-client prompt set.
+	prefixRes, err := benchPrefix(seed)
+	if err != nil {
+		return err
+	}
+	rep.Prefix = prefixRes
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -539,4 +573,119 @@ func benchServe(seed int64, procs int) ([]benchServeResult, error) {
 		return nil, err
 	}
 	return append(out, res), nil
+}
+
+// benchPrefix measures the prefix cache on the production chat shape: 64
+// clients over 64 distinct prompts that share 90% of their tokens. Cold and
+// warm servers run the identical load with the identical prefill grain — the
+// only difference is the cache — and each side reports its best of two
+// rounds so one noisy round cannot skew the comparison. The warm computed
+// prefill tokens come from the server's own counters around the measured
+// round, so the ratio is what the scheduler actually computed, not an
+// estimate.
+func benchPrefix(seed int64) (*benchPrefixResult, error) {
+	const (
+		clients    = 64
+		requests   = 64
+		promptLen  = 96
+		sharedFrac = 0.9
+		maxTokens  = 24
+		rounds     = 2
+	)
+	base := serve.Config{Model: "llama2-7b-sim", Seed: seed, PrefillChunk: 64}
+	spec := serve.SharedPrefixLoad(clients, requests, maxTokens, promptLen, sharedFrac, seed, false)
+
+	probe, err := serve.New(base)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := probe.Config()
+	probe.Shutdown(context.Background())
+	oracle := make([][]int, requests)
+	for i := range oracle {
+		if oracle[i], _, err = serve.Oracle(ecfg, spec.PromptFor(i), maxTokens, false); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &benchPrefixResult{
+		Model: base.Model, Clients: clients, Requests: requests,
+		PromptLen: promptLen, SharedFrac: sharedFrac, MaxTokens: maxTokens,
+		OracleMatch: true,
+	}
+	// The unique work the warm pass cannot avoid: everything past the
+	// longest prompt prefix common to the whole set.
+	shared := len(spec.PromptFor(0))
+	for i := 1; i < requests; i++ {
+		p := spec.PromptFor(i)
+		n := 0
+		for n < shared && n < len(p) && p[n] == spec.PromptFor(0)[n] {
+			n++
+		}
+		shared = n
+	}
+	res.UniqueSuffixTokens = int64(requests * (promptLen - shared))
+
+	run := func(cacheMB int) error {
+		cfg := base
+		cfg.PrefixCacheMB = cacheMB
+		srv, err := serve.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer srv.Shutdown(context.Background())
+		warm := cacheMB > 0
+		if warm { // untimed priming pass populates the cache
+			if st := srv.RunLoad(context.Background(), spec); st.Failed > 0 {
+				return fmt.Errorf("prefix bench priming pass: %d requests failed", st.Failed)
+			}
+		}
+		for round := 0; round < rounds; round++ {
+			prefill0, prompt0, _ := srv.PrefillCounters()
+			st := srv.RunLoad(context.Background(), spec)
+			if st.Failed > 0 {
+				return fmt.Errorf("prefix bench (cache %d MiB): %d requests failed", cacheMB, st.Failed)
+			}
+			for i, r := range st.Results {
+				if !equalIntSlices(r.Tokens, oracle[i]) {
+					res.OracleMatch = false
+				}
+			}
+			prefill1, prompt1, _ := srv.PrefillCounters()
+			if warm {
+				if st.TokensPerSec > res.WarmTokensPerSec {
+					res.WarmTokensPerSec = st.TokensPerSec
+				}
+				res.WarmPrefillTokens = prefill1 - prefill0
+				res.PromptTokens = prompt1 - prompt0
+				res.WarmCacheHits = srv.PrefixStats().Hits
+			} else if st.TokensPerSec > res.ColdTokensPerSec {
+				res.ColdTokensPerSec = st.TokensPerSec
+			}
+		}
+		return nil
+	}
+	if err := run(0); err != nil {
+		return nil, err
+	}
+	if err := run(64); err != nil {
+		return nil, err
+	}
+	res.SpeedupWarmVsCold = res.WarmTokensPerSec / res.ColdTokensPerSec
+	if res.UniqueSuffixTokens > 0 {
+		res.PrefillVsUniqueRatio = float64(res.WarmPrefillTokens) / float64(res.UniqueSuffixTokens)
+	}
+	return res, nil
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

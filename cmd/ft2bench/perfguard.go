@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
 
 	"ft2/internal/model"
 	"ft2/internal/numerics"
+	"ft2/internal/serve"
 )
 
 // runPerfGuard is the CI performance gate behind `make perfguard`: with the
@@ -68,6 +70,68 @@ func runPerfGuard(seed int64) error {
 			return fmt.Errorf("%s: P=4 decode %.0f tok/s is slower than P=1 %.0f tok/s (ratio %.2f < %.2f)",
 				name, p4, p1, p4/p1, guardMargin)
 		}
+	}
+
+	runtime.GOMAXPROCS(ambient)
+	return runPrefixGuard(seed)
+}
+
+// runPrefixGuard gates the prefix cache: serving a shared-prefix client
+// storm warm (cache on, primed by an untimed pass) must out-run serving the
+// identical load cold (cache off) — a warm pass that is not faster means
+// cache lookups, snapshot forks, or chunked prefill cost more than the
+// prefill compute they avoid. Retries absorb machine noise the same way the
+// dispatch gate above does; a genuine regression loses the ~90% of prefill
+// rows the cache is supposed to skip and sits far outside it.
+func runPrefixGuard(seed int64) error {
+	const (
+		clients    = 16
+		requests   = 32
+		promptLen  = 96
+		sharedFrac = 0.9
+		maxTokens  = 16
+	)
+	spec := serve.SharedPrefixLoad(clients, requests, maxTokens, promptLen, sharedFrac, seed, false)
+	run := func(cacheMB int) (float64, error) {
+		cfg := serve.Config{Model: "qwen2-1.5b-sim", Seed: seed, PrefillChunk: 64, PrefixCacheMB: cacheMB}
+		srv, err := serve.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Shutdown(context.Background())
+		if cacheMB > 0 { // untimed priming pass
+			if st := srv.RunLoad(context.Background(), spec); st.Failed > 0 {
+				return 0, fmt.Errorf("prefix guard priming pass: %d requests failed", st.Failed)
+			}
+		}
+		st := srv.RunLoad(context.Background(), spec)
+		if st.Failed > 0 {
+			return 0, fmt.Errorf("prefix guard (cache %d MiB): %d requests failed", cacheMB, st.Failed)
+		}
+		return st.TokensPerSec, nil
+	}
+
+	ok := false
+	var cold, warm float64
+	for try := 0; try < guardRetries && !ok; try++ {
+		var err error
+		if cold, err = run(0); err != nil {
+			return err
+		}
+		if warm, err = run(64); err != nil {
+			return err
+		}
+		ok = warm > cold
+	}
+	status := "ok"
+	if !ok {
+		status = "FAIL"
+	}
+	fmt.Printf("perfguard: %-16s cold %7.0f tok/s   warm %7.0f tok/s   ratio %.2f  %s\n",
+		"prefix-cache", cold, warm, warm/cold, status)
+	if !ok {
+		return fmt.Errorf("prefix cache: warm shared-prefix serving %.0f tok/s is not faster than cold %.0f tok/s",
+			warm, cold)
 	}
 	return nil
 }

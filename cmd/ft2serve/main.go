@@ -56,6 +56,10 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on shutdown before in-flight requests are failed")
 	throttle := flag.Duration("throttle", 0, "artificial pause before every decode step (demos/smoke tests)")
 	weights := flag.String("weights", "f32", "weight storage: f32, or f16 (packed binary16, halves streamed bytes on F16C hosts)")
+	prefixMB := flag.Int("prefix-cache-mb", 0, "radix prefix-cache byte budget in MiB (0 = off); cached prompt-prefix KV is forked into sessions sharing a prefix")
+	prefillChunk := flag.Int("prefill-chunk", 0, "max prompt tokens prefilled per scheduling slice (0 = 64 when the prefix cache is on, else whole prompt in one slice)")
+	sharedFrac := flag.Float64("shared-prefix", 0.9, "shared-prefix fraction of each prompt in the selftest shared-prefix storm")
+	sharedLen := flag.Int("shared-prompt-len", 48, "prompt length (tokens) in the selftest shared-prefix storm")
 	kernelCal := flag.String("kernel-cal", "", "kernel cost-model calibration file (cmd/calibrate -kernels); empty = micro-calibrate at startup")
 	policyPath := flag.String("protect-policy", "", "adaptive per-layer protection policy JSON (cmd/ft2policy); empty = uniform FT2")
 	chaosOn := flag.Bool("chaos", false, "enable the online chaos engine (faults injected into opted-in sessions at slice boundaries)")
@@ -97,6 +101,8 @@ func main() {
 		DefaultDeadline: *deadline,
 		StepDelay:       *throttle,
 		WeightsF16:      *weights == "f16",
+		PrefixCacheMB:   *prefixMB,
+		PrefillChunk:    *prefillChunk,
 	}
 	if *policyPath != "" {
 		f, err := os.Open(*policyPath)
@@ -131,7 +137,7 @@ func main() {
 		if cfg.Chaos != nil {
 			os.Exit(runChaosSelfTest(ctx, cfg))
 		}
-		os.Exit(runSelfTest(ctx, cfg))
+		os.Exit(runSelfTest(ctx, cfg, *sharedFrac, *sharedLen))
 	}
 
 	srv, err := serve.New(cfg)
@@ -177,7 +183,10 @@ func main() {
 
 // runSelfTest serves an in-process load at increasing concurrency and
 // checks every response against the direct-generation oracle bit for bit.
-func runSelfTest(ctx context.Context, cfg serve.Config) int {
+// When the prefix cache is enabled it additionally runs the shared-prefix
+// client storm: a cold and then a warm pass over one prompt set, the warm
+// pass required to hit the cache and still match the oracle exactly.
+func runSelfTest(ctx context.Context, cfg serve.Config, sharedFrac float64, sharedLen int) int {
 	const (
 		prompts   = 8
 		maxTokens = 24
@@ -263,7 +272,80 @@ func runSelfTest(ctx context.Context, cfg serve.Config) int {
 			}
 		}
 	}
+	if cfg.PrefixCacheMB > 0 {
+		if rc := runSharedPrefixStorm(ctx, cfg, ecfg, sharedFrac, sharedLen, fail); rc != 0 {
+			return rc
+		}
+	}
 	fmt.Println("ft2serve: selftest passed — served outputs bit-identical to the GenerateInto oracle")
+	return 0
+}
+
+// runSharedPrefixStorm is the prefix-cache selftest regime: for each
+// protection mode, one server serves the same 16-prompt shared-prefix set
+// twice with 8 concurrent clients. The cold pass populates the cache; the
+// warm pass must record hits, compute strictly fewer prefill tokens, and
+// every response of both passes must stay bit-identical to the per-prompt
+// GenerateInto oracle — the cache-hit ≡ cold ≡ oracle contract.
+func runSharedPrefixStorm(ctx context.Context, cfg, ecfg serve.Config, sharedFrac float64, sharedLen int, fail func(string, ...interface{}) int) int {
+	const (
+		clients   = 8
+		requests  = 16
+		maxTokens = 16
+	)
+	for _, protected := range []bool{false, true} {
+		spec := serve.SharedPrefixLoad(clients, requests, maxTokens, sharedLen, sharedFrac, cfg.Seed, protected)
+		srv, err := serve.New(cfg)
+		if err != nil {
+			return fail("%v", err)
+		}
+		for _, pass := range []string{"cold", "warm"} {
+			st := srv.RunLoad(ctx, spec)
+			if st.Failed > 0 {
+				for i, e := range st.Errs {
+					if e != nil {
+						srv.Shutdown(context.Background())
+						return fail("storm %s protected=%v request %d failed: %v", pass, protected, i, e)
+					}
+				}
+			}
+			for i, res := range st.Results {
+				want, corr, err := serve.Oracle(ecfg, spec.PromptFor(i), maxTokens, protected)
+				if err != nil {
+					srv.Shutdown(context.Background())
+					return fail("storm oracle: %v", err)
+				}
+				if !equalInts(res.Tokens, want) {
+					srv.Shutdown(context.Background())
+					return fail("storm %s protected=%v request %d: served %v != oracle %v",
+						pass, protected, i, res.Tokens, want)
+				}
+				if protected && res.Corrections.OutOfBound != corr.OutOfBound {
+					srv.Shutdown(context.Background())
+					return fail("storm %s request %d: served %d out-of-bound corrections != oracle %d",
+						pass, i, res.Corrections.OutOfBound, corr.OutOfBound)
+				}
+			}
+			ps := srv.PrefixStats()
+			prefill, prompt, _ := srv.PrefillCounters()
+			fmt.Printf("ft2serve: selftest storm    %s protected=%-5v %3d requests ok, %.1f tok/s (hits %d, prefill %d/%d prompt tokens)\n",
+				pass, protected, st.Requests, st.TokensPerSec, ps.Hits, prefill, prompt)
+			if pass == "warm" {
+				if ps.Hits == 0 {
+					srv.Shutdown(context.Background())
+					return fail("storm protected=%v warm pass never hit the prefix cache: %+v", protected, ps)
+				}
+				if prefill >= prompt {
+					srv.Shutdown(context.Background())
+					return fail("storm protected=%v computed %d prefill tokens for %d prompt tokens — cache saved nothing", protected, prefill, prompt)
+				}
+			}
+		}
+		if err := srv.Shutdown(context.Background()); err != nil {
+			return fail("storm shutdown: %v", err)
+		}
+	}
+	fmt.Println("ft2serve: selftest storm passed — warm shared-prefix serving hit the cache and matched the oracle")
 	return 0
 }
 

@@ -1,0 +1,48 @@
+package data
+
+import (
+	"math/rand"
+
+	"ft2/internal/tokenizer"
+)
+
+// SharedPrefixPrompts builds n deterministic chat prompts of promptLen
+// tokens (BOS included) that all start with one common "system prompt" of
+// ⌈promptLen·sharedFrac⌉ tokens followed by a per-prompt unique suffix — the
+// production chat traffic shape the serving prefix cache exploits. The same
+// (n, promptLen, sharedFrac, seed) always yields the same prompts, so warm
+// and cold passes over one prompt set are comparable. sharedFrac is clamped
+// so every prompt keeps at least one unique trailing token.
+func SharedPrefixPrompts(n, promptLen int, sharedFrac float64, seed int64) [][]int {
+	if promptLen < 2 {
+		panic("data: shared-prefix prompts need promptLen >= 2")
+	}
+	tok := Vocab()
+	p := newPool(chatWords, 55, commonWords, 30, topicWords, 15)
+
+	shared := int(float64(promptLen) * sharedFrac)
+	if shared > promptLen-1 {
+		shared = promptLen - 1
+	}
+	if shared < 1 {
+		shared = 1 // the BOS token is always common
+	}
+	base := rand.New(rand.NewSource(seed))
+	prefix := make([]int, 0, shared)
+	prefix = append(prefix, tokenizer.BOS)
+	for len(prefix) < shared {
+		prefix = append(prefix, tok.ID(p.draw(base)))
+	}
+
+	out := make([][]int, n)
+	for i := range out {
+		rng := rand.New(rand.NewSource(seed + 1 + int64(i)*7919))
+		pr := make([]int, 0, promptLen)
+		pr = append(pr, prefix...)
+		for len(pr) < promptLen {
+			pr = append(pr, tok.ID(p.draw(rng)))
+		}
+		out[i] = pr
+	}
+	return out
+}

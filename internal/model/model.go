@@ -452,6 +452,15 @@ func (m *Model) mlp(bIdx int, blk *block, x *tensor.Tensor) *tensor.Tensor {
 // forward processes the rows of tokens (absolute positions given) and
 // returns the logits of the final row.
 func (m *Model) forward(tokens []int, positions []int) []float32 {
+	return m.readout(m.forwardBlocks(tokens, positions), tokens[len(tokens)-1])
+}
+
+// forwardBlocks runs the embedding and decoder-block stack for the rows of
+// tokens (absolute positions given), appending each block's K/V to the slab
+// cache, and returns the residual stream (aliasing the scratch arena). It is
+// the per-chunk body of a prefill: non-final chunks need only the KV side
+// effects, so the readout is split off and run once on the final rows.
+func (m *Model) forwardBlocks(tokens []int, positions []int) *tensor.Tensor {
 	cfg := m.Cfg
 	sc := m.scratch
 	x := sc.x.Reuse(len(tokens), cfg.Hidden)
@@ -492,7 +501,16 @@ func (m *Model) forward(tokens []int, positions []int) []float32 {
 		}
 		x.Quantize(m.DType)
 	}
+	return x
+}
 
+// readout turns the final row of the residual stream x into next-token
+// logits: teacher-prior injection, final norm, and the tied-embedding
+// projection. lastTok is the token occupying that final row (it selects the
+// teacher prior). It also records the stream norm the serving layer exposes.
+func (m *Model) readout(x *tensor.Tensor, lastTok int) []float32 {
+	cfg := m.Cfg
+	sc := m.scratch
 	last := sc.last
 	copy(last.Data, x.Row(x.Rows-1))
 	var ss float64
@@ -506,7 +524,7 @@ func (m *Model) forward(tokens []int, positions []int) []float32 {
 		// reference norm: β·R·t̂ added to the pre-norm state. A sane stream
 		// (‖x‖ ≈ R) is dominated by it; a corrupted stream whose norm has
 		// exploded drowns it, and the readout diverges.
-		emb := m.embed.Row(m.teacher[tokens[len(tokens)-1]])
+		emb := m.embed.Row(m.teacher[lastTok])
 		var tn float64
 		for _, v := range emb {
 			tn += float64(v) * float64(v)
@@ -554,21 +572,102 @@ func (m *Model) resetState() {
 // greedily decoded token. It is the resumable-generation counterpart of
 // Generate's opening pass: callers drive the following tokens one at a time
 // with DecodeStep and may snapshot the state between steps with Checkpoint.
+//
+// Prefill is exactly BeginPrefill followed by one all-of-the-prompt
+// PrefillChunk, so single-pass and chunked prefills share one code path and
+// produce bit-identical state (each KV row is computed from the same inputs
+// in the same FP order regardless of which chunk carried it, and causal
+// attention never looks past a row's own position).
 func (m *Model) Prefill(prompt []int) int {
-	if len(prompt) == 0 {
+	m.BeginPrefill(len(prompt))
+	tok, _ := m.PrefillChunk(prompt)
+	return tok
+}
+
+// BeginPrefill resets the generation state and opens a chunked prefill for a
+// prompt of n tokens. The caller then feeds the prompt through one or more
+// PrefillChunk calls (optionally seeding a cached prefix first with
+// ResumePrefillPrefix); until the final chunk completes the state is
+// mid-prefill and DecodeStep/Checkpoint panic.
+func (m *Model) BeginPrefill(n int) {
+	if n <= 0 {
 		panic("model: empty prompt")
 	}
-	if len(prompt) > m.Cfg.MaxSeq {
-		panic(fmt.Sprintf("model: prompt %d exceeds max seq %d", len(prompt), m.Cfg.MaxSeq))
+	if n > m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("model: prompt %d exceeds max seq %d", n, m.Cfg.MaxSeq))
 	}
 	m.resetState()
-	m.st.promptLen = len(prompt)
-	positions := m.scratch.positions[:len(prompt)]
-	for i := range positions {
-		positions[i] = i
+	m.st.promptLen = n
+}
+
+// ResumePrefillPrefix seeds a just-begun chunked prefill with a cached KV
+// prefix: the snapshot's rows are copied into the slabs and the prefill
+// cursor advances past them, so subsequent PrefillChunk calls compute only
+// the remaining suffix. The snapshot (typically a Snapshot.Prefix view from
+// the serving prefix cache) must hold KV rows for exactly the prompt's first
+// Rows() tokens — the caller guarantees the token match; this function
+// checks architecture and that at least one row is left to compute (the
+// readout needs the final row's residual stream, which snapshots don't
+// carry). A zero-row snapshot is a no-op.
+func (m *Model) ResumePrefillPrefix(s *Snapshot) {
+	st := m.st
+	if st == nil || st.promptLen == 0 || st.prefillPos != 0 {
+		panic("model: ResumePrefillPrefix outside a just-begun prefill")
 	}
-	m.st.lastTok = argmax(m.forward(prompt, positions))
-	return m.st.lastTok
+	cfg := m.Cfg
+	if s.family != cfg.Family || s.blocks != cfg.Blocks || s.hidden != cfg.Hidden || s.maxSeq != cfg.MaxSeq || s.headDim != cfg.HeadDim() {
+		panic(fmt.Sprintf("model: snapshot of a %s %d×%d/%d-seq model restored into %s",
+			s.family, s.blocks, s.hidden, s.maxSeq, cfg.Name))
+	}
+	if s.rows >= st.promptLen {
+		panic(fmt.Sprintf("model: cached prefix %d rows leaves no suffix for a %d-token prompt", s.rows, st.promptLen))
+	}
+	if s.rows == 0 {
+		return
+	}
+	d := s.headDim
+	stride := s.srcStride()
+	for b := range st.kv {
+		for h := 0; h < cfg.Heads; h++ {
+			copy(st.kv[b].k[h*cfg.MaxSeq*d:], s.k[b][h*stride*d:h*stride*d+s.rows*d])
+			copy(st.kv[b].v[h*cfg.MaxSeq*d:], s.v[b][h*stride*d:h*stride*d+s.rows*d])
+		}
+		st.kv[b].rows = s.rows
+	}
+	st.prefillPos = s.rows
+}
+
+// PrefillChunk advances an open prefill by the given consecutive prompt
+// tokens (the slice starting at position PrefillPos). Non-final chunks run
+// only the decoder stack — their purpose is the KV rows — and return (0,
+// false). The chunk completing the prompt additionally runs the readout and
+// returns the first decoded token with done=true, leaving the state exactly
+// as a single-pass Prefill of the whole prompt would. A chunk that would
+// overrun the prompt, an empty chunk, or a call without an open prefill
+// panics.
+func (m *Model) PrefillChunk(tokens []int) (tok int, done bool) {
+	st := m.st
+	if st == nil || st.promptLen == 0 || st.prefillPos >= st.promptLen {
+		panic("model: PrefillChunk without an open prefill")
+	}
+	if len(tokens) == 0 {
+		panic("model: empty prefill chunk")
+	}
+	if st.prefillPos+len(tokens) > st.promptLen {
+		panic(fmt.Sprintf("model: prefill chunk overruns prompt (%d+%d > %d)",
+			st.prefillPos, len(tokens), st.promptLen))
+	}
+	positions := m.scratch.positions[:len(tokens)]
+	for i := range positions {
+		positions[i] = st.prefillPos + i
+	}
+	x := m.forwardBlocks(tokens, positions)
+	st.prefillPos += len(tokens)
+	if st.prefillPos < st.promptLen {
+		return 0, false
+	}
+	st.lastTok = argmax(m.readout(x, tokens[len(tokens)-1]))
+	return st.lastTok, true
 }
 
 // Started reports whether the model holds live generation state — a
@@ -587,6 +686,9 @@ func (m *Model) SeqLen() int { return m.st.SeqLen() }
 // step 1.
 func (m *Model) DecodeStep(tok int) int {
 	if !m.st.Started() {
+		if m.st.Prefilling() {
+			panic("model: DecodeStep mid-prefill")
+		}
 		panic("model: DecodeStep before Prefill or Restore")
 	}
 	sc := m.scratch

@@ -21,9 +21,16 @@ type Snapshot struct {
 	nextStep       int // the generation step the restored model executes next
 	lastTok        int // token to feed into that step
 	promptLen      int
-	rows           int // KV rows filled at capture (promptLen + nextStep - 1)
+	rows           int // KV rows usable from this snapshot (or view)
 	lastStreamNorm float32
-	k, v           [][]float32 // per block, rows×hidden, head-blocked at rows
+	k, v           [][]float32 // per block, stride×hidden, head-blocked at stride
+
+	// stride is the per-head row pitch of the k/v buffers — the row count of
+	// the snapshot they were captured into. A snapshot fresh from Checkpoint
+	// has stride == rows; a Prefix view shares the parent's buffers with a
+	// smaller rows, so readers must walk head h at offset h*stride*headDim
+	// and take only the first rows rows of each run.
+	stride int
 }
 
 // NextStep returns the generation step a restored model executes next; the
@@ -78,6 +85,7 @@ func (m *Model) Checkpoint(into *Snapshot) {
 	into.lastTok = st.lastTok
 	into.promptLen = st.promptLen
 	into.rows = rows
+	into.stride = rows
 	into.lastStreamNorm = st.lastStreamNorm
 
 	if len(into.k) != cfg.Blocks {
@@ -101,6 +109,36 @@ func (m *Model) Checkpoint(into *Snapshot) {
 	}
 }
 
+// srcStride returns the per-head row pitch to read the k/v buffers at. Older
+// snapshots (and zero values) predate the stride field; for them the buffers
+// are packed at rows.
+func (s *Snapshot) srcStride() int {
+	if s.stride > 0 {
+		return s.stride
+	}
+	return s.rows
+}
+
+// Prefix returns a read-only view of the snapshot truncated to its first rows
+// KV rows — the forkable shared-prompt prefix the serving prefix cache hands
+// to sessions. The view shares the parent's buffers (no copy; the parent must
+// stay immutable, which cache snapshots are) and carries no resume point:
+// NextStep/LastToken/promptLen are zero, so it can only seed a chunked
+// prefill via Model.ResumePrefillPrefix, never a full Restore. rows may be 0
+// (an empty view) up to the parent's Rows().
+func (s *Snapshot) Prefix(rows int) *Snapshot {
+	if rows < 0 || rows > s.rows {
+		panic(fmt.Sprintf("model: Snapshot.Prefix(%d) outside [0,%d]", rows, s.rows))
+	}
+	return &Snapshot{
+		family: s.family, blocks: s.blocks, hidden: s.hidden,
+		maxSeq: s.maxSeq, headDim: s.headDim,
+		rows:   rows,
+		stride: s.srcStride(),
+		k:      s.k, v: s.v,
+	}
+}
+
 // Restore loads the snapshot into the model — a handful of copies into the
 // preallocated KV slabs — and returns the token to feed the next DecodeStep.
 // The model must have the same architecture the snapshot was captured from;
@@ -112,6 +150,9 @@ func (m *Model) Restore(s *Snapshot) int {
 	if s.rows == 0 {
 		panic("model: Restore of an empty snapshot")
 	}
+	if s.nextStep == 0 {
+		panic("model: Restore of a prefix view; use ResumePrefillPrefix")
+	}
 	if s.family != cfg.Family || s.blocks != cfg.Blocks || s.hidden != cfg.Hidden || s.maxSeq != cfg.MaxSeq || s.headDim != cfg.HeadDim() {
 		panic(fmt.Sprintf("model: snapshot of a %s %d×%d/%d-seq model restored into %s",
 			s.family, s.blocks, s.hidden, s.maxSeq, cfg.Name))
@@ -121,12 +162,14 @@ func (m *Model) Restore(s *Snapshot) int {
 	st.step = s.nextStep - 1
 	st.lastTok = s.lastTok
 	st.promptLen = s.promptLen
+	st.prefillPos = s.promptLen
 	st.lastStreamNorm = s.lastStreamNorm
 	d := s.headDim
+	stride := s.srcStride()
 	for b := range st.kv {
 		for h := 0; h < cfg.Heads; h++ {
-			copy(st.kv[b].k[h*cfg.MaxSeq*d:], s.k[b][h*s.rows*d:(h+1)*s.rows*d])
-			copy(st.kv[b].v[h*cfg.MaxSeq*d:], s.v[b][h*s.rows*d:(h+1)*s.rows*d])
+			copy(st.kv[b].k[h*cfg.MaxSeq*d:], s.k[b][h*stride*d:h*stride*d+s.rows*d])
+			copy(st.kv[b].v[h*cfg.MaxSeq*d:], s.v[b][h*stride*d:h*stride*d+s.rows*d])
 		}
 		st.kv[b].rows = s.rows
 	}

@@ -23,6 +23,13 @@ type DecodeState struct {
 	lastTok        int
 	lastStreamNorm float32
 	kv             []kvCache
+
+	// prefillPos is the chunked-prefill cursor: how many prompt rows have
+	// been processed so far. A state is mid-prefill while 0 < prefillPos <
+	// promptLen (decode and checkpointing are forbidden then); the final
+	// PrefillChunk sets it to promptLen, which is also what Prefill and
+	// Restore establish directly.
+	prefillPos int
 }
 
 // NewDecodeState allocates a fresh, empty generation state sized for m's
@@ -48,11 +55,32 @@ func (st *DecodeState) Reset() {
 	st.promptLen = 0
 	st.lastTok = 0
 	st.lastStreamNorm = 0
+	st.prefillPos = 0
 }
 
-// Started reports whether the state holds a live generation (a Prefill or
-// Restore populated it).
-func (st *DecodeState) Started() bool { return st != nil && st.promptLen > 0 }
+// Started reports whether the state holds a live generation (a completed
+// Prefill or a Restore populated it). A state mid-way through a chunked
+// prefill is not started yet: its KV rows exist but no first token has been
+// decoded, so DecodeStep and Checkpoint must wait for the final chunk.
+func (st *DecodeState) Started() bool {
+	return st != nil && st.promptLen > 0 && st.prefillPos >= st.promptLen
+}
+
+// PrefillPos returns the chunked-prefill cursor: prompt rows processed so
+// far. It equals PromptLen once the prefill (chunked or single-pass)
+// completed, and is 0 for a state that never began one.
+func (st *DecodeState) PrefillPos() int {
+	if st == nil {
+		return 0
+	}
+	return st.prefillPos
+}
+
+// Prefilling reports whether the state is mid-way through a chunked prefill:
+// a BeginPrefill happened but the final PrefillChunk has not run yet.
+func (st *DecodeState) Prefilling() bool {
+	return st != nil && st.promptLen > 0 && st.prefillPos < st.promptLen
+}
 
 // SeqLen returns the sequence positions occupied (prompt plus decoded
 // steps); zero when not started.

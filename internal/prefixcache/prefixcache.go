@@ -1,0 +1,399 @@
+// Package prefixcache implements a token-keyed radix-tree cache of prompt-
+// prefix KV snapshots for the serving layer. Production chat traffic shares
+// long system prompts; a session that finds its prompt's longest cached
+// token prefix forks the prefix KV via Snapshot.Prefix +
+// Model.ResumePrefillPrefix and prefills only the unique suffix.
+//
+// Structure: a compressed radix tree over token sequences. Each inserted
+// prompt contributes one immutable entry — the rows-prefix Snapshot captured
+// when its prefill completed, plus (for FT2-protected sessions) the
+// first-token bound stores frozen at chunk boundaries. The entry is
+// reachable from every tree node on its path, so two prompts sharing only
+// part of a cached prompt still hit the shared part: lookup walks the tree
+// as far as the query matches and takes the deepest usable candidate,
+// truncated to the matched depth via a zero-copy Snapshot.Prefix view.
+//
+// Memory is bounded by a byte budget over snapshot KV payloads with LRU
+// eviction. Entries are refcounted while sessions hold them, but eviction
+// never blocks on holders and holders never dangle: snapshots are immutable
+// and garbage-collected, so evicting an in-use entry merely detaches it from
+// the tree — the holding session keeps its view alive through the Ref (the
+// "copy-on-evict" guarantee comes for free from immutability; no bytes are
+// ever copied or freed under a reader).
+//
+// All methods are safe for concurrent use.
+package prefixcache
+
+import (
+	"container/list"
+	"sync"
+
+	"ft2/internal/model"
+	"ft2/internal/protect"
+)
+
+// FTPartial is a frozen FT2 first-token profile covering the first Rows
+// prompt rows: the per-layer bound store and the NaN-correction count
+// accumulated while prefilling them. A protected session resuming a cached
+// prefix of exactly Rows rows clones Bounds, seeds its controller fork
+// state, and continues observing the suffix — ending bit-identical to a
+// cold protected prefill (min/max observation is associative over row
+// partitions and NaN counts are additive).
+type FTPartial struct {
+	Rows   int
+	Bounds *protect.Store
+	NaN    int
+}
+
+// node is one compressed radix-tree node: the edge holds the token run from
+// the parent, depth the total tokens from the root through the edge.
+type node struct {
+	parent   *node
+	label    int // edge[0], the key in parent.children
+	edge     []int
+	depth    int
+	children map[int]*node
+	entry    *entry
+}
+
+// entry is one cached prompt: its full-prompt KV snapshot plus bookkeeping.
+// snap and ft are immutable once inserted.
+type entry struct {
+	snap    *model.Snapshot
+	plen    int         // length of the inserted prompt (== leaf depth)
+	ft      []FTPartial // ascending Rows; empty for unprotected inserts
+	nanFree bool        // prefill saw no NaN corrections ⇒ KV valid for unprotected reuse
+	bytes   int64
+	refs    int
+	nodes   []*node // tree nodes pointing at this entry, for detach
+	elem    *list.Element
+	dead    bool
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits, Misses, Insertions, Evictions int64
+	HitRows                             int64 // total KV rows served from cache
+	Entries                             int
+	Bytes, Budget                       int64
+}
+
+// Cache is the radix prefix cache. The zero value is unusable; call New.
+type Cache struct {
+	mu     sync.Mutex
+	root   *node
+	lru    *list.List // front = most recently used; values are *entry
+	bytes  int64
+	budget int64
+
+	hits, misses, insertions, evictions, hitRows int64
+}
+
+// New returns a cache bounded to budgetBytes of snapshot KV payload.
+func New(budgetBytes int64) *Cache {
+	return &Cache{
+		root:   &node{children: map[int]*node{}},
+		lru:    list.New(),
+		budget: budgetBytes,
+	}
+}
+
+// Ref is a session's hold on a cache hit: a prefix view of the entry's
+// snapshot truncated to Rows tokens, plus the matching FT2 partial for
+// protected sessions. Release it once the prefix has been copied into the
+// session's KV slabs.
+type Ref struct {
+	c    *Cache
+	e    *entry
+	rows int
+	ft   *FTPartial
+}
+
+// Rows returns the number of cached prompt rows the hit covers.
+func (r *Ref) Rows() int { return r.rows }
+
+// Snapshot returns the zero-copy prefix view to feed ResumePrefillPrefix.
+func (r *Ref) Snapshot() *model.Snapshot { return r.e.snap.Prefix(r.rows) }
+
+// FT returns the frozen first-token profile at exactly Rows rows, nil for
+// hits served to unprotected sessions.
+func (r *Ref) FT() *FTPartial { return r.ft }
+
+// Release drops the hold. The Ref must not be used afterwards.
+func (r *Ref) Release() {
+	r.c.mu.Lock()
+	r.e.refs--
+	r.c.mu.Unlock()
+}
+
+// matchLen returns the length of the common prefix of a and b.
+func matchLen(a, b []int) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// Lookup finds the deepest usable cached prefix of prompt and returns a Ref
+// holding it, or nil on a miss. At most len(prompt)-1 rows are usable (the
+// readout needs the final row's residual stream, which snapshots don't
+// carry). Protected sessions can only resume at a frozen FTPartial depth —
+// the profile must cover exactly the restored rows — so their hit is the
+// deepest candidate carrying a partial no deeper than the match; unprotected
+// sessions require a NaN-free entry (a NaN-corrected prefill's KV embeds the
+// corrections, which a bare model would not reproduce).
+func (c *Cache) Lookup(prompt []int, protected bool) *Ref {
+	limit := len(prompt) - 1
+	if limit < 1 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	type cand struct {
+		e    *entry
+		rows int
+	}
+	var cands []cand
+	cur := c.root
+	depth := 0
+	for depth < limit {
+		child := cur.children[prompt[depth]]
+		if child == nil {
+			break
+		}
+		k := matchLen(child.edge, prompt[depth:])
+		if k < len(child.edge) {
+			// Prompt diverges (or ends) mid-edge: everything in child's
+			// subtree still shares prompt[:depth+k].
+			if k > 0 && child.entry != nil && !child.entry.dead {
+				rows := depth + k
+				if rows > limit {
+					rows = limit
+				}
+				cands = append(cands, cand{child.entry, rows})
+			}
+			break
+		}
+		depth += k
+		if child.entry != nil && !child.entry.dead {
+			rows := depth
+			if rows > limit {
+				rows = limit
+			}
+			cands = append(cands, cand{child.entry, rows})
+		}
+		cur = child
+	}
+
+	var best *entry
+	bestRows := 0
+	var bestFT *FTPartial
+	for _, cd := range cands { // ascending depth: later wins ties
+		if protected {
+			for i := len(cd.e.ft) - 1; i >= 0; i-- {
+				p := &cd.e.ft[i]
+				if p.Rows <= cd.rows && p.Rows >= 1 && p.Rows >= bestRows {
+					best, bestRows, bestFT = cd.e, p.Rows, p
+					break
+				}
+			}
+		} else if cd.e.nanFree && cd.rows >= 1 && cd.rows >= bestRows {
+			best, bestRows, bestFT = cd.e, cd.rows, nil
+		}
+	}
+	if best == nil {
+		c.misses++
+		return nil
+	}
+	best.refs++
+	c.lru.MoveToFront(best.elem)
+	c.hits++
+	c.hitRows += int64(bestRows)
+	return &Ref{c: c, e: best, rows: bestRows, ft: bestFT}
+}
+
+// Insert adds a completed prefill's prompt and its full-prompt snapshot to
+// the cache, reporting whether it was admitted. The cache takes ownership of
+// snap and ft — they must never be mutated afterwards (the scheduler
+// checkpoints into a fresh Snapshot and clones bound stores per insert). ft
+// must be sorted by ascending Rows, with the final element covering the full
+// prompt, for protected reuse to work; empty ft limits the entry to
+// unprotected hits (and only when nanFree). Duplicate prompts refresh LRU
+// recency; a duplicate carrying FT partials upgrades an unprotected-only
+// entry in place.
+func (c *Cache) Insert(prompt []int, snap *model.Snapshot, ft []FTPartial, nanFree bool) bool {
+	if len(prompt) < 2 || snap == nil || snap.Rows() < len(prompt) {
+		return false
+	}
+	bytes := int64(snap.MemoryBytes())
+	if bytes > c.budget {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Walk/create the path, splitting edges at divergence.
+	cur := c.root
+	pos := 0
+	for pos < len(prompt) {
+		child := cur.children[prompt[pos]]
+		if child == nil {
+			child = &node{
+				parent:   cur,
+				label:    prompt[pos],
+				edge:     append([]int(nil), prompt[pos:]...),
+				depth:    cur.depth + len(prompt) - pos,
+				children: map[int]*node{},
+			}
+			cur.children[child.label] = child
+			cur = child
+			pos = len(prompt)
+			break
+		}
+		k := matchLen(child.edge, prompt[pos:])
+		if k < len(child.edge) {
+			oldEdge := child.edge
+			mid := &node{
+				parent:   cur,
+				label:    oldEdge[0],
+				edge:     oldEdge[:k:k],
+				depth:    child.depth - (len(oldEdge) - k),
+				children: map[int]*node{},
+				entry:    child.entry, // subtree entries stay reachable mid-path
+			}
+			if mid.entry != nil {
+				mid.entry.nodes = append(mid.entry.nodes, mid)
+			}
+			cur.children[mid.label] = mid
+			child.edge = oldEdge[k:]
+			child.label = child.edge[0]
+			child.parent = mid
+			mid.children[child.label] = child
+			cur = mid
+			pos += k
+		} else {
+			pos += k
+			cur = child
+		}
+	}
+	leaf := cur
+
+	if old := leaf.entry; old != nil && !old.dead {
+		// The leaf position is already covered by a live entry — the same
+		// prompt, or a longer one passing through. Keep it unless the new
+		// entry adds FT partials it lacks (an unprotected insert must not
+		// permanently block protected reuse of the same prefix).
+		if len(ft) == 0 || len(old.ft) > 0 {
+			c.lru.MoveToFront(old.elem)
+			return false
+		}
+		if old.plen == len(prompt) {
+			// Exact duplicate: replace outright. Detach without pruning —
+			// the new entry reclaims the very same path nodes below.
+			c.detachLocked(old)
+		} else {
+			// A longer prompt passes through; keep it reachable at its other
+			// nodes but point this one at the new, partial-carrying entry.
+			for i, n := range old.nodes {
+				if n == leaf {
+					old.nodes = append(old.nodes[:i], old.nodes[i+1:]...)
+					break
+				}
+			}
+			leaf.entry = nil
+		}
+	}
+
+	e := &entry{snap: snap, plen: len(prompt), ft: ft, nanFree: nanFree, bytes: bytes}
+	// Attach at every path node lacking a live entry so partial matches that
+	// stop mid-path still find this prompt's KV.
+	for n := leaf; n != c.root; n = n.parent {
+		if n.entry == nil || n.entry.dead {
+			n.entry = e
+			e.nodes = append(e.nodes, n)
+		}
+	}
+	// reverse so e.nodes runs root→leaf and nodes[len-1] is the leaf
+	for i, j := 0, len(e.nodes)-1; i < j; i, j = i+1, j-1 {
+		e.nodes[i], e.nodes[j] = e.nodes[j], e.nodes[i]
+	}
+	e.elem = c.lru.PushFront(e)
+	c.bytes += bytes
+	c.insertions++
+	c.evictLocked(e)
+	return true
+}
+
+// evictLocked evicts LRU entries until the budget holds, never touching
+// keep. Unreferenced entries go first; if every other entry is held by a
+// session the LRU-most held one is detached anyway — safe, because holders
+// reach the buffers through their Ref, not the tree.
+func (c *Cache) evictLocked(keep *entry) {
+	for c.bytes > c.budget {
+		var victim *entry
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if e == keep {
+				continue
+			}
+			if victim == nil {
+				victim = e // LRU-most other entry, fallback if all are held
+			}
+			if e.refs == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.removeLocked(victim)
+		c.evictions++
+	}
+}
+
+// detachLocked takes e out of the LRU list, the byte account, and its tree
+// nodes' entry pointers, leaving the nodes themselves in place.
+func (c *Cache) detachLocked(e *entry) {
+	e.dead = true
+	c.lru.Remove(e.elem)
+	c.bytes -= e.bytes
+	for _, n := range e.nodes {
+		if n.entry == e {
+			n.entry = nil
+		}
+	}
+}
+
+// removeLocked detaches e from the LRU list and the tree, pruning emptied
+// nodes upward. e's buffers stay valid for any session still holding a Ref.
+func (c *Cache) removeLocked(e *entry) {
+	nodes := e.nodes
+	c.detachLocked(e)
+	for _, n := range nodes {
+		for n != c.root && n.entry == nil && len(n.children) == 0 {
+			p := n.parent
+			delete(p.children, n.label)
+			n = p
+		}
+	}
+	e.nodes = nil
+}
+
+// Stats returns a point-in-time counter snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses,
+		Insertions: c.insertions, Evictions: c.evictions,
+		HitRows: c.hitRows,
+		Entries: c.lru.Len(), Bytes: c.bytes, Budget: c.budget,
+	}
+}

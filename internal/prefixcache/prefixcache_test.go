@@ -1,0 +1,300 @@
+package prefixcache
+
+import (
+	"testing"
+
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+	"ft2/internal/protect"
+	"ft2/internal/tensor"
+)
+
+func testCfg() model.Config {
+	return model.Config{
+		Name: "prefixcache-test", Family: model.FamilyLlama,
+		Vocab: 64, Hidden: 32, Heads: 4, FFN: 64, Blocks: 2, MaxSeq: 64,
+		LogitScale: 4, Activation: tensor.ActSiLU,
+	}
+}
+
+func newModel(t *testing.T) *model.Model {
+	t.Helper()
+	return model.MustNew(testCfg(), 7, numerics.FP16)
+}
+
+// makeSnap prefills prompt on m and checkpoints the full-prompt KV.
+func makeSnap(m *model.Model, prompt []int) *model.Snapshot {
+	m.Prefill(prompt)
+	snap := &model.Snapshot{}
+	m.Checkpoint(snap)
+	return snap
+}
+
+func seq(toks ...int) []int { return toks }
+
+func TestLookupMissOnEmptyAndUnrelated(t *testing.T) {
+	m := newModel(t)
+	c := New(1 << 20)
+	if ref := c.Lookup(seq(1, 2, 3), false); ref != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(seq(1, 2, 3, 4), makeSnap(m, seq(1, 2, 3, 4)), nil, true)
+	if ref := c.Lookup(seq(9, 8, 7), false); ref != nil {
+		t.Fatal("hit on unrelated prompt")
+	}
+	if ref := c.Lookup(seq(1), false); ref != nil {
+		t.Fatal("hit on single-token prompt (no usable rows)")
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 0 || st.Insertions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLookupCapsAtPromptMinusOne(t *testing.T) {
+	m := newModel(t)
+	c := New(1 << 20)
+	p := seq(1, 2, 3, 4, 5)
+	c.Insert(p, makeSnap(m, p), nil, true)
+	ref := c.Lookup(p, false)
+	if ref == nil {
+		t.Fatal("miss on exact cached prompt")
+	}
+	defer ref.Release()
+	if ref.Rows() != len(p)-1 {
+		t.Fatalf("Rows() = %d, want %d", ref.Rows(), len(p)-1)
+	}
+	if v := ref.Snapshot(); v.Rows() != len(p)-1 {
+		t.Fatalf("view rows = %d", v.Rows())
+	}
+}
+
+func TestSharedPrefixPartialHit(t *testing.T) {
+	m := newModel(t)
+	c := New(1 << 20)
+	a := seq(10, 11, 12, 13, 20, 21)
+	c.Insert(a, makeSnap(m, a), nil, true)
+
+	// Diverges after 4 shared tokens, mid-edge.
+	b := seq(10, 11, 12, 13, 30, 31, 32)
+	ref := c.Lookup(b, false)
+	if ref == nil {
+		t.Fatal("miss on shared-prefix prompt")
+	}
+	if ref.Rows() != 4 {
+		t.Fatalf("Rows() = %d, want 4", ref.Rows())
+	}
+	ref.Release()
+
+	// A second insert splits the edge; a third prompt still hits the shared node.
+	a2 := seq(10, 11, 12, 13, 40, 41)
+	c.Insert(a2, makeSnap(m, a2), nil, true)
+	ref = c.Lookup(seq(10, 11, 12, 13, 50), false)
+	if ref == nil || ref.Rows() != 4 {
+		t.Fatalf("post-split hit = %v", ref)
+	}
+	ref.Release()
+}
+
+func TestProtectedRequiresPartialAtDepth(t *testing.T) {
+	m := newModel(t)
+	c := New(1 << 20)
+	p := seq(1, 2, 3, 4, 5, 6, 7, 8, 9)
+	ft := []FTPartial{
+		{Rows: 4, Bounds: protect.NewStore(), NaN: 0},
+		{Rows: len(p), Bounds: protect.NewStore(), NaN: 0},
+	}
+	c.Insert(p, makeSnap(m, p), ft, true)
+
+	// Shares 6 tokens: unprotected resumes at 6, protected only at grain 4.
+	q := seq(1, 2, 3, 4, 5, 6, 60, 61)
+	if ref := c.Lookup(q, false); ref == nil || ref.Rows() != 6 {
+		t.Fatalf("unprotected hit = %v", ref)
+	} else {
+		ref.Release()
+	}
+	ref := c.Lookup(q, true)
+	if ref == nil || ref.Rows() != 4 {
+		t.Fatalf("protected hit = %v", ref)
+	}
+	if ref.FT() == nil || ref.FT().Rows != 4 {
+		t.Fatalf("protected hit FT = %+v", ref.FT())
+	}
+	ref.Release()
+
+	// Shares only 3 tokens — below the shallowest partial: protected misses.
+	if ref := c.Lookup(seq(1, 2, 3, 70, 71), true); ref != nil {
+		t.Fatalf("protected hit below partial grain: %d rows", ref.Rows())
+	}
+}
+
+func TestNaNTaintedEntryServesOnlyProtected(t *testing.T) {
+	m := newModel(t)
+	c := New(1 << 20)
+	p := seq(1, 2, 3, 4, 5)
+	ft := []FTPartial{{Rows: len(p), Bounds: protect.NewStore(), NaN: 2}}
+	c.Insert(p, makeSnap(m, p), ft, false)
+
+	if ref := c.Lookup(p, false); ref != nil {
+		t.Fatal("NaN-tainted entry served an unprotected session")
+	}
+	ref := c.Lookup(seq(1, 2, 3, 4, 5, 6), true)
+	if ref == nil || ref.Rows() != len(p) {
+		t.Fatalf("protected hit = %v", ref)
+	}
+	ref.Release()
+}
+
+func TestDuplicateInsertAndUpgrade(t *testing.T) {
+	m := newModel(t)
+	c := New(1 << 20)
+	p := seq(1, 2, 3, 4, 5)
+	if !c.Insert(p, makeSnap(m, p), nil, true) {
+		t.Fatal("first insert rejected")
+	}
+	if c.Insert(p, makeSnap(m, p), nil, true) {
+		t.Fatal("duplicate insert admitted")
+	}
+	if ref := c.Lookup(p, true); ref != nil {
+		t.Fatal("protected hit on unprotected-only entry")
+	}
+	// The protected duplicate upgrades the entry in place.
+	ft := []FTPartial{{Rows: len(p), Bounds: protect.NewStore(), NaN: 0}}
+	if !c.Insert(p, makeSnap(m, p), ft, true) {
+		t.Fatal("upgrade insert rejected")
+	}
+	ref := c.Lookup(seq(1, 2, 3, 4, 5, 6), true)
+	if ref == nil || ref.Rows() != len(p) {
+		t.Fatalf("post-upgrade protected hit = %v", ref)
+	}
+	ref.Release()
+	if ref := c.Lookup(p, false); ref == nil {
+		t.Fatal("unprotected hit lost after upgrade")
+	} else {
+		ref.Release()
+	}
+}
+
+func TestInsertRejections(t *testing.T) {
+	m := newModel(t)
+	c := New(1 << 20)
+	if c.Insert(seq(1), makeSnap(m, seq(1, 2)), nil, true) {
+		t.Fatal("admitted single-token prompt")
+	}
+	// Snapshot with fewer rows than the prompt claims.
+	short := makeSnap(m, seq(1, 2))
+	if c.Insert(seq(1, 2, 3), short, nil, true) {
+		t.Fatal("admitted snapshot shorter than prompt")
+	}
+	tiny := New(16) // budget smaller than any snapshot
+	if tiny.Insert(seq(1, 2, 3), makeSnap(m, seq(1, 2, 3)), nil, true) {
+		t.Fatal("admitted entry larger than the whole budget")
+	}
+}
+
+func TestLRUByteBudgetEviction(t *testing.T) {
+	m := newModel(t)
+	one := makeSnap(m, seq(1, 2, 3, 4)).MemoryBytes()
+	c := New(int64(one) * 2) // room for two entries
+	a, b, d := seq(1, 2, 3, 4), seq(10, 11, 12, 13), seq(20, 21, 22, 23)
+	c.Insert(a, makeSnap(m, a), nil, true)
+	c.Insert(b, makeSnap(m, b), nil, true)
+	if ref := c.Lookup(a, false); ref == nil { // touch a: b becomes LRU-most
+		t.Fatal("miss on a")
+	} else {
+		ref.Release()
+	}
+	c.Insert(d, makeSnap(m, d), nil, true)
+
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes > st.Budget {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+	if ref := c.Lookup(b, false); ref != nil {
+		t.Fatal("evicted entry still served")
+	}
+	for _, p := range [][]int{a, d} {
+		if ref := c.Lookup(p, false); ref == nil {
+			t.Fatalf("survivor %v missing", p)
+		} else {
+			ref.Release()
+		}
+	}
+}
+
+// TestEvictionWhileHeldNeverDangles: evicting an entry a session still holds
+// must leave the holder's snapshot view fully usable — the forked prefill
+// and decode must stay bit-identical to a cold run.
+func TestEvictionWhileHeldNeverDangles(t *testing.T) {
+	m := newModel(t)
+	prompt := seq(1, 2, 3, 4, 5, 6)
+	const n = 6
+	want := m.Generate(prompt, n)
+
+	one := makeSnap(m, prompt).MemoryBytes()
+	c := New(int64(one)) // room for exactly one entry
+	c.Insert(prompt, makeSnap(m, prompt), nil, true)
+	ref := c.Lookup(prompt, false)
+	if ref == nil {
+		t.Fatal("miss on cached prompt")
+	}
+
+	// Force the held entry out: the only way to fit the new one.
+	other := seq(30, 31, 32, 33, 34, 35)
+	c.Insert(other, makeSnap(m, other), nil, true)
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("held entry not evicted: %+v", st)
+	}
+	if r2 := c.Lookup(prompt, false); r2 != nil {
+		t.Fatal("evicted entry still in the tree")
+	}
+
+	// The holder's view must still resume bit-identically.
+	m.BeginPrefill(len(prompt))
+	m.ResumePrefillPrefix(ref.Snapshot())
+	tok, done := m.PrefillChunk(prompt[ref.Rows():])
+	if !done {
+		t.Fatal("suffix chunk did not complete")
+	}
+	got := []int{tok}
+	for s := 1; s < n; s++ {
+		tok = m.DecodeStep(tok)
+		got = append(got, tok)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("post-eviction fork diverged: got %v, want %v", got, want)
+		}
+	}
+	ref.Release()
+}
+
+// TestEvictionPrefersUnheldEntries: with a held and an unheld entry over
+// budget, the unheld one goes first even when it is more recently used.
+func TestEvictionPrefersUnheldEntries(t *testing.T) {
+	m := newModel(t)
+	a, b, d := seq(1, 2, 3, 4), seq(10, 11, 12, 13), seq(20, 21, 22, 23)
+	one := makeSnap(m, a).MemoryBytes()
+	c := New(int64(one) * 2)
+	c.Insert(a, makeSnap(m, a), nil, true)
+	c.Insert(b, makeSnap(m, b), nil, true)
+	refA := c.Lookup(a, false) // hold a; also makes it most-recent
+	if refA == nil {
+		t.Fatal("miss on a")
+	}
+	// LRU order now: a (held, recent), b (unheld, older)... insert d evicts b.
+	// Then touch nothing and insert one more: a is held, d unheld → d goes.
+	c.Insert(d, makeSnap(m, d), nil, true)
+	if ref := c.Lookup(b, false); ref != nil {
+		t.Fatal("b survived")
+	}
+	e := seq(40, 41, 42, 43)
+	c.Insert(e, makeSnap(m, e), nil, true)
+	if ref := c.Lookup(a, false); ref == nil {
+		t.Fatal("held entry was evicted while an unheld one existed")
+	} else {
+		ref.Release()
+	}
+	refA.Release()
+}

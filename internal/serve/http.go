@@ -9,6 +9,7 @@ import (
 	"ft2/internal/chaos"
 	"ft2/internal/data"
 	"ft2/internal/model"
+	"ft2/internal/prefixcache"
 )
 
 // Server is the assembled serving layer: replica pool + continuous-batching
@@ -201,6 +202,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		c := s.sch.chaos.Counters()
 		cc = &c
 	}
+	var ps *prefixcache.Stats
+	if s.sch.prefix != nil {
+		st := s.sch.prefix.Stats()
+		ps = &st
+	}
 	s.mx.render(w, s.cfg.Model, s.cfg.Replicas, s.cfg.MaxSessions, s.cfg.BatchMax,
-		s.sch.queueDepth(), s.sch.activeSessions(), cc)
+		s.sch.queueDepth(), s.sch.activeSessions(), cc, ps)
+}
+
+// PrefixStats returns the prefix cache's counters, or zero stats when the
+// cache is off — the selftest and benchmarks assert hit/insert behaviour
+// through it.
+func (s *Server) PrefixStats() prefixcache.Stats {
+	if s.sch.prefix == nil {
+		return prefixcache.Stats{}
+	}
+	return s.sch.prefix.Stats()
+}
+
+// PrefillCounters returns (computed prefill tokens, total prompt tokens,
+// prefill chunks run) — the bench-json prefix section derives the
+// computed-vs-total prefill ratio from deltas of these.
+func (s *Server) PrefillCounters() (prefill, prompt, chunks int64) {
+	return s.mx.prefillTokens.Load(), s.mx.promptTokens.Load(), s.mx.prefillChunks.Load()
 }

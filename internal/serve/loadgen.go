@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ft2/internal/core"
+	"ft2/internal/data"
 	"ft2/internal/model"
 )
 
@@ -108,6 +109,21 @@ func (s *Server) RunLoad(ctx context.Context, spec LoadSpec) LoadStats {
 		}
 	}
 	return st
+}
+
+// SharedPrefixLoad builds a LoadSpec over the shared-prefix chat scenario:
+// requests distinct prompts of promptLen tokens sharing a sharedFrac-common
+// system prompt (data.SharedPrefixPrompts), issued by clients concurrent
+// clients. Reusing the same (seed, promptLen, sharedFrac, requests) across
+// two runs replays the identical prompt set — the warm-vs-cold comparison
+// the prefix-cache bench and selftest are built on.
+func SharedPrefixLoad(clients, requests, maxTokens, promptLen int, sharedFrac float64, seed int64, protected bool) LoadSpec {
+	prompts := data.SharedPrefixPrompts(requests, promptLen, sharedFrac, seed)
+	return LoadSpec{
+		Clients: clients, Requests: requests, MaxTokens: maxTokens,
+		Protected: protected,
+		PromptFor: func(i int) []int { return prompts[i%len(prompts)] },
+	}
 }
 
 // Oracle computes the reference output for one request on a fresh,

@@ -11,6 +11,7 @@ import (
 	"ft2/internal/chaos"
 	"ft2/internal/core"
 	"ft2/internal/model"
+	"ft2/internal/prefixcache"
 )
 
 // metrics is the server's observability state: monotonic counters plus
@@ -20,6 +21,14 @@ type metrics struct {
 	draining    atomic.Bool
 	tokensTotal atomic.Int64
 	batchSteps  atomic.Int64 // decode steps driven (each advances ≥1 session)
+
+	// Prefill accounting for the prefix cache's effectiveness metric:
+	// promptTokens counts every admitted session's full prompt length,
+	// prefillTokens only the rows actually computed (cache hits skip the
+	// cached prefix), prefillChunks the bounded chunks the scheduler ran.
+	prefillChunks atomic.Int64
+	prefillTokens atomic.Int64
+	promptTokens  atomic.Int64
 
 	statusMu sync.Mutex
 	status   map[int]int64 // HTTP status → requests settled with it
@@ -124,7 +133,7 @@ func (r *latencyRing) quantiles(qs ...float64) []float64 {
 // render writes the text-format metrics. queueDepth/active/replicas come
 // from the scheduler at scrape time; chaosC carries the chaos engine's
 // counters (nil when chaos is off).
-func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, batchMax, queueDepth, active int, chaosC *chaos.Counters) {
+func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, batchMax, queueDepth, active int, chaosC *chaos.Counters, prefixS *prefixcache.Stats) {
 	uptime := time.Since(m.start).Seconds()
 	fmt.Fprintf(w, "ft2serve_uptime_seconds %.3f\n", uptime)
 	fmt.Fprintf(w, "ft2serve_model{name=%q} 1\n", modelName)
@@ -198,6 +207,19 @@ func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, b
 		fmt.Fprintf(w, "ft2serve_abft_total{type=\"corrected\"} %d\n", hy.ABFT.Corrected)
 		fmt.Fprintf(w, "ft2serve_abft_total{type=\"uncorrectable\"} %d\n", hy.ABFT.Uncorrectable)
 		fmt.Fprintf(w, "ft2serve_dmr_corrections_total %d\n", hy.DMRFixed)
+	}
+	fmt.Fprintf(w, "ft2serve_prefill_chunks_total %d\n", m.prefillChunks.Load())
+	fmt.Fprintf(w, "ft2serve_prefill_tokens_total %d\n", m.prefillTokens.Load())
+	fmt.Fprintf(w, "ft2serve_prompt_tokens_total %d\n", m.promptTokens.Load())
+	if prefixS != nil {
+		fmt.Fprintf(w, "ft2serve_prefix_hits %d\n", prefixS.Hits)
+		fmt.Fprintf(w, "ft2serve_prefix_misses %d\n", prefixS.Misses)
+		fmt.Fprintf(w, "ft2serve_prefix_evictions %d\n", prefixS.Evictions)
+		fmt.Fprintf(w, "ft2serve_prefix_insertions_total %d\n", prefixS.Insertions)
+		fmt.Fprintf(w, "ft2serve_prefix_hit_rows_total %d\n", prefixS.HitRows)
+		fmt.Fprintf(w, "ft2serve_prefix_entries %d\n", prefixS.Entries)
+		fmt.Fprintf(w, "ft2serve_prefix_bytes %d\n", prefixS.Bytes)
+		fmt.Fprintf(w, "ft2serve_prefix_budget_bytes %d\n", prefixS.Budget)
 	}
 	fmt.Fprintf(w, "ft2serve_replica_rebuilds_total %d\n", m.rebuilds.Load())
 	if chaosC != nil {

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// prefixConfig is testConfig plus the prefix cache and a small prefill
+// grain, so chunked prefills and cache hits both exercise under
+// time-slicing pressure.
+func prefixConfig(t *testing.T) Config {
+	cfg := testConfig(t)
+	cfg.PrefixCacheMB = 8
+	cfg.PrefillChunk = 4
+	return cfg
+}
+
+// runSharedPrefix drives one warm-up-capable pass of the shared-prefix
+// scenario and asserts every result against the oracle.
+func runSharedPrefix(t *testing.T, srv *Server, spec LoadSpec, label string) LoadStats {
+	t.Helper()
+	st := srv.RunLoad(context.Background(), spec)
+	if st.Failed > 0 {
+		t.Fatalf("%s: %d requests failed: %v", label, st.Failed, st.Errs)
+	}
+	for i, res := range st.Results {
+		want, corr, err := Oracle(srv.Config(), spec.PromptFor(i), spec.MaxTokens, spec.Protected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalTokens(res.Tokens, want) {
+			t.Fatalf("%s request %d: served %v != oracle %v", label, i, res.Tokens, want)
+		}
+		if spec.Protected && (res.Corrections.OutOfBound != corr.OutOfBound ||
+			res.Corrections.NaN != corr.NaN ||
+			res.Corrections.FirstTokenNaN != corr.FirstTokenNaN) {
+			t.Fatalf("%s request %d: corrections %+v != oracle %+v", label, i, res.Corrections, corr)
+		}
+	}
+	return st
+}
+
+// TestPrefixCacheHitBitIdentical is the tentpole contract: a second (warm)
+// pass over the same shared-prefix prompt set must serve from the cache —
+// hits recorded, fewer prompt rows computed — and still produce tokens
+// bit-identical to the GenerateInto oracle, protected and not.
+func TestPrefixCacheHitBitIdentical(t *testing.T) {
+	for _, protected := range []bool{false, true} {
+		label := map[bool]string{false: "bare", true: "protected"}[protected]
+		t.Run(label, func(t *testing.T) {
+			srv := newTestServer(t, prefixConfig(t))
+			spec := SharedPrefixLoad(4, 8, 10, 48, 0.9, 42, protected)
+
+			runSharedPrefix(t, srv, spec, "cold")
+			cold := srv.PrefixStats()
+			if cold.Insertions == 0 {
+				t.Fatalf("cold pass inserted nothing: %+v", cold)
+			}
+			coldPrefill, coldPrompt, _ := srv.PrefillCounters()
+
+			runSharedPrefix(t, srv, spec, "warm")
+			warm := srv.PrefixStats()
+			if warm.Hits <= cold.Hits {
+				t.Fatalf("warm pass recorded no hits: cold %+v warm %+v", cold, warm)
+			}
+			warmPrefill, warmPrompt, _ := srv.PrefillCounters()
+			if warmPrompt-coldPrompt != coldPrompt {
+				t.Fatalf("prompt token accounting: cold %d, warm delta %d", coldPrompt, warmPrompt-coldPrompt)
+			}
+			if warmPrefill-coldPrefill >= coldPrefill {
+				t.Fatalf("warm pass computed no fewer prefill tokens: cold %d, warm %d",
+					coldPrefill, warmPrefill-coldPrefill)
+			}
+		})
+	}
+}
+
+// TestChunkedPrefillBitIdentical pins chunked prefill alone (cache off):
+// long prompts split across slices must not change a single token, and the
+// chunk counter must show the splitting actually happened.
+func TestChunkedPrefillBitIdentical(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.PrefillChunk = 3
+	srv := newTestServer(t, cfg)
+	spec := SharedPrefixLoad(4, 8, 10, 30, 0.5, 7, true)
+	runSharedPrefix(t, srv, spec, "chunked")
+	_, _, chunks := srv.PrefillCounters()
+	if chunks < int64(spec.Requests)*2 {
+		t.Fatalf("prefill chunks = %d, want ≥ %d (30-token prompts at grain 3)",
+			chunks, spec.Requests*2)
+	}
+}
+
+// TestMaxTokensOverflowRejected pins the admission bugfix: a max_tokens near
+// MaxInt must answer 400 at the boundary, not wrap the sequence check
+// negative and panic in the engine.
+func TestMaxTokensOverflowRejected(t *testing.T) {
+	srv := newTestServer(t, testConfig(t))
+	for _, maxTokens := range []int{math.MaxInt, math.MaxInt - 10, srv.Config().ModelCfg.MaxSeq + 1} {
+		_, err := srv.Submit(context.Background(), Request{
+			PromptTokens: []int{1, 2, 3},
+			MaxTokens:    maxTokens,
+		})
+		if err == nil {
+			t.Fatalf("max_tokens=%d admitted", maxTokens)
+		}
+		if got := errStatus(err); got != http.StatusBadRequest {
+			t.Fatalf("max_tokens=%d: status %d, want 400 (%v)", maxTokens, got, err)
+		}
+	}
+}
+
+// TestPrefixMetricsExposed asserts the documented metric names appear on
+// /metrics when the cache is enabled.
+func TestPrefixMetricsExposed(t *testing.T) {
+	srv := newTestServer(t, prefixConfig(t))
+	spec := SharedPrefixLoad(2, 4, 6, 32, 0.9, 3, false)
+	runSharedPrefix(t, srv, spec, "cold")
+	runSharedPrefix(t, srv, spec, "warm")
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range []string{
+		"ft2serve_prefix_hits",
+		"ft2serve_prefix_misses",
+		"ft2serve_prefix_evictions",
+		"ft2serve_prefill_chunks_total",
+		"ft2serve_prefill_tokens_total",
+		"ft2serve_prompt_tokens_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("metrics missing %s:\n%s", name, body)
+		}
+	}
+}

@@ -179,7 +179,10 @@ func (r *Request) resolvePrompt(cfg model.Config) ([]int, error) {
 	if r.MaxTokens < 1 {
 		return nil, badRequest("max_tokens must be ≥ 1, got %d", r.MaxTokens)
 	}
-	if len(prompt)+r.MaxTokens > cfg.MaxSeq {
+	// Subtraction form: len(prompt)+MaxTokens could wrap negative for a
+	// MaxTokens near MaxInt and sneak past an addition-form check into the
+	// engine's panic paths (and a huge make() in submit).
+	if r.MaxTokens > cfg.MaxSeq || len(prompt) > cfg.MaxSeq-r.MaxTokens {
 		return nil, badRequest("prompt (%d) + max_tokens (%d) exceeds the model's max sequence %d",
 			len(prompt), r.MaxTokens, cfg.MaxSeq)
 	}

@@ -13,6 +13,7 @@ import (
 	"ft2/internal/core"
 	"ft2/internal/fault"
 	"ft2/internal/model"
+	"ft2/internal/prefixcache"
 	"ft2/internal/tensor"
 )
 
@@ -26,10 +27,11 @@ import (
 // admitted mid-flight. Sessions own their KV state (model.DecodeState), so
 // moving between replicas costs a pointer swap, not a snapshot copy.
 type scheduler struct {
-	cfg   Config
-	pool  *pool
-	mx    *metrics
-	chaos *chaos.Engine // nil when chaos is off
+	cfg    Config
+	pool   *pool
+	mx     *metrics
+	chaos  *chaos.Engine     // nil when chaos is off
+	prefix *prefixcache.Cache // nil when the prefix cache is off
 
 	nextID atomic.Int64 // session ids for the chaos journal
 
@@ -62,6 +64,9 @@ func newScheduler(cfg Config, pool *pool, mx *metrics, eng *chaos.Engine) *sched
 		states:         make(chan *model.DecodeState, cfg.MaxSessions),
 		sessions:       make(map[*Session]struct{}),
 		dispatcherDone: make(chan struct{}),
+	}
+	if cfg.PrefixCacheMB > 0 {
+		sch.prefix = prefixcache.New(int64(cfg.PrefixCacheMB) << 20)
 	}
 	go sch.dispatch()
 	for i := range pool.replicas {
@@ -181,12 +186,21 @@ gather:
 		}
 		budget := sch.cfg.SliceSteps
 		if !s.started {
-			finished, err := sch.prefillGuarded(r, s)
+			done, finished, err := sch.prefillGuarded(r, s)
 			if err != nil {
 				sch.settle(s, err)
 				if errStatus(err) == 500 {
 					r = sch.replaceReplica(r)
 				}
+				continue
+			}
+			if !done {
+				// Mid-prefill after a bounded chunk: yield the replica to
+				// the decode batch and circulate for the next chunk. The
+				// ring's capacity is MaxSessions ≥ active, so this never
+				// blocks, and mid-prefill sessions never join a decode
+				// group (chaos cannot target them).
+				sch.ready <- s
 				continue
 			}
 			if finished {
@@ -358,9 +372,24 @@ func (sch *scheduler) drainHybrid(r *replica) core.HybridCounts {
 	return total
 }
 
-// prefillGuarded runs a session's prefill on r inside the panic boundary,
-// returning whether the generation already finished with the first token.
-func (sch *scheduler) prefillGuarded(r *replica, s *Session) (finished bool, err error) {
+// prefillGuarded advances a session's prefill on r by one bounded chunk
+// inside the panic boundary. On the session's first slice it opens the
+// prefill, consults the prefix cache, and — on a hit — forks the cached KV
+// prefix (and, for protected sessions, the frozen first-token bounds) so
+// only the unique suffix is computed. done=false means the prompt has rows
+// left: the caller re-enqueues the session and later slices continue here
+// (the FT2 fork state captured at the chunk boundary resumes on any
+// replica). When the final chunk completes, the full-prompt snapshot is
+// offered back to the cache and finished reports whether the generation
+// already ended with the first token.
+//
+// Bit-identity: chunked, cache-seeded, and single-pass prefills produce
+// identical KV bits and first tokens (model.PrefillChunk contract), and the
+// FT2 bounds merge identically — min/max observation is associative over
+// row partitions and the frozen partial covers exactly the restored rows —
+// so a cache-hit session's output matches a cold one and the GenerateInto
+// oracle exactly.
+func (sch *scheduler) prefillGuarded(r *replica, s *Session) (done, finished bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			log.Printf("serve: panic in session prefill: %v\n%s", p, debug.Stack())
@@ -378,13 +407,66 @@ func (sch *scheduler) prefillGuarded(r *replica, s *Session) (finished bool, err
 	var f controller
 	if s.req.Protected {
 		f = r.controller(0)
-		f.Reset()
+		if s.prefillStarted {
+			// Continuing a chunked prefill, possibly on another replica:
+			// reinstate the bounds observed over the chunks so far.
+			f.ResumeFork(s.ftState)
+		} else {
+			f.Reset()
+		}
 		f.Install()
 		defer m.ClearHooks()
 	}
-	s.startAt = time.Now()
-	sch.mx.queueLat.observe(msSince(s.admitted, s.startAt))
-	tok := m.Prefill(s.prompt)
+	if !s.prefillStarted {
+		s.prefillStarted = true
+		s.startAt = time.Now()
+		sch.mx.queueLat.observe(msSince(s.admitted, s.startAt))
+		sch.mx.promptTokens.Add(int64(len(s.prompt)))
+		m.BeginPrefill(len(s.prompt))
+		if sch.prefix != nil {
+			if ref := sch.prefix.Lookup(s.prompt, s.req.Protected); ref != nil {
+				m.ResumePrefillPrefix(ref.Snapshot())
+				s.hitRows = ref.Rows()
+				if s.req.Protected {
+					// Seed the fork state from the frozen profile at exactly
+					// hitRows rows; the clone is this session's to extend as
+					// it observes the suffix.
+					p := ref.FT()
+					s.ftState = core.ForkState{Bounds: p.Bounds.Clone(), FirstTokenNaN: p.NaN}
+					f.ResumeFork(s.ftState)
+				}
+				ref.Release()
+			}
+			// Offer the finished prefill back unless the cache already
+			// covers this prompt as deeply as a lookup could use it.
+			s.insert = s.hitRows < len(s.prompt)-1
+		}
+	}
+
+	pos := s.state.PrefillPos()
+	n := len(s.prompt) - pos
+	if sch.cfg.PrefillChunk > 0 && n > sch.cfg.PrefillChunk {
+		n = sch.cfg.PrefillChunk
+	}
+	tok, complete := m.PrefillChunk(s.prompt[pos : pos+n])
+	sch.mx.prefillChunks.Add(1)
+	sch.mx.prefillTokens.Add(int64(n))
+	if !complete {
+		if s.req.Protected {
+			// Freeze the bounds at the chunk boundary: the capture both
+			// carries the session to its next slice and — cloned, since the
+			// next chunk keeps observing into the captured store — becomes
+			// the FTPartial a future protected hit can resume from.
+			st := f.CaptureForkState()
+			if s.insert {
+				s.partials = append(s.partials, prefixcache.FTPartial{
+					Rows: pos + n, Bounds: st.Bounds.Clone(), NaN: st.FirstTokenNaN})
+			}
+			s.ftState = st
+		}
+		return false, false, nil
+	}
+
 	s.started = true
 	s.lastTok = tok
 	s.emit(tok)
@@ -395,7 +477,25 @@ func (sch *scheduler) prefillGuarded(r *replica, s *Session) (finished bool, err
 		// clear them.
 		s.ftState = f.CaptureForkState()
 	}
-	return s.finishedAfter(tok), nil
+	if sch.prefix != nil && s.insert {
+		snap := &model.Snapshot{}
+		m.Checkpoint(snap)
+		var ft []prefixcache.FTPartial
+		nanFree := true
+		if s.req.Protected {
+			// A NaN-corrected first token wrote corrected values into the KV;
+			// a bare model would not reproduce them, so such entries serve
+			// only protected sessions. The final partial shares the session's
+			// captured store: decode steps never write bounds, and protected
+			// hits clone before observing.
+			nanFree = s.ftState.FirstTokenNaN == 0
+			ft = append(s.partials, prefixcache.FTPartial{
+				Rows: len(s.prompt), Bounds: s.ftState.Bounds, NaN: s.ftState.FirstTokenNaN})
+			s.partials = nil
+		}
+		sch.prefix.Insert(s.prompt, snap, ft, nanFree)
+	}
+	return true, s.finishedAfter(tok), nil
 }
 
 // decodeSlice is the fused decode phase and its fault boundary: each

@@ -94,6 +94,19 @@ type Config struct {
 	// throttle for demos and smoke tests that need generations slow enough
 	// to observe scheduling, draining, and preemption. Production: 0.
 	StepDelay time.Duration
+	// PrefixCacheMB enables the shared-prompt radix prefix cache with the
+	// given KV byte budget in MiB (0 disables it). Admitted sessions fork
+	// their KV from the longest cached token prefix and prefill only the
+	// unique suffix; completed prefills are inserted back. Bit-identity with
+	// cold sessions is preserved (DESIGN.md §14).
+	PrefixCacheMB int
+	// PrefillChunk bounds how many prompt rows one scheduling slice may
+	// prefill before the session yields its replica, so long-prompt
+	// admission cannot stall a decode batch for the whole prompt. 0 keeps
+	// single-pass prefills — unless the prefix cache is on, which defaults
+	// the grain to 64 (cached FT2 partials are frozen at chunk boundaries,
+	// so protected cache hits need a finite grain).
+	PrefillChunk int
 }
 
 // withDefaults resolves the config, returning the effective values.
@@ -141,6 +154,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if (c.FT2Opts == core.Options{}) {
 		c.FT2Opts = core.Defaults()
+	}
+	if c.PrefixCacheMB < 0 {
+		c.PrefixCacheMB = 0
+	}
+	if c.PrefillChunk < 0 {
+		c.PrefillChunk = 0
+	}
+	if c.PrefixCacheMB > 0 && c.PrefillChunk <= 0 {
+		c.PrefillChunk = 64
 	}
 	return c, nil
 }
