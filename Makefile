@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-mp bench bench-json perfguard smoke serve-smoke serve-smoke-mp chaos-smoke prefix-smoke ci
+.PHONY: build test vet race race-mp bench bench-json perfguard smoke serve-smoke serve-smoke-mp chaos-smoke prefix-smoke router-smoke ci
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,10 @@ test:
 # it at GOMAXPROCS=4 so the worker-pool and batched-decode paths run with
 # real scheduler preemption even on single-core runners.
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/campaign/... ./internal/serve/...
+	$(GO) test -race ./internal/tensor/... ./internal/campaign/... ./internal/serve/... ./internal/wire/... ./internal/router/...
 
 race-mp:
-	GOMAXPROCS=4 $(GO) test -race ./internal/tensor/... ./internal/model/... ./internal/campaign/... ./internal/serve/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/tensor/... ./internal/model/... ./internal/campaign/... ./internal/serve/... ./internal/wire/... ./internal/router/...
 
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkGenerate(Unprotected|FT2)' -benchmem .
@@ -64,4 +64,11 @@ chaos-smoke:
 prefix-smoke:
 	scripts/prefix_smoke.sh
 
-ci: vet build test race race-mp perfguard smoke serve-smoke serve-smoke-mp chaos-smoke prefix-smoke
+# Cluster check: router selftest (3 spawned workers, SIGKILL storm, every
+# session bit-identical to the oracle), a live 2-worker cluster with the
+# serving worker killed mid-stream twice, and durable session parking
+# resumed across a worker restart.
+router-smoke:
+	scripts/router_smoke.sh
+
+ci: vet build test race race-mp perfguard smoke serve-smoke serve-smoke-mp chaos-smoke prefix-smoke router-smoke

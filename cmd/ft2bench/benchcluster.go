@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ft2/internal/data"
+	"ft2/internal/router"
+	"ft2/internal/serve"
+)
+
+// The cluster section: ft2router fronting 1, 2 and 4 in-process ft2serve
+// workers. Each worker-count point measures aggregate protected throughput
+// on a calm pass, then a kill-storm pass (workers ≥ 2) where a random
+// worker "dies" mid-load — in-flight streams snap, every endpoint refuses —
+// and revives shortly after, recording how many sessions migrated and the
+// client-observed migration latency (last token before the break to first
+// token after). Every response of both passes is verified bit-identical to
+// the GenerateInto oracle.
+
+// benchClusterPoint is one worker-count measurement.
+type benchClusterPoint struct {
+	Workers           int     `json:"workers"`
+	Clients           int     `json:"clients"`
+	Requests          int     `json:"requests"`
+	TokensPerSec      float64 `json:"tokens_per_sec"`
+	Kills             int     `json:"kills"`
+	SessionsMigrated  int64   `json:"sessions_migrated"`
+	CheckpointResumes int64   `json:"checkpoint_resumes"`
+	MigrationP50MS    float64 `json:"migration_latency_p50_ms"`
+	MigrationP99MS    float64 `json:"migration_latency_p99_ms"`
+	OracleMatch       bool    `json:"oracle_match"`
+}
+
+// benchClusterResult is the cluster section of the bench report.
+type benchClusterResult struct {
+	Model        string              `json:"model"`
+	PromptLen    int                 `json:"prompt_len"`
+	SharedFrac   float64             `json:"shared_frac"`
+	MaxTokens    int                 `json:"max_tokens"`
+	ExportStride int                 `json:"export_stride"`
+	FetchStride  int                 `json:"fetch_stride"`
+	Sweep        []benchClusterPoint `json:"sweep"`
+}
+
+// benchWorker is one in-process worker whose death can be simulated: the
+// dead flag makes every endpoint abort (plus existing connections are
+// snapped), which to the router is indistinguishable from a SIGKILLed
+// process.
+type benchWorker struct {
+	srv  *serve.Server
+	ts   *httptest.Server
+	dead atomic.Bool
+}
+
+func (w *benchWorker) kill()   { w.dead.Store(true); w.ts.CloseClientConnections() }
+func (w *benchWorker) revive() { w.dead.Store(false) }
+
+func benchCluster(seed int64) (*benchClusterResult, error) {
+	const (
+		modelName    = "qwen2-1.5b-sim"
+		prompts      = 8
+		promptLen    = 48
+		sharedFrac   = 0.9
+		maxTokens    = 32
+		clients      = 6
+		reqsPer      = 4 // requests per point = clients * reqsPer
+		exportStride = 4
+		fetchStride  = 4
+		throttle     = time.Millisecond
+	)
+	// The same shared-prefix chat shape the prefix-cache bench uses: a 90%-
+	// common system prompt plus unique suffixes, rotated across the load.
+	promptSet := data.SharedPrefixPrompts(prompts, promptLen, sharedFrac, seed)
+	promptFor := func(i int) []int { return promptSet[i%prompts] }
+
+	wcfg := serve.Config{
+		Model: modelName, Seed: seed, Replicas: 1,
+		ExportStride: exportStride, StepDelay: throttle,
+	}
+	ecfg, err := wcfg.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	oracle := make([][]int, prompts)
+	for i := 0; i < prompts; i++ {
+		toks, _, err := serve.Oracle(ecfg, promptFor(i), maxTokens, true)
+		if err != nil {
+			return nil, err
+		}
+		oracle[i] = toks
+	}
+
+	out := &benchClusterResult{
+		Model: modelName, PromptLen: promptLen, SharedFrac: sharedFrac,
+		MaxTokens: maxTokens, ExportStride: exportStride, FetchStride: fetchStride,
+	}
+	for _, n := range []int{1, 2, 4} {
+		point, err := benchClusterPointRun(wcfg, n, clients, clients*reqsPer, maxTokens,
+			fetchStride, seed, promptFor, oracle)
+		if err != nil {
+			return nil, err
+		}
+		out.Sweep = append(out.Sweep, *point)
+	}
+	return out, nil
+}
+
+func benchClusterPointRun(wcfg serve.Config, n, clients, requests, maxTokens, fetchStride int,
+	seed int64, promptFor func(int) []int, oracle [][]int) (*benchClusterPoint, error) {
+
+	workers := make([]*benchWorker, n)
+	urls := make([]string, n)
+	for i := range workers {
+		srv, err := serve.New(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		w := &benchWorker{srv: srv}
+		inner := srv.Handler()
+		w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if w.dead.Load() {
+				panic(http.ErrAbortHandler)
+			}
+			inner.ServeHTTP(rw, r)
+		}))
+		workers[i] = w
+		urls[i] = w.ts.URL
+	}
+	defer func() {
+		for _, w := range workers {
+			w.ts.Close()
+			w.srv.Shutdown(context.Background())
+		}
+	}()
+
+	rt, err := router.New(router.Config{
+		Workers:       urls,
+		ProbeInterval: 25 * time.Millisecond,
+		FetchStride:   fetchStride,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.WaitReady(ctx); err != nil {
+		return nil, fmt.Errorf("cluster n=%d never ready", n)
+	}
+
+	drive := func(tag string) (tokensPerSec float64, match bool, err error) {
+		type one struct {
+			idx  int
+			toks []int
+			err  error
+		}
+		work := make(chan int)
+		results := make(chan one, requests)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					toks, rerr := benchClusterRequest(front.URL, serve.Request{
+						PromptTokens: promptFor(i), MaxTokens: maxTokens,
+						Protected: true, Stream: true,
+						SessionID:  fmt.Sprintf("bench-%s-%d-%d", tag, n, i),
+						DeadlineMS: 120_000,
+					})
+					results <- one{idx: i, toks: toks, err: rerr}
+				}
+			}()
+		}
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+		elapsed := time.Since(start).Seconds()
+		match = true
+		total := 0
+		for r := range results {
+			if r.err != nil {
+				return 0, false, fmt.Errorf("n=%d %s request %d: %v", n, tag, r.idx, r.err)
+			}
+			want := oracle[r.idx%len(oracle)]
+			if len(r.toks) != len(want) {
+				match = false
+			} else {
+				for j := range want {
+					if r.toks[j] != want[j] {
+						match = false
+					}
+				}
+			}
+			total += len(r.toks)
+		}
+		return float64(total) / elapsed, match, nil
+	}
+
+	// Calm pass: throughput and bit-identity with no faults.
+	tps, match, err := drive("calm")
+	if err != nil {
+		return nil, err
+	}
+
+	// Kill-storm pass (needs a survivor to migrate to): a random worker
+	// dies every killEvery and revives reviveAfter later, so the cluster
+	// always has capacity but sessions keep getting orphaned mid-stream.
+	kills := 0
+	var stormBase router.Stats
+	if n >= 2 {
+		stormBase = rt.Stats()
+		stop := make(chan struct{})
+		var kwg sync.WaitGroup
+		rng := rand.New(rand.NewSource(seed))
+		kwg.Add(1)
+		go func() {
+			defer kwg.Done()
+			const killEvery, reviveAfter = 120 * time.Millisecond, 80 * time.Millisecond
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(killEvery):
+				}
+				w := workers[rng.Intn(len(workers))]
+				w.kill()
+				kills++
+				select {
+				case <-stop:
+					w.revive()
+					return
+				case <-time.After(reviveAfter):
+				}
+				w.revive()
+			}
+		}()
+		_, stormMatch, serr := drive("storm")
+		close(stop)
+		kwg.Wait()
+		if serr != nil {
+			return nil, serr
+		}
+		match = match && stormMatch
+	}
+
+	st := rt.Stats()
+	lat := append([]float64(nil), st.MigrationLatenciesM...)
+	sort.Float64s(lat)
+	// Nearest-rank quantiles: idx = ceil(q*len)-1 on the sorted samples.
+	rank := func(q float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		idx := int(math.Ceil(q*float64(len(lat)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return lat[idx]
+	}
+	p50, p99 := rank(0.5), rank(0.99)
+	return &benchClusterPoint{
+		Workers: n, Clients: clients, Requests: requests,
+		TokensPerSec:      tps,
+		Kills:             kills,
+		SessionsMigrated:  st.Migrations - stormBase.Migrations,
+		CheckpointResumes: st.CheckpointResumes - stormBase.CheckpointResumes,
+		MigrationP50MS:    p50,
+		MigrationP99MS:    p99,
+		OracleMatch:       match,
+	}, nil
+}
+
+// benchClusterRequest drives one streaming generation through the router
+// and returns the relayed token sequence.
+func benchClusterRequest(base string, req serve.Request) ([]int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	dec := json.NewDecoder(resp.Body)
+	var toks []int
+	for {
+		var line struct {
+			Token *int   `json:"token"`
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			return toks, fmt.Errorf("stream broke after %d tokens: %v", len(toks), err)
+		}
+		if line.Done {
+			if line.Error != "" {
+				return toks, fmt.Errorf("stream error: %s", line.Error)
+			}
+			return toks, nil
+		}
+		if line.Token != nil {
+			toks = append(toks, *line.Token)
+		}
+	}
+}

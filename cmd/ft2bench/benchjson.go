@@ -134,6 +134,7 @@ type benchReport struct {
 	Serve      []benchServeResult    `json:"serve"`
 	Prefix     *benchPrefixResult    `json:"prefix,omitempty"`
 	Chaos      *benchChaosResult     `json:"chaos,omitempty"`
+	Cluster    *benchClusterResult   `json:"cluster,omitempty"`
 }
 
 // procsSweep is the GOMAXPROCS settings the models and serve sections are
@@ -281,11 +282,66 @@ func runBenchJSON(path string, seed int64) error {
 	}
 	rep.Prefix = prefixRes
 
+	// The router cluster sweep: throughput and migration latency of an
+	// ft2router fronting 1/2/4 workers, with a kill-storm at N >= 2.
+	clusterRes, err := benchCluster(seed)
+	if err != nil {
+		return err
+	}
+	rep.Cluster = clusterRes
+
+	return writeBenchReport(path, &rep)
+}
+
+// writeBenchReport marshals the report the way every bench path does:
+// two-space indent plus a trailing newline.
+func writeBenchReport(path string, rep *benchReport) error {
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// runBenchSections recomputes only the named sections of an existing
+// BENCH_decode.json, leaving every other section exactly as the file has
+// it. This keeps artifact regeneration cheap when only one subsystem
+// changed — the full runBenchJSON sweep takes minutes; one section takes
+// seconds.
+func runBenchSections(path string, seed int64, sections []string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read existing report (run -bench-json without -sections first): %w", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parse existing report %s: %w", path, err)
+	}
+	for _, sec := range sections {
+		switch sec {
+		case "cluster":
+			res, err := benchCluster(seed)
+			if err != nil {
+				return err
+			}
+			rep.Cluster = res
+		case "chaos":
+			res, err := benchChaosPareto(seed)
+			if err != nil {
+				return err
+			}
+			rep.Chaos = res
+		case "prefix":
+			res, err := benchPrefix(seed)
+			if err != nil {
+				return err
+			}
+			rep.Prefix = res
+		default:
+			return fmt.Errorf("unknown section %q (have: cluster, chaos, prefix)", sec)
+		}
+	}
+	return writeBenchReport(path, &rep)
 }
 
 // cpuSeconds returns the process's accumulated user+system CPU time.

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"ft2/internal/cliutil"
@@ -39,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "base seed")
 	quick := flag.Bool("quick", false, "use the quick (smoke-test) sizes")
 	benchJSON := flag.String("bench-json", "", "measure decode and campaign throughput, write the JSON report to this path, and exit")
+	benchSections := flag.String("sections", "", "with -bench-json: recompute only these comma-separated sections (cluster, chaos, prefix) of an existing report")
 	perfguard := flag.Bool("perfguard", false, "run the CI performance guard (P=4 decode must not lose to P=1; decode must not allocate) and exit")
 	kernelCal := flag.String("kernel-cal", "", "kernel cost-model calibration file (cmd/calibrate -kernels); empty = micro-calibrate at startup of bench modes")
 	cf := cliutil.RegisterCampaign(flag.CommandLine)
@@ -67,6 +69,19 @@ func main() {
 
 	if *benchJSON != "" {
 		loadKernelCal()
+		if *benchSections != "" {
+			var secs []string
+			for _, s := range strings.Split(*benchSections, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					secs = append(secs, s)
+				}
+			}
+			if err := runBenchSections(*benchJSON, *seed, secs); err != nil {
+				fmt.Fprintf(os.Stderr, "ft2bench: bench-json -sections failed: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runBenchJSON(*benchJSON, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "ft2bench: bench-json failed: %v\n", err)
 			os.Exit(1)

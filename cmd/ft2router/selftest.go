@@ -1,0 +1,418 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+
+	"ft2/internal/data"
+	"ft2/internal/router"
+	"ft2/internal/serve"
+	"ft2/internal/tensor"
+)
+
+// The cluster self-test: spawn -worker-n real ft2serve processes, front them
+// with an in-process router, drive mixed streaming/plain protected load
+// while a killer goroutine SIGKILLs a random worker every -kill-every and
+// respawns it on the same port. Acceptance: every request completes, every
+// output is bit-identical to the single-process GenerateInto oracle
+// (correction counters included), and at least one live migration happened —
+// i.e. a kill landed mid-generation and the client never noticed.
+
+type selfTestOpts struct {
+	workerBin    string
+	workerN      int
+	model        string
+	seed         int64
+	killEvery    time.Duration
+	throttle     time.Duration
+	exportStride int
+	fetchEvery   int
+	maxTokens    int
+	requests     int
+	clients      int
+}
+
+// workerProc is one spawned ft2serve worker.
+type workerProc struct {
+	port int
+	url  string
+	cmd  *exec.Cmd
+}
+
+var boundLine = regexp.MustCompile(`bound http://127\.0\.0\.1:(\d+)`)
+
+// startWorker spawns one ft2serve on the given port (0 = pick free) and
+// returns once the bound port is known. Readiness is the router's problem —
+// the worker's StartupGate keeps /healthz at 503 until the replicas exist.
+func startWorker(opts selfTestOpts, port int) (*workerProc, error) {
+	cmd := exec.Command(opts.workerBin,
+		"-model", opts.model,
+		"-seed", strconv.FormatInt(opts.seed, 10),
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-replicas", "1",
+		"-throttle", opts.throttle.String(),
+		"-export-stride", strconv.Itoa(opts.exportStride),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	portCh := make(chan int, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := boundLine.FindStringSubmatch(sc.Text()); m != nil {
+				p, _ := strconv.Atoi(m[1])
+				select {
+				case portCh <- p:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case p := <-portCh:
+		return &workerProc{port: p, url: fmt.Sprintf("http://127.0.0.1:%d", p), cmd: cmd}, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("worker on port %d never reported its address", port)
+	}
+}
+
+func (w *workerProc) kill() {
+	w.cmd.Process.Kill()
+	w.cmd.Wait()
+}
+
+func waitHealthy(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("worker %s never became healthy", url)
+}
+
+// cluster tracks the spawned workers; the killer swaps entries as it
+// respawns them.
+type cluster struct {
+	mu      sync.Mutex
+	workers []*workerProc
+	kills   int
+}
+
+func (c *cluster) killRandom(rng *rand.Rand, opts selfTestOpts) error {
+	c.mu.Lock()
+	i := rng.Intn(len(c.workers))
+	victim := c.workers[i]
+	c.mu.Unlock()
+
+	victim.kill() // SIGKILL: no drain, no goodbye — the hard failure mode
+	nw, err := respawn(opts, victim.port)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.workers[i] = nw
+	c.kills++
+	c.mu.Unlock()
+	return nil
+}
+
+// respawn brings a worker back on its old port (the ring addresses workers
+// by URL, so the replacement must live at the same place). The dead
+// process's socket frees on kill, but give the kernel a few tries.
+func respawn(opts selfTestOpts, port int) (*workerProc, error) {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		nw, err := startWorker(opts, port)
+		if err == nil {
+			if err = waitHealthy(nw.url, 60*time.Second); err == nil {
+				return nw, nil
+			}
+			nw.kill()
+		}
+		lastErr = err
+		time.Sleep(200 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("respawn on port %d failed: %v", port, lastErr)
+}
+
+func runSelfTest(ctx context.Context, opts selfTestOpts) int {
+	fail := func(format string, args ...interface{}) int {
+		fmt.Fprintf(os.Stderr, "ft2router: selftest: "+format+"\n", args...)
+		return 1
+	}
+	if opts.workerBin == "" {
+		return fail("-worker-bin is required (path to an ft2serve binary)")
+	}
+	if opts.workerN < 2 {
+		return fail("-worker-n must be ≥ 2 (cannot migrate inside one worker)")
+	}
+	tensor.AutoCalibrate()
+
+	const prompts = 8
+	ds, err := data.ByName("squad-sim", prompts)
+	if err != nil {
+		return fail("%v", err)
+	}
+	promptFor := func(i int) []int { return ds.Inputs[i%prompts].Prompt }
+
+	// Ground truth: the single-process oracle for every prompt. Dispatch
+	// plans are bit-identical by construction, so cross-process comparison
+	// against the worker binaries is exact.
+	ocfg, err := serve.Config{Model: opts.model, Seed: opts.seed}.WithDefaults()
+	if err != nil {
+		return fail("%v", err)
+	}
+	type oracle struct {
+		tokens []int
+		corr   serve.Corrections
+	}
+	oracles := make([]oracle, prompts)
+	for i := 0; i < prompts; i++ {
+		toks, corr, err := serve.Oracle(ocfg, promptFor(i), opts.maxTokens, true)
+		if err != nil {
+			return fail("oracle: %v", err)
+		}
+		oracles[i] = oracle{toks, corr}
+	}
+
+	// Spawn the cluster.
+	cl := &cluster{}
+	defer func() {
+		cl.mu.Lock()
+		defer cl.mu.Unlock()
+		for _, w := range cl.workers {
+			w.kill()
+		}
+	}()
+	urls := make([]string, opts.workerN)
+	for i := 0; i < opts.workerN; i++ {
+		w, err := startWorker(opts, 0)
+		if err != nil {
+			return fail("spawn worker %d: %v", i, err)
+		}
+		cl.workers = append(cl.workers, w)
+		urls[i] = w.url
+	}
+	for _, u := range urls {
+		if err := waitHealthy(u, 60*time.Second); err != nil {
+			return fail("%v", err)
+		}
+	}
+	fmt.Printf("ft2router: selftest cluster up — %d × %s workers (throttle %v, export stride %d)\n",
+		opts.workerN, opts.model, opts.throttle, opts.exportStride)
+
+	rt, err := router.New(router.Config{
+		Workers:       urls,
+		ProbeInterval: 100 * time.Millisecond,
+		FetchStride:   opts.fetchEvery,
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	if err := rt.WaitReady(wctx); err != nil {
+		cancel()
+		return fail("router never saw a healthy worker")
+	}
+	cancel()
+
+	// Killer: SIGKILL a random worker every killEvery, respawn it, repeat
+	// until the load is done. Respawn is synchronous, so at most one worker
+	// is down at a time — the cluster always has a healthy majority.
+	killDone := make(chan struct{})
+	killErr := make(chan error, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(opts.seed))
+		for {
+			select {
+			case <-killDone:
+				return
+			case <-time.After(opts.killEvery):
+			}
+			if err := cl.killRandom(rng, opts); err != nil {
+				select {
+				case killErr <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	// Drive the load through the router: half streaming, half plain, all
+	// protected and session-tagged.
+	type reqResult struct {
+		idx  int
+		err  error
+		res  serve.Result
+		toks []int
+	}
+	work := make(chan int)
+	results := make(chan reqResult, opts.requests)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				rr := reqResult{idx: i}
+				rr.toks, rr.res, rr.err = runOne(front.URL, serve.Request{
+					PromptTokens: promptFor(i),
+					MaxTokens:    opts.maxTokens,
+					Protected:    true,
+					Stream:       i%2 == 0,
+					SessionID:    fmt.Sprintf("selftest-%d", i),
+					DeadlineMS:   120_000,
+				})
+				results <- rr
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < opts.requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	close(results)
+	close(killDone)
+	elapsed := time.Since(start)
+
+	select {
+	case err := <-killErr:
+		return fail("killer: %v", err)
+	default:
+	}
+
+	failures := 0
+	tokens := 0
+	for rr := range results {
+		if rr.err != nil {
+			fmt.Fprintf(os.Stderr, "ft2router: selftest: request %d failed: %v\n", rr.idx, rr.err)
+			failures++
+			continue
+		}
+		want := oracles[rr.idx%prompts]
+		if !equalInts(rr.res.Tokens, want.tokens) {
+			return fail("request %d: tokens diverged from oracle\n got %v\nwant %v", rr.idx, rr.res.Tokens, want.tokens)
+		}
+		if rr.toks != nil && !equalInts(rr.toks, want.tokens) {
+			return fail("request %d: streamed tokens diverged from oracle", rr.idx)
+		}
+		if rr.res.Corrections.OutOfBound != want.corr.OutOfBound {
+			return fail("request %d: %d out-of-bound corrections != oracle %d (fork state lost in migration?)",
+				rr.idx, rr.res.Corrections.OutOfBound, want.corr.OutOfBound)
+		}
+		tokens += len(rr.res.Tokens)
+	}
+	if failures > 0 {
+		return fail("%d/%d sessions failed under the kill storm", failures, opts.requests)
+	}
+
+	st := rt.Stats()
+	cl.mu.Lock()
+	kills := cl.kills
+	cl.mu.Unlock()
+	fmt.Printf("ft2router: selftest %d requests ok in %.1fs (%.1f tok/s) — %d kills, %d migrations (%d via checkpoint, %d fetches)\n",
+		opts.requests, elapsed.Seconds(), float64(tokens)/elapsed.Seconds(),
+		kills, st.Migrations, st.CheckpointResumes, st.CheckpointFetches)
+	if kills == 0 {
+		return fail("the killer never fired — increase -requests or lower -kill-every")
+	}
+	if st.Migrations == 0 {
+		return fail("%d kills but no live migration — load too short to catch a kill mid-generation", kills)
+	}
+	if st.Failures != 0 {
+		return fail("router reports %d failed sessions", st.Failures)
+	}
+	fmt.Println("ft2router: selftest passed — every session bit-identical to the oracle across worker kills")
+	return 0
+}
+
+// runOne drives one request through the router and returns the result plus,
+// for streaming requests, the relayed token sequence.
+func runOne(base string, req serve.Request) ([]int, serve.Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, serve.Result{}, err
+	}
+	resp, err := http.Post(base+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, serve.Result{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, serve.Result{}, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if !req.Stream {
+		var res serve.Result
+		err := json.NewDecoder(resp.Body).Decode(&res)
+		return nil, res, err
+	}
+	dec := json.NewDecoder(resp.Body)
+	var toks []int
+	for {
+		var line struct {
+			Token  *int          `json:"token"`
+			Done   bool          `json:"done"`
+			Error  string        `json:"error"`
+			Result *serve.Result `json:"result"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			return toks, serve.Result{}, fmt.Errorf("stream broke after %d tokens: %v", len(toks), err)
+		}
+		if line.Done {
+			if line.Error != "" {
+				return toks, serve.Result{}, fmt.Errorf("stream error: %s", line.Error)
+			}
+			return toks, *line.Result, nil
+		}
+		if line.Token != nil {
+			toks = append(toks, *line.Token)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

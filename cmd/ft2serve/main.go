@@ -69,6 +69,8 @@ func main() {
 	chaosWeight := flag.Float64("chaos-weight", 0.2, "fraction of chaos faults corrupting replica weights persistently")
 	chaosKV := flag.Float64("chaos-kv", 0.2, "fraction of chaos faults flipping resident KV-cache bits")
 	chaosJournal := flag.String("chaos-journal", "", "append every chaos injection/recovery event as JSONL to this path")
+	exportStride := flag.Int("export-stride", 0, "capture a live-migration checkpoint every N emitted tokens for sessions with a session_id, served by GET /v1/sessions/export (0 = off)")
+	spillDir := flag.String("spill-dir", "", "durable session parking: finished sessions with a session_id are written here and can be resumed with {\"resume\":true} after a restart (empty = off)")
 	selftest := flag.Bool("selftest", false, "run the in-process load-generator self-test and exit (chaos regime when -chaos is set)")
 	base := cliutil.RegisterBase(flag.CommandLine)
 	flag.Parse()
@@ -103,6 +105,8 @@ func main() {
 		WeightsF16:      *weights == "f16",
 		PrefixCacheMB:   *prefixMB,
 		PrefillChunk:    *prefillChunk,
+		ExportStride:    *exportStride,
+		SpillDir:        *spillDir,
 	}
 	if *policyPath != "" {
 		f, err := os.Open(*policyPath)
@@ -140,23 +144,32 @@ func main() {
 		os.Exit(runSelfTest(ctx, cfg, *sharedFrac, *sharedLen))
 	}
 
-	srv, err := serve.New(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ft2serve:", err)
-		os.Exit(1)
-	}
+	// Bind before the expensive replica build so a router supervising this
+	// worker sees the port immediately: the StartupGate answers 503 on
+	// /healthz (keeping us out of rotation) and 200 on /livez until the
+	// server is ready, then flips to passthrough atomically. The pre-ready
+	// log line deliberately avoids the phrase the smoke scripts key on to
+	// detect readiness.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ft2serve:", err)
 		os.Exit(1)
 	}
+	gate := serve.NewStartupGate()
+	hs := &http.Server{Handler: gate}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+	fmt.Printf("ft2serve: bound http://%s — building %s replicas (not ready yet)\n", ln.Addr(), *modelName)
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ft2serve:", err)
+		os.Exit(1)
+	}
+	gate.Ready(srv.Handler())
 	ecfg := srv.Config()
 	fmt.Printf("ft2serve: serving %s (%d replicas, %d sessions, batch %d, queue %d) — listening on http://%s\n",
 		ecfg.Model, ecfg.Replicas, ecfg.MaxSessions, ecfg.BatchMax, ecfg.QueueDepth, ln.Addr())
-
-	hs := &http.Server{Handler: srv.Handler()}
-	httpErr := make(chan error, 1)
-	go func() { httpErr <- hs.Serve(ln) }()
 
 	select {
 	case err := <-httpErr:

@@ -183,6 +183,35 @@ func (s *Store) MemoryBytes(d numerics.DType) int {
 	return len(s.m) * 2 * d.Bits() / 8
 }
 
+// Entry pairs a protected site with its recorded bounds.
+type Entry struct {
+	Key    SiteKey
+	Bounds Bounds
+}
+
+// SortedEntries returns every recorded bound in canonical (block, kind,
+// site) order — the deterministic traversal the wire codec needs so the
+// same store always serializes to the same bytes.
+func (s *Store) SortedEntries() []Entry {
+	s.mu.RLock()
+	out := make([]Entry, 0, len(s.m))
+	for k, b := range s.m {
+		out = append(out, Entry{k, b})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Layer.Block != b.Layer.Block {
+			return a.Layer.Block < b.Layer.Block
+		}
+		if a.Layer.Kind != b.Layer.Kind {
+			return a.Layer.Kind < b.Layer.Kind
+		}
+		return a.Site < b.Site
+	})
+	return out
+}
+
 // String renders the store contents sorted by site for stable output.
 func (s *Store) String() string {
 	s.mu.RLock()

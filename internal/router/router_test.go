@@ -1,0 +1,488 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ft2/internal/data"
+	"ft2/internal/serve"
+)
+
+func workerConfig(t *testing.T) serve.Config {
+	t.Helper()
+	return serve.Config{
+		Model:       "qwen2-1.5b-sim",
+		Seed:        7,
+		Replicas:    1,
+		MaxSessions: 8,
+		SliceSteps:  3,
+	}
+}
+
+// killableWorker is an in-process ft2serve worker whose death can be
+// simulated: once killed it aborts in-flight streams and refuses every
+// request, exactly what the router sees when a real process is SIGKILLed.
+type killableWorker struct {
+	srv  *serve.Server
+	ts   *httptest.Server
+	dead atomic.Bool
+}
+
+func (k *killableWorker) kill() {
+	k.dead.Store(true)
+	k.ts.CloseClientConnections() // snap in-flight streams mid-token
+}
+
+func newKillableWorker(t *testing.T, cfg serve.Config) *killableWorker {
+	t.Helper()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &killableWorker{srv: srv}
+	inner := srv.Handler()
+	k.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if k.dead.Load() {
+			panic(http.ErrAbortHandler) // connection reset, like a dead process
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		k.dead.Store(true)
+		k.ts.CloseClientConnections()
+		k.ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return k
+}
+
+type testCluster struct {
+	rt      *Router
+	front   *httptest.Server
+	workers []*killableWorker
+}
+
+func newTestCluster(t *testing.T, n int, cfg serve.Config, rcfg Config) *testCluster {
+	t.Helper()
+	c := &testCluster{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		w := newKillableWorker(t, cfg)
+		c.workers = append(c.workers, w)
+		urls[i] = w.ts.URL
+	}
+	rcfg.Workers = urls
+	if rcfg.ProbeInterval == 0 {
+		rcfg.ProbeInterval = 20 * time.Millisecond
+	}
+	rt, err := New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rt = rt
+	c.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		c.front.Close()
+		rt.Close()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.WaitReady(ctx); err != nil {
+		t.Fatal("cluster never became ready")
+	}
+	return c
+}
+
+// workerFor maps a worker pointer back to its harness.
+func (c *testCluster) harness(w *worker) *killableWorker {
+	for i, kw := range c.workers {
+		if kw.ts.URL == w.url {
+			return c.workers[i]
+		}
+	}
+	return nil
+}
+
+func testPrompt(t *testing.T) []int {
+	t.Helper()
+	ds, err := data.ByName("squad-sim", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Inputs[0].Prompt
+}
+
+func oracleRun(t *testing.T, cfg serve.Config, prompt []int, maxTokens int) ([]int, serve.Corrections) {
+	t.Helper()
+	eff, err := cfg.WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks, corr, err := serve.Oracle(eff, prompt, maxTokens, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toks, corr
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r1, r2 := newHashRing(urls, 64), newHashRing(urls, 64)
+	for _, key := range []string{"s1", "s2", "another-session", ""} {
+		s1, s2 := r1.sequence(key), r2.sequence(key)
+		if !equalInts(s1, s2) {
+			t.Fatalf("ring not deterministic for %q: %v vs %v", key, s1, s2)
+		}
+		if len(s1) != len(urls) {
+			t.Fatalf("sequence for %q covers %d workers, want %d", key, len(s1), len(urls))
+		}
+		seen := map[int]bool{}
+		for _, w := range s1 {
+			if seen[w] {
+				t.Fatalf("sequence for %q repeats worker %d", key, w)
+			}
+			seen[w] = true
+		}
+	}
+	// Placement should actually spread: many sessions over 4 workers must
+	// not all land on one.
+	owners := map[int]int{}
+	for i := 0; i < 200; i++ {
+		owners[r1.sequence(string(rune('a'+i%26)) + string(rune('0'+i%10)))[0]]++
+	}
+	if len(owners) < 3 {
+		t.Fatalf("placement collapsed onto %d workers: %v", len(owners), owners)
+	}
+}
+
+// TestProxyMatchesOracle drives plain and streaming requests through the
+// router with no faults: output must match the single-process oracle, and
+// the streaming done-line result must agree with the relayed tokens.
+func TestProxyMatchesOracle(t *testing.T) {
+	const maxTokens = 16
+	cfg := workerConfig(t)
+	c := newTestCluster(t, 2, cfg, Config{})
+	prompt := testPrompt(t)
+	want, wantCorr := oracleRun(t, cfg, prompt, maxTokens)
+
+	// Non-streaming.
+	body, _ := json.Marshal(serve.Request{
+		PromptTokens: prompt, MaxTokens: maxTokens, Protected: true, SessionID: "plain",
+	})
+	resp, err := http.Post(c.front.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res serve.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !equalInts(res.Tokens, want) {
+		t.Fatalf("proxied tokens diverged:\n got %v\nwant %v", res.Tokens, want)
+	}
+	if res.Corrections.OutOfBound != wantCorr.OutOfBound {
+		t.Fatalf("corrections %d != oracle %d", res.Corrections.OutOfBound, wantCorr.OutOfBound)
+	}
+	if res.Text != data.Vocab().Decode(want) {
+		t.Fatalf("text mismatch: %q", res.Text)
+	}
+
+	// Streaming: relayed tokens and the terminal result must both match.
+	sbody, _ := json.Marshal(serve.Request{
+		PromptTokens: prompt, MaxTokens: maxTokens, Protected: true, Stream: true, SessionID: "streamy",
+	})
+	sresp, err := http.Post(c.front.URL+"/v1/generate", "application/json", bytes.NewReader(sbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	toks, sres := readClientStream(t, sresp.Body)
+	if !equalInts(toks, want) || !equalInts(sres.Tokens, want) {
+		t.Fatalf("streamed tokens diverged:\n got %v\n res %v\nwant %v", toks, sres.Tokens, want)
+	}
+	if st := c.rt.Stats(); st.Sessions != 2 || st.Migrations != 0 || st.Failures != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func readClientStream(t *testing.T, body io.Reader) ([]int, serve.Result) {
+	t.Helper()
+	dec := json.NewDecoder(body)
+	var toks []int
+	for {
+		var l streamLine
+		if err := dec.Decode(&l); err != nil {
+			t.Fatalf("client stream broke after %d tokens: %v", len(toks), err)
+		}
+		if l.Done {
+			if l.Error != "" {
+				t.Fatalf("stream error after %d tokens: %s", len(toks), l.Error)
+			}
+			return toks, *l.Result
+		}
+		toks = append(toks, *l.Token)
+	}
+}
+
+// TestMigrationCheckpointResume is the tentpole invariant: kill the worker
+// driving a session mid-stream; the router must resume it on the survivor
+// from the last exported checkpoint and the client's total stream must be
+// bit-identical to the single-process oracle.
+func TestMigrationCheckpointResume(t *testing.T) {
+	const maxTokens = 48
+	cfg := workerConfig(t)
+	cfg.ExportStride = 2
+	cfg.StepDelay = 2 * time.Millisecond
+	c := newTestCluster(t, 2, cfg, Config{FetchStride: 3})
+	prompt := testPrompt(t)
+	want, wantCorr := oracleRun(t, cfg, prompt, maxTokens)
+
+	body, _ := json.Marshal(serve.Request{
+		PromptTokens: prompt, MaxTokens: maxTokens, Protected: true, Stream: true, SessionID: "victim",
+	})
+	resp, err := http.Post(c.front.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	owner := c.rt.pickWorker("victim")
+	if owner == nil {
+		t.Fatal("no owner")
+	}
+	dec := json.NewDecoder(resp.Body)
+	var toks []int
+	var res serve.Result
+	for {
+		var l streamLine
+		if err := dec.Decode(&l); err != nil {
+			t.Fatalf("client stream broke after %d tokens: %v", len(toks), err)
+		}
+		if l.Done {
+			if l.Error != "" {
+				t.Fatalf("stream error after %d tokens: %s", len(toks), l.Error)
+			}
+			res = *l.Result
+			break
+		}
+		toks = append(toks, *l.Token)
+		if len(toks) == 12 {
+			c.harness(owner).kill() // mid-generation, checkpoints already fetched
+		}
+	}
+
+	if !equalInts(toks, want) {
+		t.Fatalf("migrated stream diverged:\n got %v\nwant %v", toks, want)
+	}
+	if !equalInts(res.Tokens, want) {
+		t.Fatalf("terminal result not rewritten to the full session: %v", res.Tokens)
+	}
+	if res.Corrections.OutOfBound != wantCorr.OutOfBound {
+		t.Fatalf("corrections %d != oracle %d (fork state lost in migration?)",
+			res.Corrections.OutOfBound, wantCorr.OutOfBound)
+	}
+	st := c.rt.Stats()
+	if st.Migrations < 1 {
+		t.Fatalf("no migration recorded: %+v", st)
+	}
+	if st.CheckpointResumes < 1 {
+		t.Fatalf("migration did not use the checkpoint: %+v", st)
+	}
+	if st.Failures != 0 {
+		t.Fatalf("failures: %+v", st)
+	}
+	if len(st.MigrationLatenciesM) < 1 {
+		t.Fatal("no migration latency observed")
+	}
+}
+
+// TestFreshFailover kills a worker with checkpoint fetching disabled: the
+// router must replay the whole session on the survivor — slower, but still
+// bit-identical.
+func TestFreshFailover(t *testing.T) {
+	const maxTokens = 24
+	cfg := workerConfig(t)
+	cfg.StepDelay = 2 * time.Millisecond
+	c := newTestCluster(t, 2, cfg, Config{}) // FetchStride 0: no checkpoints
+	prompt := testPrompt(t)
+	want, _ := oracleRun(t, cfg, prompt, maxTokens)
+
+	body, _ := json.Marshal(serve.Request{
+		PromptTokens: prompt, MaxTokens: maxTokens, Protected: true, Stream: true, SessionID: "fresh",
+	})
+	resp, err := http.Post(c.front.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	owner := c.rt.pickWorker("fresh")
+	dec := json.NewDecoder(resp.Body)
+	var toks []int
+	killed := false
+	for {
+		var l streamLine
+		if err := dec.Decode(&l); err != nil {
+			t.Fatalf("client stream broke after %d tokens: %v", len(toks), err)
+		}
+		if l.Done {
+			if l.Error != "" {
+				t.Fatalf("stream error: %s", l.Error)
+			}
+			break
+		}
+		toks = append(toks, *l.Token)
+		if len(toks) == 6 && !killed {
+			killed = true
+			c.harness(owner).kill()
+		}
+	}
+	if !equalInts(toks, want) {
+		t.Fatalf("fresh failover diverged:\n got %v\nwant %v", toks, want)
+	}
+	st := c.rt.Stats()
+	if st.Migrations < 1 || st.CheckpointResumes != 0 {
+		t.Fatalf("expected fresh (non-checkpoint) migration: %+v", st)
+	}
+}
+
+// TestRoutesAroundDrainingWorker puts one worker into drain: its /healthz
+// flips 503, the prober takes it out of rotation, and new sessions land on
+// the other worker without client-visible errors.
+func TestRoutesAroundDrainingWorker(t *testing.T) {
+	const maxTokens = 8
+	cfg := workerConfig(t)
+	c := newTestCluster(t, 2, cfg, Config{ProbeInterval: 10 * time.Millisecond})
+	prompt := testPrompt(t)
+	want, _ := oracleRun(t, cfg, prompt, maxTokens)
+
+	c.workers[0].srv.BeginDrain()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.rt.workers[0].healthy.Load() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.rt.workers[0].healthy.Load() {
+		t.Fatal("prober never noticed the drain")
+	}
+
+	for i := 0; i < 4; i++ {
+		body, _ := json.Marshal(serve.Request{
+			PromptTokens: prompt, MaxTokens: maxTokens, Protected: true,
+		})
+		resp, err := http.Post(c.front.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res serve.Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		if !equalInts(res.Tokens, want) {
+			t.Fatalf("request %d diverged", i)
+		}
+	}
+	if st := c.rt.Stats(); st.Failures != 0 {
+		t.Fatalf("failures while draining: %+v", st)
+	}
+}
+
+// TestClientErrorsPassThrough checks a worker's 4xx verdict reaches the
+// client untouched instead of triggering failover.
+func TestClientErrorsPassThrough(t *testing.T) {
+	cfg := workerConfig(t)
+	c := newTestCluster(t, 2, cfg, Config{})
+	body, _ := json.Marshal(serve.Request{MaxTokens: 4}) // no prompt at all
+	resp, err := http.Post(c.front.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, msg)
+	}
+	if !strings.Contains(string(msg), "prompt") {
+		t.Fatalf("unexpected error body %q", msg)
+	}
+	if st := c.rt.Stats(); st.Migrations != 0 {
+		t.Fatalf("4xx caused failover: %+v", st)
+	}
+}
+
+// TestRouterMetricsAndHealth exercises the router's own observability
+// endpoints.
+func TestRouterMetricsAndHealth(t *testing.T) {
+	cfg := workerConfig(t)
+	c := newTestCluster(t, 2, cfg, Config{})
+	get := func(path string) (int, string) {
+		resp, err := http.Get(c.front.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(b)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("healthz %d", code)
+	}
+	if code, _ := get("/livez"); code != 200 {
+		t.Fatalf("livez %d", code)
+	}
+	code, metrics := get("/metrics")
+	if code != 200 {
+		t.Fatalf("metrics %d", code)
+	}
+	for _, want := range []string{
+		"ft2router_workers 2", "ft2router_workers_healthy 2",
+		"ft2router_sessions_total", "ft2router_migrations_total",
+		"ft2router_migration_latency_ms",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if code, body := get("/v1/models"); code != 200 || !strings.Contains(body, "qwen2-1.5b-sim") {
+		t.Fatalf("models passthrough: %d %q", code, body)
+	}
+
+	for _, w := range c.workers {
+		w.kill()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.rt.healthyCount() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := get("/healthz"); code != 503 {
+		t.Fatalf("dead cluster healthz %d, want 503", code)
+	}
+}

@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// StartupGate lets a worker bind its listener before the expensive part of
+// startup — building the replicas — has finished, without ever reporting
+// ready too early. Until Ready is called it answers 503 "initializing" on
+// every path except /livez (the process is alive, just not ready), so a
+// router health-checking /healthz keeps the worker out of rotation through
+// the whole build window. After Ready it is a transparent passthrough.
+//
+//	gate := serve.NewStartupGate()
+//	go http.Serve(ln, gate)      // port is up immediately
+//	srv, err := serve.New(cfg)   // slow: weights + calibration
+//	gate.Ready(srv.Handler())    // readiness flips atomically
+type StartupGate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewStartupGate returns a gate in the initializing state.
+func NewStartupGate() *StartupGate { return &StartupGate{} }
+
+// Ready installs the real handler; subsequent requests pass through.
+func (g *StartupGate) Ready(h http.Handler) { g.h.Store(&h) }
+
+func (g *StartupGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/livez" {
+		w.Write([]byte("ok\n"))
+		return
+	}
+	http.Error(w, "initializing", http.StatusServiceUnavailable)
+}

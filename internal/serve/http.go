@@ -10,6 +10,7 @@ import (
 	"ft2/internal/data"
 	"ft2/internal/model"
 	"ft2/internal/prefixcache"
+	"ft2/internal/wire"
 )
 
 // Server is the assembled serving layer: replica pool + continuous-batching
@@ -53,11 +54,44 @@ func (s *Server) Config() Config { return s.cfg }
 // the benchmarks share. The ctx bounds the whole request (client
 // disconnect); the request's own deadline is layered on top.
 func (s *Server) Submit(ctx context.Context, req Request) (*Session, error) {
+	if req.Resume {
+		return s.submitResume(ctx, req)
+	}
 	prompt, err := req.resolvePrompt(s.cfg.ModelCfg)
 	if err != nil {
 		return nil, err
 	}
 	return s.sch.submit(ctx, req, prompt)
+}
+
+// submitResume restores a parked session from the spill directory and
+// admits it to generate req.MaxTokens further tokens from its stop point.
+func (s *Server) submitResume(ctx context.Context, req Request) (*Session, error) {
+	if s.cfg.SpillDir == "" {
+		return nil, &apiError{Status: 404, Msg: "serve: session parking disabled (no -spill-dir)"}
+	}
+	if req.SessionID == "" {
+		return nil, badRequest("resume requires session_id")
+	}
+	if len(req.PromptTokens) > 0 || req.Text != "" || req.Dataset != "" {
+		return nil, badRequest("resume takes no prompt — the parked state is the prompt")
+	}
+	if req.MaxTokens < 1 {
+		return nil, badRequest("max_tokens must be ≥ 1, got %d", req.MaxTokens)
+	}
+	blob, err := readSpill(s.cfg.SpillDir, req.SessionID)
+	if err != nil {
+		return nil, err
+	}
+	snap, fk, err := wire.DecodeSessionFor(blob, s.cfg.ModelCfg)
+	if err != nil {
+		return nil, badRequest("parked session %q: %v", req.SessionID, err)
+	}
+	if err := validateAdoptable(snap, s.cfg.ModelCfg, req.MaxTokens); err != nil {
+		return nil, err
+	}
+	req.Protected = fk != nil
+	return s.sch.submitAdopted(ctx, req, snap, fk, adoptSpill)
 }
 
 // BeginDrain stops admitting new requests; in-flight and queued requests
@@ -81,15 +115,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Handler returns the HTTP surface:
 //
-//	POST /v1/generate  — run a (protected) generation, optionally streamed
-//	GET  /v1/models    — the zoo, with the served model marked
-//	GET  /healthz      — 200 serving / 503 draining
-//	GET  /metrics      — text-format counters and latency quantiles
+//	POST /v1/generate         — run a (protected) generation, optionally streamed
+//	GET  /v1/models           — the zoo, with the served model marked
+//	GET  /v1/sessions/export  — latest migration checkpoint of a live session
+//	POST /v1/sessions/import  — adopt a checkpoint and stream the remainder
+//	GET  /healthz             — readiness: 200 serving / 503 draining
+//	GET  /livez               — liveness: 200 while the process runs
+//	GET  /metrics             — text-format counters and latency quantiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/generate", s.handleGenerate)
 	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/sessions/export", s.handleSessionExport)
+	mux.HandleFunc("/v1/sessions/import", s.handleSessionImport)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/livez", s.handleLivez)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -187,12 +227,107 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(out)
 }
 
+// handleHealthz is READINESS: it answers 503 the moment the server stops
+// being a correct routing target (draining refuses admission with 503s), so
+// a router health-checking this endpoint never places a session on a worker
+// that will refuse it. The pre-build window is covered by StartupGate,
+// which answers 503 here until New has finished building the replicas.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.mx.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleLivez is LIVENESS: 200 whenever the process can answer at all —
+// including while draining, when readiness is already 503. Supervisors
+// restart on livez failures and stop routing on healthz failures.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleSessionExport serves the latest migration checkpoint of a live
+// session as a wire-format blob; X-FT2-Checkpoint-Tokens carries how many
+// tokens it covers. 404 when export is disabled, the session is unknown, or
+// it already settled (its checkpoint dies with it).
+func (s *Server) handleSessionExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.ExportStride <= 0 {
+		s.writeError(w, &apiError{Status: 404, Msg: "serve: session export disabled (-export-stride 0)"}, false)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		s.writeError(w, badRequest("missing id parameter"), false)
+		return
+	}
+	e, ok := s.sch.exportFor(id)
+	if !ok {
+		s.writeError(w, &apiError{Status: 404, Msg: fmt.Sprintf("serve: no checkpoint for session %q", id)}, false)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-FT2-Checkpoint-Tokens", fmt.Sprint(e.tokens))
+	w.Write(e.blob)
+}
+
+// ImportRequest is the POST /v1/sessions/import body: a wire-format blob
+// (base64 in JSON, per Go []byte marshaling) plus the generation's original
+// total token budget. The worker adopts the snapshot and streams the
+// remaining max_tokens_total − checkpointed tokens as NDJSON — the indices
+// continue the original stream, so a router relays the suffix verbatim.
+type ImportRequest struct {
+	SessionID      string `json:"session_id"`
+	MaxTokensTotal int    `json:"max_tokens_total"`
+	StopAtEOS      bool   `json:"stop_at_eos,omitempty"`
+	DeadlineMS     int    `json:"deadline_ms,omitempty"`
+	Snapshot       []byte `json:"snapshot"`
+}
+
+func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var ir ImportRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ir); err != nil {
+		s.writeError(w, badRequest("invalid import body: %v", err), true)
+		return
+	}
+	if ir.SessionID == "" {
+		s.writeError(w, badRequest("import requires session_id"), true)
+		return
+	}
+	snap, fk, err := wire.DecodeSessionFor(ir.Snapshot, s.cfg.ModelCfg)
+	if err != nil {
+		s.writeError(w, badRequest("snapshot rejected: %v", err), true)
+		return
+	}
+	remaining := ir.MaxTokensTotal - snap.NextStep()
+	if err := validateAdoptable(snap, s.cfg.ModelCfg, remaining); err != nil {
+		s.writeError(w, err, true)
+		return
+	}
+	req := Request{
+		SessionID:  ir.SessionID,
+		MaxTokens:  remaining,
+		Protected:  fk != nil,
+		Stream:     true,
+		StopAtEOS:  ir.StopAtEOS,
+		DeadlineMS: ir.DeadlineMS,
+	}
+	sess, err := s.sch.submitAdopted(r.Context(), req, snap, fk, adoptImport)
+	if err != nil {
+		s.writeError(w, err, true)
+		return
+	}
+	s.streamResponse(w, r, sess)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -46,6 +46,14 @@ type metrics struct {
 	hybridMu   sync.Mutex
 	hybrid     core.HybridCounts
 
+	// Cluster / durability telemetry: migration checkpoints captured for
+	// /v1/sessions/export, sessions adopted via /v1/sessions/import, and the
+	// spill-dir parking pair (spilled at settle, restored on Resume).
+	ckptExports  atomic.Int64
+	sessImported atomic.Int64
+	sessSpilled  atomic.Int64
+	sessRestored atomic.Int64
+
 	tokenLat  *latencyRing // per-decode-step latency
 	queueLat  *latencyRing // admission → first slice
 	reqLat    *latencyRing // admission → settled
@@ -78,13 +86,17 @@ func (m *metrics) addHybrid(c core.HybridCounts) {
 	m.hybridMu.Unlock()
 }
 
-func (m *metrics) addCorrections(st core.ForkState) {
+// addCorrections accumulates a settled session's correction counters minus
+// the base it was adopted with, so a migrated or resumed session — whose
+// ForkState counters are cumulative across processes by design — only adds
+// the corrections this process actually performed.
+func (m *metrics) addCorrections(st, base core.ForkState) {
 	m.corrMu.Lock()
 	for k, c := range st.ByKind {
-		m.corrByKind[k].OutOfBound += c.OutOfBound
-		m.corrByKind[k].NaN += c.NaN
+		m.corrByKind[k].OutOfBound += c.OutOfBound - base.ByKind[k].OutOfBound
+		m.corrByKind[k].NaN += c.NaN - base.ByKind[k].NaN
 	}
-	m.firstTokenNaN += int64(st.FirstTokenNaN)
+	m.firstTokenNaN += int64(st.FirstTokenNaN - base.FirstTokenNaN)
 	m.corrMu.Unlock()
 }
 
@@ -221,6 +233,10 @@ func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, b
 		fmt.Fprintf(w, "ft2serve_prefix_bytes %d\n", prefixS.Bytes)
 		fmt.Fprintf(w, "ft2serve_prefix_budget_bytes %d\n", prefixS.Budget)
 	}
+	fmt.Fprintf(w, "ft2serve_checkpoint_exports_total %d\n", m.ckptExports.Load())
+	fmt.Fprintf(w, "ft2serve_sessions_imported_total %d\n", m.sessImported.Load())
+	fmt.Fprintf(w, "ft2serve_sessions_spilled_total %d\n", m.sessSpilled.Load())
+	fmt.Fprintf(w, "ft2serve_sessions_restored_total %d\n", m.sessRestored.Load())
 	fmt.Fprintf(w, "ft2serve_replica_rebuilds_total %d\n", m.rebuilds.Load())
 	if chaosC != nil {
 		fmt.Fprintf(w, "ft2serve_chaos_injected_total{target=\"activation\"} %d\n", chaosC.InjectedActivation)

@@ -44,6 +44,16 @@ type Request struct {
 	// DeadlineMS overrides the server's default per-request deadline,
 	// measured from admission (0 = server default).
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// SessionID names the session for the cluster features: with the server's
+	// ExportStride set it keys the migration checkpoints served by
+	// /v1/sessions/export, and with SpillDir set the finished session is
+	// parked to disk under this id for a later Resume. Empty opts out of both.
+	SessionID string `json:"session_id,omitempty"`
+	// Resume restores the parked session SessionID from the server's spill
+	// directory (400/404 errors when parking is off or the id is unknown) and
+	// generates MaxTokens further tokens from exactly where it stopped. A
+	// resume request carries no prompt — the parked state is the prompt.
+	Resume bool `json:"resume,omitempty"`
 }
 
 // KindCorrections reports the corrections FT2 applied on one layer kind.

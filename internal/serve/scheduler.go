@@ -30,7 +30,7 @@ type scheduler struct {
 	cfg    Config
 	pool   *pool
 	mx     *metrics
-	chaos  *chaos.Engine     // nil when chaos is off
+	chaos  *chaos.Engine      // nil when chaos is off
 	prefix *prefixcache.Cache // nil when the prefix cache is off
 
 	nextID atomic.Int64 // session ids for the chaos journal
@@ -44,6 +44,13 @@ type scheduler struct {
 
 	sessions   map[*Session]struct{} // admitted, not yet finished
 	sessionsMu sync.Mutex
+
+	// Migration checkpoints: latest wire-format blob per session id, written
+	// by the owning worker at the export stride and served by
+	// /v1/sessions/export. Entries die with their session's settle — a live
+	// checkpoint is only useful while the generation is in flight.
+	exportMu sync.Mutex
+	exports  map[string]exportEntry
 
 	inflight       sync.WaitGroup // admitted sessions not yet finished
 	workers        sync.WaitGroup
@@ -63,6 +70,7 @@ func newScheduler(cfg Config, pool *pool, mx *metrics, eng *chaos.Engine) *sched
 		slots:          make(chan struct{}, cfg.MaxSessions),
 		states:         make(chan *model.DecodeState, cfg.MaxSessions),
 		sessions:       make(map[*Session]struct{}),
+		exports:        make(map[string]exportEntry),
 		dispatcherDone: make(chan struct{}),
 	}
 	if cfg.PrefixCacheMB > 0 {
@@ -80,21 +88,36 @@ func newScheduler(cfg Config, pool *pool, mx *metrics, eng *chaos.Engine) *sched
 // session is already circulating. Fails fast with ErrQueueFull or
 // ErrDraining.
 func (sch *scheduler) submit(ctx context.Context, req Request, prompt []int) (*Session, error) {
+	return sch.admitSession(ctx, req, prompt, nil, nil, adoptNone)
+}
+
+// submitAdopted admits a session that restores a decoded snapshot (plus the
+// protected fork state, when present) instead of prefilling a prompt — the
+// entry for live-migration imports and spill-dir resumes. req.MaxTokens is
+// the number of tokens still to generate from the snapshot's resume point.
+func (sch *scheduler) submitAdopted(ctx context.Context, req Request, snap *model.Snapshot, fk *core.ForkState, kind adoptKind) (*Session, error) {
+	return sch.admitSession(ctx, req, nil, snap, fk, kind)
+}
+
+func (sch *scheduler) admitSession(ctx context.Context, req Request, prompt []int, snap *model.Snapshot, fk *core.ForkState, kind adoptKind) (*Session, error) {
 	deadline := sch.cfg.DefaultDeadline
 	if req.DeadlineMS > 0 {
 		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
 	sctx, cancel := context.WithTimeout(ctx, deadline)
 	s := &Session{
-		req:      req,
-		prompt:   prompt,
-		ctx:      sctx,
-		cancel:   cancel,
-		out:      make([]int, 0, req.MaxTokens),
-		tokens:   make(chan int, req.MaxTokens),
-		done:     make(chan struct{}),
-		admitted: time.Now(),
-		id:       sch.nextID.Add(1),
+		req:       req,
+		prompt:    prompt,
+		ctx:       sctx,
+		cancel:    cancel,
+		out:       make([]int, 0, req.MaxTokens),
+		tokens:    make(chan int, req.MaxTokens),
+		done:      make(chan struct{}),
+		admitted:  time.Now(),
+		id:        sch.nextID.Add(1),
+		adoptSnap: snap,
+		adoptFT:   fk,
+		adoptKind: kind,
 	}
 
 	sch.mu.RLock()
@@ -185,7 +208,18 @@ gather:
 			continue
 		}
 		budget := sch.cfg.SliceSteps
-		if !s.started {
+		if !s.started && s.adoptSnap != nil {
+			// Adopted session (migration import / spill resume): restore the
+			// snapshot instead of prefilling. Restore is a handful of copies,
+			// so it does not consume a slice step.
+			if err := sch.adoptGuarded(r, s); err != nil {
+				sch.settle(s, err)
+				if errStatus(err) == 500 {
+					r = sch.replaceReplica(r)
+				}
+				continue
+			}
+		} else if !s.started {
 			done, finished, err := sch.prefillGuarded(r, s)
 			if err != nil {
 				sch.settle(s, err)
@@ -204,6 +238,7 @@ gather:
 				continue
 			}
 			if finished {
+				sch.maybeSpill(r, s)
 				sch.settle(s, nil)
 				continue
 			}
@@ -477,6 +512,13 @@ func (sch *scheduler) prefillGuarded(r *replica, s *Session) (done, finished boo
 		// clear them.
 		s.ftState = f.CaptureForkState()
 	}
+	if sch.exporting(s) && !s.finishedAfter(tok) {
+		// Seed the migration checkpoint right after the first token, so a
+		// router that loses this worker early in the generation can already
+		// migrate instead of replaying the whole prefill.
+		sch.captureExport(r, s)
+		s.lastExport = 1
+	}
 	if sch.prefix != nil && s.insert {
 		snap := &model.Snapshot{}
 		m.Checkpoint(snap)
@@ -524,7 +566,7 @@ func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
 				continue
 			}
 			if cerr := s.checkCtx(); cerr != nil {
-				sch.finishInGroup(g, i, cerr)
+				sch.finishInGroup(r, g, i, cerr)
 			}
 		}
 		g.idx = g.idx[:0]
@@ -588,7 +630,21 @@ func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
 			sch.mx.tokensTotal.Add(1)
 			g.rem[i]--
 			if s.finishedAfter(s.lastTok) {
-				sch.finishInGroup(g, i, nil)
+				sch.finishInGroup(r, g, i, nil)
+				continue
+			}
+			if sch.exporting(s) {
+				// The checkpoint covering the token just emitted is captured
+				// before the next step can emit another (same goroutine), so
+				// a router that has seen token k can always fetch a
+				// checkpoint within one stride of k.
+				if total := s.state.Step() + 1; total-s.lastExport >= sch.cfg.ExportStride {
+					if g.ctls[i] != nil {
+						s.syncFT2(g.ctls[i])
+					}
+					sch.captureExport(r, s)
+					s.lastExport = total
+				}
 			}
 		}
 	}
@@ -608,12 +664,17 @@ func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
 }
 
 // finishInGroup settles a session mid-slice and removes it from the group.
-func (sch *scheduler) finishInGroup(g *group, i int, err error) {
+// Successful finishes park the session to the spill dir first (while the
+// worker still holds the replica its state can be checkpointed on).
+func (sch *scheduler) finishInGroup(r *replica, g *group, i int, err error) {
 	s := g.sessions[i]
 	if g.ctls[i] != nil {
 		s.syncFT2(g.ctls[i])
 	}
 	g.sessions[i] = nil
+	if err == nil {
+		sch.maybeSpill(r, s)
+	}
 	sch.settle(s, err)
 }
 
@@ -657,6 +718,12 @@ func (sch *scheduler) settle(s *Session, err error) {
 	delete(sch.sessions, s)
 	sch.sessionsMu.Unlock()
 
+	if sch.exporting(s) {
+		sch.exportMu.Lock()
+		delete(sch.exports, s.req.SessionID)
+		sch.exportMu.Unlock()
+	}
+
 	status := 200
 	if s.err != nil {
 		status = errStatus(s.err)
@@ -664,7 +731,7 @@ func (sch *scheduler) settle(s *Session, err error) {
 	sch.mx.incStatus(status)
 	sch.mx.reqLat.observe(msSince(s.admitted, time.Now()))
 	if s.req.Protected {
-		sch.mx.addCorrections(s.ftState)
+		sch.mx.addCorrections(s.ftState, s.corrBase)
 	}
 	if s.suspect {
 		sch.mx.sdcSuspect.Add(1)

@@ -107,7 +107,25 @@ type Config struct {
 	// the grain to 64 (cached FT2 partials are frozen at chunk boundaries,
 	// so protected cache hits need a finite grain).
 	PrefillChunk int
+	// ExportStride enables live-migration checkpoints for sessions that
+	// carry a session_id: every ExportStride emitted tokens (plus once right
+	// after the first token) the scheduler captures the session's state into
+	// a wire-format blob served by GET /v1/sessions/export, so a router can
+	// restore the session elsewhere if this worker dies. 0 disables export.
+	ExportStride int
+	// SpillDir enables durable session parking: a successfully finished
+	// session that carried a session_id has its final state written to
+	// <SpillDir>/<hash>.ft2s in the wire format, and a later request with
+	// {"resume":true,"session_id":...} — to this process or a restarted one
+	// — restores it and generates MaxTokens further tokens. "" disables.
+	SpillDir string
 }
+
+// WithDefaults resolves the configuration exactly as New does — the
+// harnesses that drive Oracle against a config without building a Server
+// (the router selftest, the cluster bench) use it to get the effective
+// FT2Opts and model config.
+func (c Config) WithDefaults() (Config, error) { return c.withDefaults() }
 
 // withDefaults resolves the config, returning the effective values.
 func (c Config) withDefaults() (Config, error) {
@@ -163,6 +181,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.PrefixCacheMB > 0 && c.PrefillChunk <= 0 {
 		c.PrefillChunk = 64
+	}
+	if c.ExportStride < 0 {
+		c.ExportStride = 0
 	}
 	return c, nil
 }

@@ -54,7 +54,31 @@ type Session struct {
 	// group), so its output may silently diverge from the oracle.
 	id      int64
 	suspect bool
+
+	// Adoption (migration import / spill resume): instead of prefilling a
+	// prompt, the session's first slice restores adoptSnap (and, when
+	// protected, adoptFT) into its state and decodes from there. corrBase
+	// holds the correction counters the state arrived with, so server-level
+	// metrics only accumulate this process's delta while the response stays
+	// cumulative. lastExport and exportSnap drive the checkpoint-export
+	// stride; exportSnap is reused across captures.
+	adoptSnap  *model.Snapshot
+	adoptFT    *core.ForkState
+	adoptKind  adoptKind
+	corrBase   core.ForkState
+	lastExport int
+	exportSnap *model.Snapshot
 }
+
+// adoptKind distinguishes how an adopted session's state arrived, for the
+// restored/imported metrics split.
+type adoptKind int
+
+const (
+	adoptNone   adoptKind = iota
+	adoptImport           // POST /v1/sessions/import (live migration)
+	adoptSpill            // Resume from the spill directory (durable parking)
+)
 
 // Tokens streams the generated token ids in order; the channel is closed
 // when the session finishes (successfully or not).

@@ -1,0 +1,306 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"ft2/internal/core"
+	"ft2/internal/model"
+	"ft2/internal/numerics"
+)
+
+// One small zoo model per family: the round-trip battery must cover every
+// architecture the wire format can carry.
+var familyModels = []string{"opt-2.7b-sim", "gptj-6b-sim", "qwen2-1.5b-sim"}
+
+func testPrompt() []int {
+	p := make([]int, 12)
+	for i := range p {
+		p[i] = (i*37 + 5) % 384
+	}
+	return p
+}
+
+// captureSession runs a protected generation a few steps past prefill and
+// returns the model config, the live model (positioned mid-generation), its
+// checkpoint, and the captured fork state.
+func captureSession(t *testing.T, name string, steps int) (model.Config, *model.Model, *model.Snapshot, core.ForkState) {
+	t.Helper()
+	cfg, err := model.ConfigByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New(cfg, 7, numerics.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := core.New(m, core.Defaults())
+	f.Reset()
+	f.Install()
+	tok := m.Prefill(testPrompt())
+	for i := 0; i < steps; i++ {
+		tok = m.DecodeStep(tok)
+	}
+	snap := &model.Snapshot{}
+	m.Checkpoint(snap)
+	return cfg, m, snap, f.CaptureForkState()
+}
+
+func encodeSession(t *testing.T, name string) ([]byte, model.Config) {
+	t.Helper()
+	cfg, _, snap, fk := captureSession(t, name, 4)
+	blob, err := EncodeSession(snap, &fk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, cfg
+}
+
+// TestRoundTripBitIdentity is the core contract: for every model family,
+// encode→decode→encode reproduces the same bytes, the decoded fork state
+// matches field for field, and a fresh model restored from the decoded
+// snapshot continues the generation bit-identically to the original.
+func TestRoundTripBitIdentity(t *testing.T) {
+	const extra = 12
+	for _, name := range familyModels {
+		t.Run(name, func(t *testing.T) {
+			cfg, m, snap, fk := captureSession(t, name, 4)
+			blob, err := EncodeSession(snap, &fk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap2, fk2, err := DecodeSession(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fk2 == nil {
+				t.Fatal("fork state dropped in round trip")
+			}
+			if fk2.FirstTokenNaN != fk.FirstTokenNaN || fk2.Stats != fk.Stats || fk2.ByKind != fk.ByKind {
+				t.Fatalf("fork counters changed: %+v != %+v", fk2, fk)
+			}
+			got, want := fk2.Bounds.SortedEntries(), fk.Bounds.SortedEntries()
+			if len(got) != len(want) {
+				t.Fatalf("bounds entries %d != %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("bounds entry %d changed: %+v != %+v", i, got[i], want[i])
+				}
+			}
+			blob2, err := EncodeSession(snap2, fk2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Fatal("re-encoding the decoded session is not bit-identical")
+			}
+
+			// Continue the original generation, then replay it from the
+			// decoded snapshot on a fresh protected model.
+			tok := snap.LastToken()
+			var ref []int
+			for i := 0; i < extra; i++ {
+				tok = m.DecodeStep(tok)
+				ref = append(ref, tok)
+			}
+			m2, err := model.New(cfg, 7, numerics.FP16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f2 := core.New(m2, core.Defaults())
+			f2.ResumeFork(*fk2)
+			f2.Install()
+			tok = m2.Restore(snap2)
+			for i := 0; i < extra; i++ {
+				tok = m2.DecodeStep(tok)
+				if tok != ref[i] {
+					t.Fatalf("restored continuation diverged at step %d: %d != %d", i, tok, ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBareSessionRoundTrip checks the unprotected path: no fork state in,
+// none out.
+func TestBareSessionRoundTrip(t *testing.T) {
+	_, _, snap, _ := captureSession(t, "qwen2-1.5b-sim", 3)
+	blob, err := EncodeSession(snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, fk, err := DecodeSession(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fk != nil {
+		t.Fatal("bare session decoded with a fork state")
+	}
+	if snap2.NextStep() != snap.NextStep() || snap2.LastToken() != snap.LastToken() || snap2.Rows() != snap.Rows() {
+		t.Fatalf("snapshot bookkeeping changed: step %d tok %d rows %d", snap2.NextStep(), snap2.LastToken(), snap2.Rows())
+	}
+}
+
+func TestEmptySnapshotRejected(t *testing.T) {
+	if _, err := EncodeSession(&model.Snapshot{}, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty snapshot: got %v, want ErrMalformed", err)
+	}
+	if _, err := EncodeSession(nil, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("nil snapshot: got %v, want ErrMalformed", err)
+	}
+}
+
+// TestTruncation decodes every proper prefix of a valid blob: each must
+// fail with a typed error and never panic.
+func TestTruncation(t *testing.T) {
+	blob, _ := encodeSession(t, "qwen2-1.5b-sim")
+	for n := 0; n < len(blob); n++ {
+		_, _, err := DecodeSession(blob[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrMalformed) &&
+			!errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("truncation to %d bytes: untyped error %v", n, err)
+		}
+	}
+}
+
+// TestBitFlips flips one bit in every byte of a valid blob: the CRC (or an
+// earlier header check) must reject every corruption.
+func TestBitFlips(t *testing.T) {
+	blob, _ := encodeSession(t, "qwen2-1.5b-sim")
+	mut := make([]byte, len(blob))
+	for i := 0; i < len(blob); i++ {
+		copy(mut, blob)
+		mut[i] ^= 1 << (i % 8)
+		if _, _, err := DecodeSession(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully", i)
+		}
+	}
+}
+
+func TestVersionBump(t *testing.T) {
+	blob, _ := encodeSession(t, "qwen2-1.5b-sim")
+	mut := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint16(mut[4:], Version+1)
+	fixCRC(mut)
+	if _, _, err := DecodeSession(mut); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version bump: got %v, want ErrVersion", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	blob, _ := encodeSession(t, "qwen2-1.5b-sim")
+	mut := append([]byte(nil), blob...)
+	mut[0] = 'X'
+	if _, _, err := DecodeSession(mut); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTrailingGarbage(t *testing.T) {
+	blob, _ := encodeSession(t, "qwen2-1.5b-sim")
+	if _, _, err := DecodeSession(append(append([]byte(nil), blob...), 0)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("trailing garbage: got %v, want ErrTruncated", err)
+	}
+}
+
+// TestHeaderFingerprintLie rewrites the header fingerprint (CRC fixed up):
+// the decoder must notice it disagrees with the payload's architecture.
+func TestHeaderFingerprintLie(t *testing.T) {
+	blob, _ := encodeSession(t, "qwen2-1.5b-sim")
+	mut := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(mut[8:], 0xdeadbeef)
+	fixCRC(mut)
+	if _, _, err := DecodeSession(mut); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("fingerprint lie: got %v, want ErrMalformed", err)
+	}
+}
+
+// TestWrongFamily rejects adopting a blob captured from a different
+// architecture before the payload is decoded.
+func TestWrongFamily(t *testing.T) {
+	blob, _ := encodeSession(t, "opt-2.7b-sim")
+	other, err := model.ConfigByName("qwen2-1.5b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeSessionFor(blob, other); !errors.Is(err, ErrArchMismatch) {
+		t.Fatalf("wrong family: got %v, want ErrArchMismatch", err)
+	}
+	own, err := model.ConfigByName("opt-2.7b-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeSessionFor(blob, own); err != nil {
+		t.Fatalf("matching family rejected: %v", err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	blob, cfg := encodeSession(t, "gptj-6b-sim")
+	h, err := Inspect(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != Version || !h.HasFork || h.Fingerprint != cfg.ArchFingerprint() {
+		t.Fatalf("bad header %+v", h)
+	}
+	if h.PayloadLen != len(blob)-28 {
+		t.Fatalf("payload length %d, blob %d", h.PayloadLen, len(blob))
+	}
+}
+
+// FuzzDecodeSession is the never-panic property: any byte soup must come
+// back as an error or a valid session, no panics, no unbounded allocation.
+func FuzzDecodeSession(f *testing.F) {
+	cfg, _, snap, fk := captureSessionF(f)
+	blob, err := EncodeSession(snap, &fk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte{})
+	f.Add(blob[:28])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, _, err := DecodeSession(data)
+		if err == nil {
+			if err := snap.Compatible(cfg); err == nil {
+				_ = snap.Rows()
+			}
+		}
+	})
+}
+
+// captureSessionF is captureSession for fuzz seeds (testing.F lacks the
+// *testing.T helpers).
+func captureSessionF(f *testing.F) (model.Config, *model.Model, *model.Snapshot, core.ForkState) {
+	cfg, err := model.ConfigByName("qwen2-1.5b-sim")
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, err := model.New(cfg, 7, numerics.FP16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ctl := core.New(m, core.Defaults())
+	ctl.Reset()
+	ctl.Install()
+	tok := m.Prefill(testPrompt())
+	for i := 0; i < 3; i++ {
+		tok = m.DecodeStep(tok)
+	}
+	snap := &model.Snapshot{}
+	m.Checkpoint(snap)
+	return cfg, m, snap, ctl.CaptureForkState()
+}
+
+func fixCRC(blob []byte) {
+	binary.LittleEndian.PutUint32(blob[len(blob)-4:], crc32.ChecksumIEEE(blob[:len(blob)-4]))
+}

@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Cluster smoke test for ft2router: first the in-process selftest (3 spawned
+# workers, SIGKILL storm, every session bit-identical to the oracle), then a
+# live cluster of real processes — two ft2serve workers fronted by an
+# ft2router — where the worker actually driving a streaming session is
+# SIGKILLed mid-generation. The client stream must complete, its tokens must
+# match a calm rerun bit for bit, and the router metrics must show the
+# migration and zero failed sessions. Durable session parking (-spill-dir)
+# is exercised across a worker restart at the end.
+#
+# Usage: scripts/router_smoke.sh
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]}"; do kill -KILL "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cd "$(dirname "$0")/.."
+go build -o "$WORK/ft2serve" ./cmd/ft2serve
+go build -o "$WORK/ft2router" ./cmd/ft2router
+
+echo "== router selftest: 3-worker kill storm vs the GenerateInto oracle"
+"$WORK/ft2router" -selftest -worker-bin "$WORK/ft2serve" \
+    -requests 32 -clients 6 -kill-every 700ms >/dev/null
+
+# wait_addr LOGFILE PID — blocks until the ready line appears, prints the URL
+wait_addr() {
+    local log="$1" pid="$2" base=""
+    for _ in $(seq 150); do
+        base="$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$log" | head -1)"
+        [ -n "$base" ] && { echo "$base"; return 0; }
+        kill -0 "$pid" 2>/dev/null || { echo "process died on startup" >&2; cat "$log" >&2; return 1; }
+        sleep 0.2
+    done
+    echo "never printed its address" >&2; cat "$log" >&2; return 1
+}
+
+start_worker() { # start_worker NAME [extra flags...] -> writes $WORK/NAME.{log,url,pid}
+    local name="$1"; shift
+    "$WORK/ft2serve" -model qwen2-1.5b-sim -addr "${ADDR:-127.0.0.1:0}" \
+        -replicas 1 -throttle 15ms -export-stride 4 -spill-dir "$WORK/spill" "$@" \
+        >"$WORK/$name.log" 2>&1 &
+    local pid=$!
+    disown "$pid" 2>/dev/null || true # workers are SIGKILLed on purpose; keep bash quiet about it
+    PIDS+=("$pid")
+    echo "$pid" >"$WORK/$name.pid"
+    wait_addr "$WORK/$name.log" "$pid" >"$WORK/$name.url"
+}
+
+echo "== live cluster: 2 workers + router, all real processes"
+start_worker wa
+start_worker wb
+WA="$(cat "$WORK/wa.url")"; WB="$(cat "$WORK/wb.url")"
+echo "   workers at $WA and $WB"
+
+"$WORK/ft2router" -addr 127.0.0.1:0 -workers "$WA,$WB" \
+    -probe-interval 100ms -fetch-every 3 >"$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+PIDS+=("$ROUTER_PID")
+RT="$(wait_addr "$WORK/router.log" "$ROUTER_PID")"
+echo "   router at $RT"
+
+for _ in $(seq 50); do
+    curl -sf "$RT/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "$RT/healthz" | grep -q 'ok 2/2' || { echo "FAIL: router healthz"; exit 1; }
+curl -sf "$RT/livez" | grep -q ok || { echo "FAIL: router livez"; exit 1; }
+curl -sf "$RT/v1/models" | grep -q qwen2-1.5b-sim || { echo "FAIL: models passthrough"; exit 1; }
+
+GEN='{"dataset":"squad-sim","input":0,"max_tokens":40,"protected":true,"stream":true'
+
+echo "== calm baseline stream through the router"
+curl -sf "$RT/v1/generate" -d "$GEN,\"session_id\":\"calm\"}" >"$WORK/calm.ndjson"
+grep -o '"token":[0-9]*' "$WORK/calm.ndjson" >"$WORK/calm.toks"
+[ "$(wc -l <"$WORK/calm.toks")" -eq 40 ] || { echo "FAIL: baseline produced $(wc -l <"$WORK/calm.toks") tokens"; exit 1; }
+
+# exports_of URL — the worker's checkpoint-export counter (0 if unreachable)
+exports_of() {
+    curl -sf "$1/metrics" 2>/dev/null | sed -n 's/^ft2serve_checkpoint_exports_total \([0-9]*\)$/\1/p' || echo 0
+}
+
+kill_serving_round() { # kill_serving_round ROUND — SIGKILL the worker driving session kill-ROUND
+    local round="$1" ea0 eb0
+    # Snapshot the export counters first: the worker whose counter moves
+    # during the request is the one actually driving the session.
+    ea0="$(exports_of "$WA")"; eb0="$(exports_of "$WB")"
+    curl -sf "$RT/v1/generate" -d "$GEN,\"session_id\":\"kill-$round\"}" >"$WORK/kill$round.ndjson" &
+    local REQ=$!
+    sleep 0.4   # a dozen tokens in at 15ms/token; checkpoints captured and fetched
+    local ea eb victim vname
+    ea="$(exports_of "$WA")"; eb="$(exports_of "$WB")"
+    if [ "$((${ea:-0} - ${ea0:-0}))" -ge "$((${eb:-0} - ${eb0:-0}))" ]; then
+        victim="$(cat "$WORK/wa.pid")"; vname=wa
+    else
+        victim="$(cat "$WORK/wb.pid")"; vname=wb
+    fi
+    echo "   round $round: SIGKILL $vname (export deltas wa=$((${ea:-0}-${ea0:-0})) wb=$((${eb:-0}-${eb0:-0})))"
+    kill -KILL "$victim"
+    wait "$REQ" || { echo "FAIL: round $round stream failed after the kill"; cat "$WORK/router.log"; exit 1; }
+    grep -o '"token":[0-9]*' "$WORK/kill$round.ndjson" >"$WORK/kill$round.toks"
+    cmp -s "$WORK/calm.toks" "$WORK/kill$round.toks" || {
+        echo "FAIL: round $round tokens diverged from the calm baseline"
+        diff "$WORK/calm.toks" "$WORK/kill$round.toks" | head; exit 1; }
+    grep -q '"done":true' "$WORK/kill$round.ndjson" || { echo "FAIL: round $round missing done line"; exit 1; }
+    # Respawn the victim on its old port so the next round has two workers.
+    local url; url="$(cat "$WORK/$vname.url")"
+    ADDR="${url#http://}" start_worker "$vname"
+    for _ in $(seq 100); do
+        curl -sf "$(cat "$WORK/$vname.url")/healthz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+}
+
+echo "== kill the serving worker mid-stream, twice"
+kill_serving_round 1
+kill_serving_round 2
+
+echo "== router metrics: migrations happened, no session failed"
+curl -sf "$RT/metrics" >"$WORK/rmetrics.txt"
+mig="$(sed -n 's/^ft2router_migrations_total \([0-9]*\)$/\1/p' "$WORK/rmetrics.txt")"
+[ "${mig:-0}" -ge 2 ] || { echo "FAIL: expected >=2 migrations, got ${mig:-0}"; cat "$WORK/rmetrics.txt"; exit 1; }
+grep -q '^ft2router_sessions_failed_total 0$' "$WORK/rmetrics.txt" || {
+    echo "FAIL: sessions failed under the kill storm"; cat "$WORK/rmetrics.txt"; exit 1; }
+grep -q 'ft2router_migration_latency_ms{quantile="0.99"}' "$WORK/rmetrics.txt" || {
+    echo "FAIL: no migration latency quantiles"; exit 1; }
+
+echo "== durable parking: spill on one process, resume on its replacement"
+WAURL="$(cat "$WORK/wa.url")"
+curl -sf "$WAURL/v1/generate" \
+    -d '{"dataset":"squad-sim","input":2,"max_tokens":10,"protected":true,"session_id":"parked"}' \
+    >"$WORK/park1.json"
+grep -q '"tokens":\[' "$WORK/park1.json" || { echo "FAIL: parking generation failed"; exit 1; }
+curl -sf "$WAURL/metrics" | grep -q '^ft2serve_sessions_spilled_total [1-9]' || {
+    echo "FAIL: session was not spilled"; exit 1; }
+kill -KILL "$(cat "$WORK/wa.pid")"
+ADDR="$(sed 's#http://##' "$WORK/wa.url")" start_worker wa
+for _ in $(seq 100); do
+    curl -sf "$WAURL/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "$WAURL/v1/generate" \
+    -d '{"resume":true,"session_id":"parked","max_tokens":10}' >"$WORK/park2.json"
+grep -q '"tokens":\[' "$WORK/park2.json" || { echo "FAIL: resume after restart failed"; cat "$WORK/park2.json"; exit 1; }
+grep -q '"protected":true' "$WORK/park2.json" || { echo "FAIL: resumed session lost protection"; exit 1; }
+curl -sf "$WAURL/metrics" | grep -q '^ft2serve_sessions_restored_total 1$' || {
+    echo "FAIL: restore counter missing"; exit 1; }
+
+echo "== router shuts down cleanly"
+kill -TERM "$ROUTER_PID"
+status=0
+wait "$ROUTER_PID" || status=$?
+[ "$status" -eq 0 ] || { echo "FAIL: router exited $status"; cat "$WORK/router.log"; exit 1; }
+
+echo "PASS: router smoke — kill-storm selftest, live mid-stream migration, parking across restart"
