@@ -14,8 +14,10 @@ test:
 # The race detector pass covers the packages with goroutine fan-out: the
 # tensor kernels' pooled parallel paths, the campaign worker pool, and the
 # serving scheduler with its shared read-only bounds store. race-mp repeats
-# it at GOMAXPROCS=4 so the worker-pool and batched-decode paths run with
-# real scheduler preemption even on single-core runners.
+# it at GOMAXPROCS=4 — adding internal/model so the mixed-phase fused-forward
+# battery (co-batched prefill+decode with the per-(session×head) attention
+# fan-out on pool workers) runs with real scheduler preemption even on
+# single-core runners.
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/campaign/... ./internal/serve/... ./internal/wire/... ./internal/router/...
 

@@ -40,7 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "base seed")
 	quick := flag.Bool("quick", false, "use the quick (smoke-test) sizes")
 	benchJSON := flag.String("bench-json", "", "measure decode and campaign throughput, write the JSON report to this path, and exit")
-	benchSections := flag.String("sections", "", "with -bench-json: recompute only these comma-separated sections (cluster, chaos, prefix) of an existing report")
+	benchSections := flag.String("sections", "", "with -bench-json: recompute only these comma-separated sections (serve, cluster, chaos, prefix) of an existing report")
 	perfguard := flag.Bool("perfguard", false, "run the CI performance guard (P=4 decode must not lose to P=1; decode must not allocate) and exit")
 	kernelCal := flag.String("kernel-cal", "", "kernel cost-model calibration file (cmd/calibrate -kernels); empty = micro-calibrate at startup of bench modes")
 	cf := cliutil.RegisterCampaign(flag.CommandLine)

@@ -40,10 +40,31 @@ type arena struct {
 	rowOut *tensor.Tensor
 	rowIn  *tensor.Tensor
 
-	scores    []float32 // attention score row, maxSeq
+	scores    []float32 // attention score row, maxSeq (single-session path)
 	positions []int     // absolute positions for Generate, maxSeq
 	stepTok   [1]int    // single-token slice for decode steps
 	stepPos   [1]int    // single-position slice for decode steps
+
+	// Fused mixed-phase batch layout (ForwardBatch): per-item first fused
+	// row, row count, absolute start position, pre-append KV row count for
+	// the current block, and the indices of items emitting a token this
+	// call. Reused across calls.
+	itemLo   []int
+	itemRows []int
+	itemPos  []int
+	itemBase []int
+	emitIdx  []int
+
+	// Parallel-attention fan-out state: the per-(item × head) scores
+	// scratch slab (maxSeq floats per unit, grown on demand), the operands
+	// the unit body reads, and the persistent closure handed to
+	// tensor.ParallelFor so steady-state fan-out allocates nothing.
+	attnScores []float32
+	attnItems  []BatchItem
+	attnQ      *tensor.Tensor
+	attnCtx    *tensor.Tensor
+	attnBlk    int
+	attnFn     func(lo, hi int)
 }
 
 func newArena(cfg Config) *arena {

@@ -7,78 +7,150 @@ import (
 	"ft2/internal/tensor"
 )
 
-// BatchItem is one session's slot in a DecodeStepBatch call: the session's
-// generation state, the token to feed it, and the forward hooks (fault
-// injectors, FT2 protection) to run against that session's rows only.
+// BatchItem is one session's slot in a ForwardBatch call. An item
+// contributes a *row range* to the fused activation matrix:
+//
+//   - a decoding session contributes 1 row — the token Tok fed at its next
+//     sequence position (Prefill nil);
+//   - a session mid-prefill contributes len(Prefill) rows — the next
+//     consecutive chunk of its prompt, starting at State.PrefillPos().
+//
+// Hooks run per layer invocation against a view of this item's row range of
+// the layer output, in order — exactly the tensor shape the session would
+// see decoding alone (1 row) or prefilling alone (C rows).
 type BatchItem struct {
 	State *DecodeState
 	Tok   int
-	// Hooks run per layer invocation against a one-row view of this
-	// session's slice of the layer output, in order — exactly what a
-	// model-level hook sees when the session decodes alone.
-	Hooks []Hook
+	// Prefill, when non-empty, marks this item as a prefill range: the
+	// consecutive prompt tokens starting at State.PrefillPos(). The item's
+	// State must be mid-prefill (BeginPrefill done, prompt rows left) and
+	// the chunk must not overrun the prompt.
+	Prefill []int
+	Hooks   []Hook
 }
 
-// DecodeStepBatch advances B independent sessions by one decode step each in
-// a single fused forward pass: the sessions' hidden states are stacked into
-// one B-row activation matrix, so every linear layer (attention projections,
-// MLP, LM head) streams its weight matrix once per step instead of once per
-// session. Attention stays per-session over each state's own KV slab.
+// prefilling reports whether the item carries a prefill row range.
+func (it *BatchItem) prefilling() bool { return len(it.Prefill) > 0 }
+
+// rows is the number of fused activation rows the item contributes.
+func (it *BatchItem) rows() int {
+	if it.prefilling() {
+		return len(it.Prefill)
+	}
+	return 1
+}
+
+// ForwardBatch advances B independent sessions — any mix of mid-prefill and
+// decoding — in a single fused forward pass: the sessions' rows are stacked
+// into one m=ΣC activation matrix, so every linear layer (attention
+// projections, MLP, LM head) streams its weight matrix exactly once per
+// call regardless of phase. Attention stays per-session over each state's
+// own KV slab, with causal masking inside multi-row prefill ranges, and
+// fans the (session × head) work units out over the resident tensor worker
+// pool when the kernel cost model predicts a win.
+//
+// One result is appended to dst per item, in order: the decoded token for a
+// decode row, the first token for a prefill range that completes its
+// prompt, and -1 for a mid-prefill range (more chunks to come). Each item's
+// State advances exactly as DecodeStep / PrefillChunk would advance it.
 //
 // Bit identity: every linear output row is an independent Dot(x-row, w-row)
 // with the same FP op order as the single-session kernel, normalization and
 // readout are computed row-by-row, and attention reads only the session's
-// own KV — so each session's decoded token (and its entire KV/state
-// evolution) is bit-identical to what a serial DecodeStep sequence produces.
-// The batch equivalence tests and `ft2serve -selftest` assert this.
+// own KV with the same per-row causal limit — so each session's tokens (and
+// its entire KV/state evolution) are bit-identical to a serial
+// Prefill/DecodeStep sequence no matter how its rows were co-batched. The
+// parallel attention fan-out assigns every (session, head) unit its own
+// scores scratch and a disjoint output slice, so worker count and
+// scheduling order cannot change a bit. The mixed-phase batch equivalence
+// tests and `ft2serve -selftest` assert this.
 //
-// The results are appended to dst (one token per item, in order) and each
-// item's State advances exactly as DecodeStep would advance it. Per-session
-// hooks ride on BatchItem.Hooks; model-level hooks registered with
-// RegisterHook cannot be attributed to a session and make the call panic.
-// Duplicate States within one call are a caller bug (the same KV slab would
-// be appended twice).
-func (m *Model) DecodeStepBatch(items []BatchItem, dst []int) []int {
+// Per-session hooks ride on BatchItem.Hooks; model-level hooks registered
+// with RegisterHook cannot be attributed to a session and make the call
+// panic. Duplicate States within one call are a caller bug (the same KV
+// slab would be appended twice).
+func (m *Model) ForwardBatch(items []BatchItem, dst []int) []int {
 	if len(items) == 0 {
-		panic("model: DecodeStepBatch with no items")
+		panic("model: ForwardBatch with no items")
 	}
 	if len(m.hooks) != 0 {
-		panic("model: DecodeStepBatch with model-level hooks registered; attach per-session hooks via BatchItem.Hooks")
+		panic("model: ForwardBatch with model-level hooks registered; attach per-session hooks via BatchItem.Hooks")
 	}
 	m.ensureRuntime()
 	for i := range items {
-		st := items[i].State
-		if !st.Started() {
-			panic("model: DecodeStepBatch item before Prefill or Restore")
-		}
+		it := &items[i]
+		st := it.State
 		m.checkCompatible(st)
+		if it.prefilling() {
+			if !st.Prefilling() {
+				panic("model: ForwardBatch prefill item without an open prefill")
+			}
+			if st.prefillPos+len(it.Prefill) > st.promptLen {
+				panic(fmt.Sprintf("model: prefill chunk overruns prompt (%d+%d > %d)",
+					st.prefillPos, len(it.Prefill), st.promptLen))
+			}
+			continue
+		}
+		if !st.Started() {
+			panic("model: ForwardBatch decode item before Prefill or Restore")
+		}
 		st.step++
 		if pos := st.pos(); pos >= m.Cfg.MaxSeq {
 			panic(fmt.Sprintf("model: decode position %d exceeds max seq %d", pos, m.Cfg.MaxSeq))
 		}
 	}
-	return m.decodeBatch(items, dst)
+	return m.forwardBatch(items, dst)
 }
 
-// decodeBatch is the fused forward pass over the stacked batch rows; items'
-// step counters are already advanced.
-func (m *Model) decodeBatch(items []BatchItem, dst []int) []int {
+// DecodeStepBatch advances B decoding sessions by one step each in a single
+// fused forward pass — ForwardBatch restricted to single-row decode items.
+// Kept as the stable decode-only entry point; prefill ranges must go
+// through ForwardBatch.
+func (m *Model) DecodeStepBatch(items []BatchItem, dst []int) []int {
+	for i := range items {
+		if items[i].prefilling() {
+			panic("model: DecodeStepBatch with a prefill item; use ForwardBatch")
+		}
+	}
+	return m.ForwardBatch(items, dst)
+}
+
+// forwardBatch is the fused forward pass over the stacked row ranges;
+// decode items' step counters are already advanced, prefill cursors are
+// advanced here after their rows are computed.
+func (m *Model) forwardBatch(items []BatchItem, dst []int) []int {
 	cfg := m.Cfg
 	sc := m.scratch
-	b := len(items)
 
-	x := sc.x.Reuse(b, cfg.Hidden)
-	for r := range items {
-		it := &items[r]
-		if it.Tok < 0 || it.Tok >= cfg.Vocab {
-			panic(fmt.Sprintf("model: token %d out of vocab %d", it.Tok, cfg.Vocab))
+	// Row-range layout: itemLo[i] is item i's first fused row, itemPos[i]
+	// the absolute sequence position of that row.
+	sc.itemLo = sc.itemLo[:0]
+	sc.itemRows = sc.itemRows[:0]
+	sc.itemPos = sc.itemPos[:0]
+	rows := 0
+	for i := range items {
+		it := &items[i]
+		r := it.rows()
+		pos := it.State.pos()
+		if it.prefilling() {
+			pos = it.State.prefillPos
 		}
-		copy(x.Row(r), m.embed.Row(it.Tok))
-		if cfg.Family == FamilyOPT {
-			row := x.Row(r)
-			for c, pv := range m.posEmb.Row(it.State.pos()) {
-				row[c] += pv
+		sc.itemLo = append(sc.itemLo, rows)
+		sc.itemRows = append(sc.itemRows, r)
+		sc.itemPos = append(sc.itemPos, pos)
+		rows += r
+	}
+
+	x := sc.x.Reuse(rows, cfg.Hidden)
+	for i := range items {
+		it := &items[i]
+		lo, pos := sc.itemLo[i], sc.itemPos[i]
+		if it.prefilling() {
+			for j, tok := range it.Prefill {
+				m.embedRow(x.Row(lo+j), tok, pos+j)
 			}
+		} else {
+			m.embedRow(x.Row(lo), it.Tok, pos)
 		}
 	}
 	x.Quantize(m.DType)
@@ -102,12 +174,34 @@ func (m *Model) decodeBatch(items []BatchItem, dst []int) []int {
 		x.Quantize(m.DType)
 	}
 
-	// Per-session readout: every batch row is that session's final position.
-	last := sc.lastB.Reuse(b, cfg.Hidden)
-	copy(last.Data, x.Data)
-	for r := range items {
-		it := &items[r]
-		row := last.Row(r)
+	// Advance prefill cursors now that their KV rows exist, and collect the
+	// items that emit a token this call: every decode item, plus prefill
+	// ranges whose chunk completed the prompt (their final row is the
+	// readout row — exactly the row a single-pass Prefill would read out).
+	sc.emitIdx = sc.emitIdx[:0]
+	for i := range items {
+		it := &items[i]
+		if it.prefilling() {
+			it.State.prefillPos += len(it.Prefill)
+			if it.State.prefillPos < it.State.promptLen {
+				continue
+			}
+		}
+		sc.emitIdx = append(sc.emitIdx, i)
+	}
+	if len(sc.emitIdx) == 0 {
+		for range items {
+			dst = append(dst, -1)
+		}
+		return dst
+	}
+
+	// Per-session readout over the emitting rows only.
+	last := sc.lastB.Reuse(len(sc.emitIdx), cfg.Hidden)
+	for e, i := range sc.emitIdx {
+		it := &items[i]
+		row := last.Row(e)
+		copy(row, x.Row(sc.itemLo[i]+sc.itemRows[i]-1))
 		var ss float64
 		for _, v := range row {
 			ss += float64(v) * float64(v)
@@ -115,32 +209,65 @@ func (m *Model) decodeBatch(items []BatchItem, dst []int) []int {
 		it.State.lastStreamNorm = float32(math.Sqrt(ss))
 
 		if cfg.TeacherWeight > 0 && m.streamNorm > 0 {
-			emb := m.embed.Row(m.teacher[it.Tok])
+			emb := m.embed.Row(m.teacher[it.lastFedTok()])
 			var tn float64
 			for _, v := range emb {
 				tn += float64(v) * float64(v)
 			}
 			if tn > 0 {
 				scale := cfg.TeacherWeight * m.streamNorm / float32(math.Sqrt(tn))
-				for i, v := range emb {
-					row[i] += scale * v
+				for c, v := range emb {
+					row[c] += scale * v
 				}
 			}
 		}
 	}
 
 	final := m.applyNormInto(sc.finalB, m.lnF, last)
-	logits := tensor.MatMulTInto(sc.logitsB.Reuse(b, cfg.Vocab), final, m.embed)
+	logits := tensor.MatMulTInto(sc.logitsB.Reuse(len(sc.emitIdx), cfg.Vocab), final, m.embed)
 	logits.Scale(cfg.LogitScale)
-	for r := range items {
-		tok := argmax(logits.Row(r))
-		items[r].State.lastTok = tok
-		dst = append(dst, tok)
+	e := 0
+	for i := range items {
+		if e < len(sc.emitIdx) && sc.emitIdx[e] == i {
+			tok := argmax(logits.Row(e))
+			items[i].State.lastTok = tok
+			dst = append(dst, tok)
+			e++
+			continue
+		}
+		dst = append(dst, -1)
 	}
 	return dst
 }
 
-// applyLinearBatch is applyLinearInto with per-session hooks.
+// lastFedTok is the token occupying the item's final row — it selects the
+// teacher prior at readout, matching what the serial path feeds.
+func (it *BatchItem) lastFedTok() int {
+	if it.prefilling() {
+		return it.Prefill[len(it.Prefill)-1]
+	}
+	return it.Tok
+}
+
+// embedRow writes one embedding row (plus the OPT positional embedding)
+// after a vocab check — the shared row-assembly step of both phases.
+func (m *Model) embedRow(row []float32, tok, pos int) {
+	cfg := m.Cfg
+	if tok < 0 || tok >= cfg.Vocab {
+		panic(fmt.Sprintf("model: token %d out of vocab %d", tok, cfg.Vocab))
+	}
+	copy(row, m.embed.Row(tok))
+	if cfg.Family == FamilyOPT {
+		if pos >= cfg.MaxSeq {
+			panic(fmt.Sprintf("model: position %d exceeds max seq %d", pos, cfg.MaxSeq))
+		}
+		for c, pv := range m.posEmb.Row(pos) {
+			row[c] += pv
+		}
+	}
+}
+
+// applyLinearBatch is applyLinearInto with per-item range hooks.
 func (m *Model) applyLinearBatch(dst *tensor.Tensor, ref LayerRef, l linear, x *tensor.Tensor, items []BatchItem) *tensor.Tensor {
 	dst.Reuse(x.Rows, l.w.Rows)
 	tensor.LinearInto(dst, x, l.w, l.b)
@@ -149,11 +276,14 @@ func (m *Model) applyLinearBatch(dst *tensor.Tensor, ref LayerRef, l linear, x *
 	return dst
 }
 
-// attentionBatch runs one decode row of causal self-attention per session:
-// shared batched K/Q/V projections, then per-session rope, KV append, and
-// per-head attention over that session's own slab. Row r of the result is
-// bit-identical to what the single-session attention produces for that
-// session's step.
+// attentionBatch runs each item's row range of causal self-attention:
+// shared batched K/Q/V projections, then per-item rope and KV append, and
+// per-(item × head) scores/softmax/context over that session's own slab —
+// fanned out over the resident worker pool when the cost model predicts a
+// win, inline otherwise; the results are bit-identical either way because
+// every work unit owns its scores scratch and a disjoint output slice. Each
+// row of the result is bit-identical to what the single-session attention
+// produces for that session's position.
 func (m *Model) attentionBatch(bIdx int, blk *block, x *tensor.Tensor, items []BatchItem) *tensor.Tensor {
 	cfg := m.Cfg
 	d := cfg.HeadDim()
@@ -165,46 +295,92 @@ func (m *Model) attentionBatch(bIdx int, blk *block, x *tensor.Tensor, items []B
 	v := m.applyLinearBatch(sc.v, LayerRef{bIdx, VProj}, blk.vProj, x, items)
 
 	if cfg.Family != FamilyOPT {
-		for r := range items {
-			pos := items[r].State.pos()
-			qrow, krow := q.Row(r), k.Row(r)
-			for h := 0; h < cfg.Heads; h++ {
-				m.rope.Apply(qrow[h*d:(h+1)*d], pos)
-				m.rope.Apply(krow[h*d:(h+1)*d], pos)
+		for i := range items {
+			lo, rows, pos := sc.itemLo[i], sc.itemRows[i], sc.itemPos[i]
+			for r := 0; r < rows; r++ {
+				qrow, krow := q.Row(lo+r), k.Row(lo+r)
+				for h := 0; h < cfg.Heads; h++ {
+					m.rope.Apply(qrow[h*d:(h+1)*d], pos+r)
+					m.rope.Apply(krow[h*d:(h+1)*d], pos+r)
+				}
 			}
 		}
 	}
 
-	// Append each session's new K/V row to its own head-blocked slabs.
-	for r := range items {
-		cache := &items[r].State.kv[bIdx]
+	// Append each item's new K/V rows to its own head-blocked slabs,
+	// recording the pre-append row count: row r of the range attends
+	// causally to positions [0, base+r].  madds estimates the score+context
+	// work for the fan-out decision.
+	sc.itemBase = sc.itemBase[:0]
+	madds := 0
+	for i := range items {
+		cache := &items[i].State.kv[bIdx]
 		base := cache.rows
-		krow, vrow := k.Row(r), v.Row(r)
-		for h := 0; h < cfg.Heads; h++ {
-			off := (h*maxSeq + base) * d
-			copy(cache.k[off:off+d], krow[h*d:(h+1)*d])
-			copy(cache.v[off:off+d], vrow[h*d:(h+1)*d])
+		rows := sc.itemRows[i]
+		lo := sc.itemLo[i]
+		for r := 0; r < rows; r++ {
+			krow, vrow := k.Row(lo+r), v.Row(lo+r)
+			for h := 0; h < cfg.Heads; h++ {
+				off := (h*maxSeq + base + r) * d
+				copy(cache.k[off:off+d], krow[h*d:(h+1)*d])
+				copy(cache.v[off:off+d], vrow[h*d:(h+1)*d])
+			}
 		}
-		cache.rows++
+		cache.rows += rows
+		sc.itemBase = append(sc.itemBase, base)
+		madds += 2 * d * cfg.Heads * (rows*base + rows*(rows+1)/2)
 	}
 
 	ctxOut := sc.ctx.Reuse(x.Rows, cfg.Hidden)
 	ctxOut.Zero()
+
+	units := len(items) * cfg.Heads
+	if need := units * maxSeq; cap(sc.attnScores) < need {
+		sc.attnScores = make([]float32, need)
+	}
+	sc.attnItems, sc.attnQ, sc.attnCtx, sc.attnBlk = items, q, ctxOut, bIdx
+	if sc.attnFn == nil {
+		sc.attnFn = m.attnUnits
+	}
+	cm := tensor.CurrentCostModel()
+	helpers := cm.AttnHelpers(units, madds)
+	tensor.ParallelFor(units, 1, helpers, sc.attnFn)
+	sc.attnItems = nil
+
+	ctxOut.Quantize(m.DType)
+	return m.applyLinearBatch(sc.attn, LayerRef{bIdx, OutProj}, blk.outProj, ctxOut, items)
+}
+
+// attnUnits executes the attention work units [lo, hi) of the current
+// fan-out: unit u = item u/Heads, head u%Heads. Each unit reads its
+// session's own K/V slab and q rows, scores into its private slice of the
+// per-unit scratch slab, and writes only its item's rows of its head's
+// output columns — disjoint from every other unit, so any parallel
+// interleaving produces identical bits.
+func (m *Model) attnUnits(lo, hi int) {
+	cfg := m.Cfg
+	sc := m.scratch
+	d := cfg.HeadDim()
+	maxSeq := cfg.MaxSeq
 	scale := float32(1 / math.Sqrt(float64(d)))
-	for r := range items {
-		cache := &items[r].State.kv[bIdx]
-		limit := cache.rows // causal: everything up to and including own row
-		scores := sc.scores[:limit]
-		for h := 0; h < cfg.Heads; h++ {
-			lo := h * d
-			kh := cache.k[h*maxSeq*d:]
-			vh := cache.v[h*maxSeq*d:]
-			qrow := q.Row(r)[lo : lo+d]
+	for u := lo; u < hi; u++ {
+		i, h := u/cfg.Heads, u%cfg.Heads
+		it := &sc.attnItems[i]
+		cache := &it.State.kv[sc.attnBlk]
+		base := sc.itemBase[i]
+		rows := sc.itemRows[i]
+		rowLo := sc.itemLo[i]
+		hd := h * d
+		kh := cache.k[h*maxSeq*d:]
+		vh := cache.v[h*maxSeq*d:]
+		scores := sc.attnScores[u*maxSeq : (u+1)*maxSeq]
+		for r := 0; r < rows; r++ {
+			qrow := sc.attnQ.Row(rowLo + r)[hd : hd+d]
+			limit := base + r + 1 // causal: attend to positions <= own
+			tensor.DotStride(scores, qrow, kh, d, limit, scale)
 			maxv := float32(math.Inf(-1))
 			for j := 0; j < limit; j++ {
-				s := tensor.Dot(qrow, kh[j*d:(j+1)*d]) * scale
-				scores[j] = s
-				if !math.IsNaN(float64(s)) && s > maxv {
+				if s := scores[j]; !math.IsNaN(float64(s)) && s > maxv {
 					maxv = s
 				}
 			}
@@ -214,28 +390,18 @@ func (m *Model) attentionBatch(bIdx int, blk *block, x *tensor.Tensor, items []B
 				scores[j] = e
 				sum += e
 			}
-			orow := ctxOut.Row(r)[lo : lo+d]
+			orow := sc.attnCtx.Row(rowLo + r)[hd : hd+d]
 			if sum > 0 {
 				inv := 1 / sum
-				for j := 0; j < limit; j++ {
-					wgt := scores[j] * inv
-					if wgt == 0 {
-						continue
-					}
-					vrow := vh[j*d : (j+1)*d]
-					for t := 0; t < d; t++ {
-						orow[t] += wgt * vrow[t]
-					}
-				}
+				tensor.ScaleSlice(scores[:limit], inv)
+				tensor.AxpyStride(orow, vh, scores, d, limit)
 			}
 		}
 	}
-	ctxOut.Quantize(m.DType)
-	return m.applyLinearBatch(sc.attn, LayerRef{bIdx, OutProj}, blk.outProj, ctxOut, items)
 }
 
 // mlpBatch is the family-specific MLP over the stacked batch rows with
-// per-session hooks.
+// per-item range hooks.
 func (m *Model) mlpBatch(bIdx int, blk *block, x *tensor.Tensor, items []BatchItem) *tensor.Tensor {
 	sc := m.scratch
 	switch m.Cfg.Family {

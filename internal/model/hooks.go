@@ -94,12 +94,15 @@ func (m *Model) runHooks(ref LayerRef, site Site, in, out *tensor.Tensor) {
 	out.MarkMutated()
 }
 
-// runBatchHooks fires each row's per-session hooks against a one-row view
-// of that row's slice of out (and of in, for redundant-execution
-// protections), so hooks observe exactly the tensor shape — and therefore
-// the flat neuron indexing — they see in single-session decode. The views
-// alias reusable headers in the scratch arena and are only valid for the
-// duration of the hook call, like every hook tensor.
+// runBatchHooks fires each item's per-session hooks against a view of that
+// item's row range of out (and of in, for redundant-execution protections),
+// so hooks observe exactly the tensor shape — and therefore the flat neuron
+// indexing — they see in single-session decode (1 row) or single-session
+// chunked prefill (C rows). A prefill item's hooks run with FirstToken set,
+// exactly as a model-level hook sees the prefill pass, so FT2 observes
+// bounds over the range instead of clamping it. The views alias reusable
+// headers in the scratch arena and are only valid for the duration of the
+// hook call, like every hook tensor.
 func (m *Model) runBatchHooks(ref LayerRef, site Site, in, out *tensor.Tensor, items []BatchItem) {
 	any := false
 	for i := range items {
@@ -112,18 +115,18 @@ func (m *Model) runBatchHooks(ref LayerRef, site Site, in, out *tensor.Tensor, i
 		return
 	}
 	sc := m.scratch
-	for r := range items {
-		it := &items[r]
+	for i := range items {
+		it := &items[i]
 		if len(it.Hooks) == 0 {
 			continue
 		}
-		// Tracked views: a hook that writes its row (fault injectors do)
+		// Tracked views: a hook that writes its rows (fault injectors do)
 		// marks the view mutated, which propagates to the full batch
 		// tensor so its cached finiteness can never go stale.
-		sc.rowOut.BindRowView(out, r)
-		ctx := HookCtx{Layer: ref, Site: site, Step: it.State.step}
+		sc.rowOut.BindRowsView(out, sc.itemLo[i], sc.itemRows[i])
+		ctx := HookCtx{Layer: ref, Site: site, Step: it.State.step, FirstToken: it.State.step == 0}
 		if in != nil {
-			sc.rowIn.BindRowView(in, r)
+			sc.rowIn.BindRowsView(in, sc.itemLo[i], sc.itemRows[i])
 			ctx.Input = sc.rowIn
 		}
 		for _, h := range it.Hooks {

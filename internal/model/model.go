@@ -391,11 +391,10 @@ func (m *Model) attention(bIdx int, blk *block, x *tensor.Tensor, positions []in
 		for r := 0; r < x.Rows; r++ {
 			qrow := q.Row(r)[lo : lo+d]
 			limit := base + r + 1 // causal: attend to positions <= own
+			tensor.DotStride(scores, qrow, kh, d, limit, scale)
 			maxv := float32(math.Inf(-1))
 			for j := 0; j < limit; j++ {
-				s := tensor.Dot(qrow, kh[j*d:(j+1)*d]) * scale
-				scores[j] = s
-				if !math.IsNaN(float64(s)) && s > maxv {
+				if s := scores[j]; !math.IsNaN(float64(s)) && s > maxv {
 					maxv = s
 				}
 			}
@@ -408,16 +407,10 @@ func (m *Model) attention(bIdx int, blk *block, x *tensor.Tensor, positions []in
 			orow := ctxOut.Row(r)[lo : lo+d]
 			if sum > 0 {
 				inv := 1 / sum
-				for j := 0; j < limit; j++ {
-					wgt := scores[j] * inv
-					if wgt == 0 {
-						continue
-					}
-					vrow := vh[j*d : (j+1)*d]
-					for t := 0; t < d; t++ {
-						orow[t] += wgt * vrow[t]
-					}
-				}
+				tensor.ScaleSlice(scores[:limit], inv)
+				// The stride kernels are bit-identical to per-position
+				// Dot/Axpy calls (same op order, never fused).
+				tensor.AxpyStride(orow, vh, scores, d, limit)
 			}
 		}
 	}

@@ -142,10 +142,14 @@ func matchLen(a, b []int) int {
 // Lookup finds the deepest usable cached prefix of prompt and returns a Ref
 // holding it, or nil on a miss. At most len(prompt)-1 rows are usable (the
 // readout needs the final row's residual stream, which snapshots don't
-// carry). Protected sessions can only resume at a frozen FTPartial depth —
-// the profile must cover exactly the restored rows — so their hit is the
-// deepest candidate carrying a partial no deeper than the match; unprotected
-// sessions require a NaN-free entry (a NaN-corrected prefill's KV embeds the
+// carry). Protected sessions can only resume at a frozen FTPartial depth
+// within the true token match — the profile must cover only rows the query
+// prompt shares — so their hit is the deepest candidate carrying such a
+// partial. A NaN-free partial one row deeper than the usable limit (the
+// whole-prompt profile of an identical cached prompt) is also usable: the
+// suffix pass recomputes and re-observes that final row with bit-identical
+// values, and min/max observation is idempotent. Unprotected sessions
+// require a NaN-free entry (a NaN-corrected prefill's KV embeds the
 // corrections, which a bare model would not reproduce).
 func (c *Cache) Lookup(prompt []int, protected bool) *Ref {
 	limit := len(prompt) - 1
@@ -156,13 +160,14 @@ func (c *Cache) Lookup(prompt []int, protected bool) *Ref {
 	defer c.mu.Unlock()
 
 	type cand struct {
-		e    *entry
-		rows int
+		e     *entry
+		rows  int // usable hit depth: true match capped at limit
+		match int // true token match depth with the entry's prompt
 	}
 	var cands []cand
 	cur := c.root
 	depth := 0
-	for depth < limit {
+	for depth < len(prompt) { // past limit too: deeper entries still serve capped hits
 		child := cur.children[prompt[depth]]
 		if child == nil {
 			break
@@ -176,7 +181,7 @@ func (c *Cache) Lookup(prompt []int, protected bool) *Ref {
 				if rows > limit {
 					rows = limit
 				}
-				cands = append(cands, cand{child.entry, rows})
+				cands = append(cands, cand{child.entry, rows, depth + k})
 			}
 			break
 		}
@@ -186,7 +191,7 @@ func (c *Cache) Lookup(prompt []int, protected bool) *Ref {
 			if rows > limit {
 				rows = limit
 			}
-			cands = append(cands, cand{child.entry, rows})
+			cands = append(cands, cand{child.entry, rows, depth})
 		}
 		cur = child
 	}
@@ -196,12 +201,24 @@ func (c *Cache) Lookup(prompt []int, protected bool) *Ref {
 	var bestFT *FTPartial
 	for _, cd := range cands { // ascending depth: later wins ties
 		if protected {
-			for i := len(cd.e.ft) - 1; i >= 0; i-- {
+			for i := len(cd.e.ft) - 1; i >= 0; i-- { // descending Rows: deepest usable wins
 				p := &cd.e.ft[i]
-				if p.Rows <= cd.rows && p.Rows >= 1 && p.Rows >= bestRows {
-					best, bestRows, bestFT = cd.e, p.Rows, p
-					break
+				if p.Rows < 1 || p.Rows > cd.match {
+					continue
 				}
+				rows := p.Rows
+				if rows > limit {
+					if p.NaN != 0 {
+						// Re-observing the overlap row would recount its
+						// NaN corrections; keep scanning for an exact fit.
+						continue
+					}
+					rows = limit
+				}
+				if rows >= bestRows {
+					best, bestRows, bestFT = cd.e, rows, p
+				}
+				break
 			}
 		} else if cd.e.nanFree && cd.rows >= 1 && cd.rows >= bestRows {
 			best, bestRows, bestFT = cd.e, cd.rows, nil

@@ -30,6 +30,15 @@ type metrics struct {
 	prefillTokens atomic.Int64
 	promptTokens  atomic.Int64
 
+	// Fused-slice shape counters: how many mixed-phase ForwardBatch calls
+	// ran, and how many of their stacked activation rows were prompt-chunk
+	// rows vs decode rows — the observable measure of how well prefill work
+	// amortizes over the decode batches it rides with. Serial-fallback steps
+	// (lone sessions, below-crossover groups) do not count here.
+	fusedForwards    atomic.Int64
+	fusedPrefillRows atomic.Int64
+	fusedDecodeRows  atomic.Int64
+
 	statusMu sync.Mutex
 	status   map[int]int64 // HTTP status → requests settled with it
 
@@ -54,10 +63,11 @@ type metrics struct {
 	sessSpilled  atomic.Int64
 	sessRestored atomic.Int64
 
-	tokenLat  *latencyRing // per-decode-step latency
+	tokenLat  *latencyRing // per-step latency
 	queueLat  *latencyRing // admission → first slice
 	reqLat    *latencyRing // admission → settled
-	batchSize *latencyRing // sessions fused per decode step (achieved batch)
+	batchSize *latencyRing // sessions advanced per step (achieved batch)
+	fusedRows *latencyRing // activation rows per fused ForwardBatch call
 }
 
 func newMetrics() *metrics {
@@ -68,6 +78,7 @@ func newMetrics() *metrics {
 		queueLat:  newLatencyRing(2048),
 		reqLat:    newLatencyRing(2048),
 		batchSize: newLatencyRing(8192),
+		fusedRows: newLatencyRing(8192),
 	}
 }
 
@@ -180,6 +191,13 @@ func (m *metrics) render(w io.Writer, modelName string, replicas, maxSessions, b
 	if qs := m.batchSize.quantiles(0.5, 0.99); qs != nil {
 		fmt.Fprintf(w, "ft2serve_batch_size{quantile=\"0.5\"} %.1f\n", qs[0])
 		fmt.Fprintf(w, "ft2serve_batch_size{quantile=\"0.99\"} %.1f\n", qs[1])
+	}
+	fmt.Fprintf(w, "ft2serve_fused_forwards_total %d\n", m.fusedForwards.Load())
+	fmt.Fprintf(w, "ft2serve_prefill_fused_rows_total %d\n", m.fusedPrefillRows.Load())
+	fmt.Fprintf(w, "ft2serve_decode_fused_rows_total %d\n", m.fusedDecodeRows.Load())
+	if qs := m.fusedRows.quantiles(0.5, 0.99); qs != nil {
+		fmt.Fprintf(w, "ft2serve_fused_rows{quantile=\"0.5\"} %.1f\n", qs[0])
+		fmt.Fprintf(w, "ft2serve_fused_rows{quantile=\"0.99\"} %.1f\n", qs[1])
 	}
 
 	for _, lr := range []struct {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -154,13 +155,13 @@ func (sch *scheduler) dispatch() {
 }
 
 // group is a worker's reusable slice batch: the sessions fused into this
-// slice, their per-slice step budgets, and the assembly buffers for
-// DecodeStepBatch. Reused across slices so steady-state scheduling does not
-// allocate.
+// slice — mid-prefill and decoding alike — their per-slice step budgets,
+// and the assembly buffers for ForwardBatch. Reused across slices so
+// steady-state scheduling does not allocate.
 type group struct {
 	pending  []*Session // gathered from the ready ring
-	sessions []*Session // after prefill/weed; nil = settled mid-slice
-	rem      []int      // decode steps left this slice, parallel to sessions
+	sessions []*Session // after admit/weed; nil = settled mid-slice
+	rem      []int      // steps left this slice (chunk or token), parallel to sessions
 	ctls     []controller
 	extras   []model.Hook // per-session chaos injector hook (usually nil)
 	idx      []int        // participant indices of the current step
@@ -183,22 +184,38 @@ func (sch *scheduler) worker(idx int) {
 }
 
 // runSlice advances one group of sessions by one scheduling slice: gather up
-// to BatchMax ready sessions, prefill the unstarted ones individually (row
-// counts differ per prompt), then run the whole group through fused batched
-// decode steps. Returns the (possibly rebuilt) replica.
+// to BatchMax ready sessions, open prefills for the unstarted ones (KV state,
+// prefix-cache lookup — no prompt rows yet), then drive the whole group —
+// mid-prefill and decoding sessions alike — through fused mixed-phase
+// ForwardBatch steps. Returns the (possibly rebuilt) replica.
 func (sch *scheduler) runSlice(r *replica, g *group, first *Session) *replica {
 	g.pending = append(g.pending[:0], first)
-gather:
-	for len(g.pending) < sch.cfg.BatchMax {
-		select {
-		case s, ok := <-sch.ready:
-			if !ok {
-				break gather // ring closed: forced shutdown, drive what we hold
+	// Gather whatever is already ready, then yield up to twice and drain
+	// again: a burst of clients submitting at a round boundary needs one
+	// scheduler pass for their submits to reach the admit queue and one for
+	// the dispatch goroutine to move them to the ready ring. Without the
+	// yields the worker races ahead with a singleton group and serves the
+	// whole slice serially while the rest of the burst sits queued; with
+	// them the burst fuses from the first step. A genuinely lone session
+	// pays only two no-op yields — no timer, no added latency.
+	for tries := 0; len(g.pending) < sch.cfg.BatchMax; tries++ {
+	gather:
+		for len(g.pending) < sch.cfg.BatchMax {
+			select {
+			case s, ok := <-sch.ready:
+				if !ok {
+					tries = 2 // ring closed: forced shutdown, drive what we hold
+					break gather
+				}
+				g.pending = append(g.pending, s)
+			default:
+				break gather
 			}
-			g.pending = append(g.pending, s)
-		default:
-			break gather
 		}
+		if tries >= 2 {
+			break
+		}
+		runtime.Gosched()
 	}
 
 	g.sessions, g.rem, g.ctls, g.extras = g.sessions[:0], g.rem[:0], g.ctls[:0], g.extras[:0]
@@ -207,7 +224,6 @@ gather:
 			sch.settle(s, err)
 			continue
 		}
-		budget := sch.cfg.SliceSteps
 		if !s.started && s.adoptSnap != nil {
 			// Adopted session (migration import / spill resume): restore the
 			// snapshot instead of prefilling. Restore is a handful of copies,
@@ -219,33 +235,20 @@ gather:
 				}
 				continue
 			}
-		} else if !s.started {
-			done, finished, err := sch.prefillGuarded(r, s)
-			if err != nil {
+		} else if !s.started && !s.prefillStarted {
+			// First slice: open the prefill (state, cache lookup, admission
+			// metrics). The prompt rows themselves are fed by the fused
+			// slice loop below, co-batched with the decoding sessions.
+			if err := sch.openPrefill(r, s); err != nil {
 				sch.settle(s, err)
 				if errStatus(err) == 500 {
 					r = sch.replaceReplica(r)
 				}
 				continue
 			}
-			if !done {
-				// Mid-prefill after a bounded chunk: yield the replica to
-				// the decode batch and circulate for the next chunk. The
-				// ring's capacity is MaxSessions ≥ active, so this never
-				// blocks, and mid-prefill sessions never join a decode
-				// group (chaos cannot target them).
-				sch.ready <- s
-				continue
-			}
-			if finished {
-				sch.maybeSpill(r, s)
-				sch.settle(s, nil)
-				continue
-			}
-			budget-- // the prefill consumed one of this slice's steps
 		}
 		g.sessions = append(g.sessions, s)
-		g.rem = append(g.rem, budget)
+		g.rem = append(g.rem, sch.cfg.SliceSteps)
 		g.extras = append(g.extras, nil)
 	}
 	if len(g.sessions) == 0 {
@@ -255,11 +258,18 @@ gather:
 	// Reinstate each protected session's counters and first-token bounds on
 	// its slot's controller; the decode hooks only read the shared bounds
 	// store, so many sessions of one bounds lineage can decode in one batch.
+	// A cold protected prefill (no bounds yet) gets a fresh store instead:
+	// its hooks observe into it and the first chunk boundary captures it onto
+	// the session.
 	for i, s := range g.sessions {
 		var f controller
 		if s.req.Protected {
 			f = r.controller(i)
-			f.ResumeFork(s.ftState)
+			if s.ftState.Bounds != nil {
+				f.ResumeFork(s.ftState)
+			} else {
+				f.Reset()
+			}
 		}
 		g.ctls = append(g.ctls, f)
 	}
@@ -268,7 +278,7 @@ gather:
 		sch.applyChaos(r, g)
 	}
 
-	if err := sch.decodeSlice(r, g); err != nil {
+	if err := sch.fusedSlice(r, g); err != nil {
 		// A panic escaped the engine mid-slice: every session still in the
 		// group fails, and the replica's KV/hook state is suspect.
 		for _, s := range g.sessions {
@@ -294,6 +304,13 @@ func (sch *scheduler) applyChaos(r *replica, g *group) {
 	for i, s := range g.sessions {
 		if !s.req.Chaos {
 			allChaos = false
+			continue
+		}
+		if !s.started {
+			// Mid-prefill sessions are never activation/KV victims — the
+			// first token defines the FT2 bounds and the oracle baseline, so
+			// session-scoped faults only target decoding sessions. They still
+			// count toward the weight-fault opt-in gate above.
 			continue
 		}
 		_, _, rows := s.state.KVSlabs(0)
@@ -340,8 +357,13 @@ func (sch *scheduler) applyChaos(r *replica, g *group) {
 		inj.M = r.m
 		inj.Fire()
 		r.tainted = true
-		for _, i := range g.victims {
-			g.sessions[i].suspect = true
+		// Weights are replica-global: every opted-in session in the group —
+		// including one whose prefill rows are computed after the flip — may
+		// silently diverge.
+		for _, s := range g.sessions {
+			if s.req.Chaos {
+				s.suspect = true
+			}
 		}
 		sch.chaos.Record(chaos.Event{Kind: chaos.EvInject, Target: fault.TargetWeight.String(),
 			Site: site.String(), Replica: r.slot, Step: site.Step})
@@ -407,27 +429,16 @@ func (sch *scheduler) drainHybrid(r *replica) core.HybridCounts {
 	return total
 }
 
-// prefillGuarded advances a session's prefill on r by one bounded chunk
-// inside the panic boundary. On the session's first slice it opens the
-// prefill, consults the prefix cache, and — on a hit — forks the cached KV
+// openPrefill runs a session's serial admission bookkeeping on its first
+// slice, inside its own panic boundary: obtain a KV state, open the chunked
+// prefill, consult the prefix cache, and — on a hit — fork the cached KV
 // prefix (and, for protected sessions, the frozen first-token bounds) so
-// only the unique suffix is computed. done=false means the prompt has rows
-// left: the caller re-enqueues the session and later slices continue here
-// (the FT2 fork state captured at the chunk boundary resumes on any
-// replica). When the final chunk completes, the full-prompt snapshot is
-// offered back to the cache and finished reports whether the generation
-// already ended with the first token.
-//
-// Bit-identity: chunked, cache-seeded, and single-pass prefills produce
-// identical KV bits and first tokens (model.PrefillChunk contract), and the
-// FT2 bounds merge identically — min/max observation is associative over
-// row partitions and the frozen partial covers exactly the restored rows —
-// so a cache-hit session's output matches a cold one and the GenerateInto
-// oracle exactly.
-func (sch *scheduler) prefillGuarded(r *replica, s *Session) (done, finished bool, err error) {
+// only the unique suffix is computed. No prompt rows are computed here: the
+// fused slice loop feeds the chunks, co-batched with decode rows.
+func (sch *scheduler) openPrefill(r *replica, s *Session) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			log.Printf("serve: panic in session prefill: %v\n%s", p, debug.Stack())
+			log.Printf("serve: panic opening prefill: %v\n%s", p, debug.Stack())
 			err = &apiError{Status: 500,
 				Msg: fmt.Sprintf("serve: internal error: %v", p)}
 		}
@@ -439,75 +450,52 @@ func (sch *scheduler) prefillGuarded(r *replica, s *Session) (done, finished boo
 	}
 	prev := m.SwapState(s.state)
 	defer m.SwapState(prev)
-	var f controller
-	if s.req.Protected {
-		f = r.controller(0)
-		if s.prefillStarted {
-			// Continuing a chunked prefill, possibly on another replica:
-			// reinstate the bounds observed over the chunks so far.
-			f.ResumeFork(s.ftState)
-		} else {
-			f.Reset()
-		}
-		f.Install()
-		defer m.ClearHooks()
-	}
-	if !s.prefillStarted {
-		s.prefillStarted = true
-		s.startAt = time.Now()
-		sch.mx.queueLat.observe(msSince(s.admitted, s.startAt))
-		sch.mx.promptTokens.Add(int64(len(s.prompt)))
-		m.BeginPrefill(len(s.prompt))
-		if sch.prefix != nil {
-			if ref := sch.prefix.Lookup(s.prompt, s.req.Protected); ref != nil {
-				m.ResumePrefillPrefix(ref.Snapshot())
-				s.hitRows = ref.Rows()
-				if s.req.Protected {
-					// Seed the fork state from the frozen profile at exactly
-					// hitRows rows; the clone is this session's to extend as
-					// it observes the suffix.
-					p := ref.FT()
-					s.ftState = core.ForkState{Bounds: p.Bounds.Clone(), FirstTokenNaN: p.NaN}
-					f.ResumeFork(s.ftState)
-				}
-				ref.Release()
+	s.prefillStarted = true
+	s.startAt = time.Now()
+	sch.mx.queueLat.observe(msSince(s.admitted, s.startAt))
+	sch.mx.promptTokens.Add(int64(len(s.prompt)))
+	m.BeginPrefill(len(s.prompt))
+	if sch.prefix != nil {
+		if ref := sch.prefix.Lookup(s.prompt, s.req.Protected); ref != nil {
+			m.ResumePrefillPrefix(ref.Snapshot())
+			s.hitRows = ref.Rows()
+			if s.req.Protected {
+				// Seed the fork state from the frozen profile at exactly
+				// hitRows rows; the clone is this session's to extend as it
+				// observes the suffix (runSlice resumes it onto the slot's
+				// controller).
+				p := ref.FT()
+				s.ftState = core.ForkState{Bounds: p.Bounds.Clone(), FirstTokenNaN: p.NaN}
 			}
-			// Offer the finished prefill back unless the cache already
-			// covers this prompt as deeply as a lookup could use it.
-			s.insert = s.hitRows < len(s.prompt)-1
+			ref.Release()
 		}
+		// Offer the finished prefill back unless the cache already covers
+		// this prompt as deeply as a lookup could use it.
+		s.insert = s.hitRows < len(s.prompt)-1
 	}
+	return nil
+}
 
-	pos := s.state.PrefillPos()
-	n := len(s.prompt) - pos
-	if sch.cfg.PrefillChunk > 0 && n > sch.cfg.PrefillChunk {
-		n = sch.cfg.PrefillChunk
-	}
-	tok, complete := m.PrefillChunk(s.prompt[pos : pos+n])
-	sch.mx.prefillChunks.Add(1)
-	sch.mx.prefillTokens.Add(int64(n))
-	if !complete {
-		if s.req.Protected {
-			// Freeze the bounds at the chunk boundary: the capture both
-			// carries the session to its next slice and — cloned, since the
-			// next chunk keeps observing into the captured store — becomes
-			// the FTPartial a future protected hit can resume from.
-			st := f.CaptureForkState()
-			if s.insert {
-				s.partials = append(s.partials, prefixcache.FTPartial{
-					Rows: pos + n, Bounds: st.Bounds.Clone(), NaN: st.FirstTokenNaN})
-			}
-			s.ftState = st
-		}
-		return false, false, nil
-	}
-
+// finishPrefill completes a session's prefill bookkeeping right after the
+// fused step that computed its final prompt chunk returned the first token:
+// emit, freeze the first-token bounds, seed the migration checkpoint, and
+// offer the full-prompt snapshot back to the prefix cache.
+//
+// Bit-identity: chunked, cache-seeded, co-batched, and single-pass prefills
+// produce identical KV bits and first tokens (model.ForwardBatch /
+// PrefillChunk contract), and the FT2 bounds merge identically — min/max
+// observation is associative over row partitions and the frozen partial
+// covers exactly the restored rows — so a cache-hit session's output matches
+// a cold one and the GenerateInto oracle exactly.
+func (sch *scheduler) finishPrefill(r *replica, g *group, i, tok int) {
+	s := g.sessions[i]
+	m := r.m
 	s.started = true
 	s.lastTok = tok
 	s.emit(tok)
 	sch.mx.tokensTotal.Add(1)
-	if s.req.Protected {
-		// The first-token bounds are complete once the prefill returned;
+	if f := g.ctls[i]; f != nil {
+		// The first-token bounds are complete once the final chunk ran;
 		// clone them out of the controller so other sessions' Resets cannot
 		// clear them.
 		s.ftState = f.CaptureForkState()
@@ -521,7 +509,9 @@ func (sch *scheduler) prefillGuarded(r *replica, s *Session) (done, finished boo
 	}
 	if sch.prefix != nil && s.insert {
 		snap := &model.Snapshot{}
+		prev := m.SwapState(s.state)
 		m.Checkpoint(snap)
+		m.SwapState(prev)
 		var ft []prefixcache.FTPartial
 		nanFree := true
 		if s.req.Protected {
@@ -537,18 +527,25 @@ func (sch *scheduler) prefillGuarded(r *replica, s *Session) (done, finished boo
 		}
 		sch.prefix.Insert(s.prompt, snap, ft, nanFree)
 	}
-	return true, s.finishedAfter(tok), nil
+	if s.finishedAfter(tok) {
+		sch.finishInGroup(r, g, i, nil)
+	}
 }
 
-// decodeSlice is the fused decode phase and its fault boundary: each
-// iteration advances every live session with step budget left by one token —
-// one DecodeStepBatch call when two or more participate, a serial
-// swapped-state DecodeStep when one does (or when BatchMax pins the group
-// size to 1). Finished and expired sessions settle mid-loop; survivors are
-// re-enqueued to the ready ring. Any panic out of the engine (or a hook)
-// becomes a 500-class error for the whole group instead of crashing the
-// server.
-func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
+// fusedSlice is the mixed-phase fused engine loop and its fault boundary:
+// each iteration advances every live session with step budget left — a
+// decoding session by one token, a mid-prefill session by one bounded prompt
+// chunk — through a single model.ForwardBatch call whose stacked rows stream
+// every weight matrix once for the whole group. A prefill chunk consumes one
+// slice step, so a session admitted mid-slice starts decoding in the same
+// group the moment its prompt completes. Serial fallbacks keep the fast
+// paths: a lone decoding session steps via swapped-state DecodeStep, and a
+// decode-only step whose group is below the kernel cost model's fusion
+// crossover (FuseWorthwhile) runs serially per session. Finished and expired
+// sessions settle mid-loop; survivors are re-enqueued to the ready ring. Any
+// panic out of the engine (or a hook) becomes a 500-class error for the
+// whole group instead of crashing the server.
+func (sch *scheduler) fusedSlice(r *replica, g *group) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			log.Printf("serve: panic in session slice: %v\n%s", p, debug.Stack())
@@ -558,6 +555,28 @@ func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
 	}()
 	m := r.m
 	m.ClearHooks()
+	cm := tensor.CurrentCostModel()
+
+	// serial advances one decoding session via the single-row model path —
+	// bit-identical to its fused row by the ForwardBatch contract.
+	serial := func(i int) {
+		s := g.sessions[i]
+		m.ClearHooks()
+		// A chaos injector hook registers before the protection controller —
+		// faults corrupt the raw output, protection sees the corruption (the
+		// campaign runner's ordering).
+		if g.extras[i] != nil {
+			m.RegisterHook(g.extras[i])
+		}
+		if g.ctls[i] != nil {
+			g.ctls[i].Install()
+		}
+		prev := m.SwapState(s.state)
+		s.lastTok = m.DecodeStep(s.lastTok)
+		m.SwapState(prev)
+		m.ClearHooks()
+	}
+
 	for {
 		// Step boundary: settle sessions whose deadline expired or whose
 		// client went away.
@@ -569,41 +588,21 @@ func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
 				sch.finishInGroup(r, g, i, cerr)
 			}
 		}
-		g.idx = g.idx[:0]
-		for i, s := range g.sessions {
-			if s != nil && g.rem[i] > 0 {
-				g.idx = append(g.idx, i)
-			}
-		}
-		if len(g.idx) == 0 {
-			break
-		}
-		if sch.cfg.StepDelay > 0 {
-			time.Sleep(sch.cfg.StepDelay)
-		}
 
-		t0 := time.Now()
-		if len(g.idx) == 1 {
-			i := g.idx[0]
-			s := g.sessions[i]
-			m.ClearHooks()
-			// A chaos injector hook registers before the protection
-			// controller — faults corrupt the raw output, protection sees
-			// the corruption (the campaign runner's ordering).
-			if g.extras[i] != nil {
-				m.RegisterHook(g.extras[i])
+		// Assemble this step's fused items under the arena's row budget:
+		// every participant with budget left contributes one decode row or
+		// one ≤PrefillChunk prompt chunk; a chunk that would overflow the
+		// budget shrinks to fit (and a session left with zero rows simply
+		// waits for the next iteration — its step budget is untouched).
+		g.idx = g.idx[:0]
+		g.items = g.items[:0]
+		rowBudget := m.Cfg.MaxSeq
+		prefRows, decRows := 0, 0
+		for i, s := range g.sessions {
+			if s == nil || g.rem[i] <= 0 || rowBudget <= 0 {
+				continue
 			}
-			if g.ctls[i] != nil {
-				g.ctls[i].Install()
-			}
-			prev := m.SwapState(s.state)
-			s.lastTok = m.DecodeStep(s.lastTok)
-			m.SwapState(prev)
-			m.ClearHooks()
-		} else {
-			g.items = g.items[:0]
-			for _, i := range g.idx {
-				s := g.sessions[i]
+			if s.started {
 				var hooks []model.Hook
 				switch {
 				case g.extras[i] != nil && g.ctls[i] != nil:
@@ -614,18 +613,87 @@ func (sch *scheduler) decodeSlice(r *replica, g *group) (err error) {
 					hooks = r.hooks(i)
 				}
 				g.items = append(g.items, model.BatchItem{State: s.state, Tok: s.lastTok, Hooks: hooks})
+				g.idx = append(g.idx, i)
+				rowBudget--
+				decRows++
+				continue
 			}
-			g.toks = m.DecodeStepBatch(g.items, g.toks[:0])
-			for n, i := range g.idx {
-				g.sessions[i].lastTok = g.toks[n]
+			pos := s.state.PrefillPos()
+			n := len(s.prompt) - pos
+			if sch.cfg.PrefillChunk > 0 && n > sch.cfg.PrefillChunk {
+				n = sch.cfg.PrefillChunk
 			}
+			if n > rowBudget {
+				n = rowBudget
+			}
+			var hooks []model.Hook
+			if g.ctls[i] != nil {
+				hooks = r.hooks(i)
+			}
+			g.items = append(g.items, model.BatchItem{State: s.state, Prefill: s.prompt[pos : pos+n], Hooks: hooks})
+			g.idx = append(g.idx, i)
+			rowBudget -= n
+			prefRows += n
+		}
+		if len(g.idx) == 0 {
+			break
+		}
+		if sch.cfg.StepDelay > 0 {
+			time.Sleep(sch.cfg.StepDelay)
+		}
+
+		t0 := time.Now()
+		fused := false
+		switch {
+		case len(g.idx) == 1 && prefRows == 0:
+			serial(g.idx[0])
+		case prefRows == 0 && !cm.FuseWorthwhile(decRows):
+			// Below the measured fusion crossover a small decode group runs
+			// faster serially (per-row kernels keep their m=1 speed while the
+			// fused slice pays the wider-matrix rate).
+			for _, i := range g.idx {
+				serial(i)
+			}
+		default:
+			g.toks = m.ForwardBatch(g.items, g.toks[:0])
+			fused = true
+			sch.mx.fusedForwards.Add(1)
+			sch.mx.fusedPrefillRows.Add(int64(prefRows))
+			sch.mx.fusedDecodeRows.Add(int64(decRows))
+			sch.mx.fusedRows.observe(float64(prefRows + decRows))
 		}
 		sch.mx.tokenLat.observe(msSince(t0, time.Now()))
 		sch.mx.batchSize.observe(float64(len(g.idx)))
 		sch.mx.batchSteps.Add(1)
 
-		for _, i := range g.idx {
+		for n, i := range g.idx {
 			s := g.sessions[i]
+			if chunk := len(g.items[n].Prefill); chunk > 0 {
+				sch.mx.prefillChunks.Add(1)
+				sch.mx.prefillTokens.Add(int64(chunk))
+				g.rem[i]-- // the chunk consumed one of this slice's steps
+				if tok := g.toks[n]; tok >= 0 {
+					sch.finishPrefill(r, g, i, tok)
+					continue
+				}
+				if f := g.ctls[i]; f != nil {
+					// Freeze the bounds at the chunk boundary: the capture
+					// both carries the session to its next slice and —
+					// cloned, since the next chunk keeps observing into the
+					// captured store — becomes the FTPartial a future
+					// protected hit can resume from.
+					st := f.CaptureForkState()
+					if s.insert {
+						s.partials = append(s.partials, prefixcache.FTPartial{
+							Rows: s.state.PrefillPos(), Bounds: st.Bounds.Clone(), NaN: st.FirstTokenNaN})
+					}
+					s.ftState = st
+				}
+				continue
+			}
+			if fused {
+				s.lastTok = g.toks[n]
+			}
 			s.emit(s.lastTok)
 			sch.mx.tokensTotal.Add(1)
 			g.rem[i]--

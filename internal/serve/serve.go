@@ -10,15 +10,17 @@
 //   - A continuous-batching scheduler admits requests through a bounded
 //     queue and multiplexes up to MaxSessions active sessions over the
 //     replicas: each worker gathers up to BatchMax ready sessions into a
-//     group and advances the whole group one slice of SliceSteps decode
-//     steps through model.DecodeStepBatch — every weight matrix streams
-//     once per step for the group instead of once per session — then puts
-//     the survivors back on the ready ring. Each session owns its KV state
-//     (model.DecodeState) and its FT2 fork state, so moving between
-//     replicas is a pointer swap and a served generation is bit-identical
-//     to a standalone GenerateInto run no matter how it was batched or
-//     preempted. Groups of one (and BatchMax=1) fall back to serial
-//     DecodeStep — same bits either way.
+//     group and advances the whole group one slice of SliceSteps steps
+//     through mixed-phase model.ForwardBatch calls — a decoding session
+//     contributes one row, a mid-prefill session a bounded prompt chunk,
+//     and every weight matrix streams once per step for the whole group
+//     instead of once per session — then puts the survivors back on the
+//     ready ring. Each session owns its KV state (model.DecodeState) and
+//     its FT2 fork state, so moving between replicas is a pointer swap and
+//     a served generation is bit-identical to a standalone GenerateInto
+//     run no matter how it was batched, chunked, or preempted. Groups of
+//     one (and decode-only steps below the kernel cost model's fusion
+//     crossover) fall back to serial DecodeStep — same bits either way.
 //   - Robustness: per-request deadlines via context, 429 backpressure when
 //     the admission queue is full, 503 while draining, and a per-slice
 //     recover boundary so a request that trips an engine panic is answered
@@ -51,7 +53,9 @@ type Config struct {
 	Seed int64
 	// DType is the activation precision (default FP16).
 	DType numerics.DType
-	// Replicas is the model-replica count (default GOMAXPROCS).
+	// Replicas is the model-replica count (default: GOMAXPROCS capped at
+	// NumCPU — more workers than cores only time-slice each other through
+	// the OS scheduler and shrink the fused groups each worker can gather).
 	Replicas int
 	// MaxSessions caps the sessions decoded concurrently; beyond Replicas
 	// they time-slice (default 4×Replicas, min 16).
@@ -64,7 +68,8 @@ type Config struct {
 	// finer at a higher scheduling cost.
 	SliceSteps int
 	// BatchMax caps how many ready sessions a worker fuses into one
-	// DecodeStepBatch group (default 4×Replicas, capped at MaxSessions).
+	// mixed-phase ForwardBatch group (default MaxSessions — every weight
+	// matrix streamed per step amortizes over the widest group available).
 	// 1 disables fusion: every session steps serially.
 	BatchMax int
 	// DefaultDeadline bounds a request that carries no deadline of its own
@@ -145,6 +150,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Replicas <= 0 {
 		c.Replicas = runtime.GOMAXPROCS(0)
+		if n := runtime.NumCPU(); c.Replicas > n {
+			c.Replicas = n
+		}
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 4 * c.Replicas
@@ -162,7 +170,7 @@ func (c Config) withDefaults() (Config, error) {
 		c.SliceSteps = 8
 	}
 	if c.BatchMax <= 0 {
-		c.BatchMax = 4 * c.Replicas
+		c.BatchMax = c.MaxSessions
 	}
 	if c.BatchMax > c.MaxSessions {
 		c.BatchMax = c.MaxSessions

@@ -23,9 +23,25 @@ func GELU(t *Tensor) {
 
 // SiLU applies x·sigmoid(x) in place — the Llama/Qwen gate activation.
 func SiLU(t *Tensor) {
-	for i, v := range t.Data {
-		x := float64(v)
-		t.Data[i] = float32(x / (1 + math.Exp(-x)))
+	// Split loop: a scalar pass fills the exp values (math.Exp must keep its
+	// exact scalar semantics), then the vector kernel finishes x/(1+e) —
+	// per-lane IEEE add/divide/convert, bit-identical to the fused loop.
+	data := t.Data
+	var ebuf [256]float64
+	for len(data) > 0 {
+		chunk := data
+		if len(chunk) > len(ebuf) {
+			chunk = chunk[:len(ebuf)]
+		}
+		for i, v := range chunk {
+			ebuf[i] = math.Exp(-float64(v))
+		}
+		if !siluFinish(chunk, ebuf[:len(chunk)]) {
+			for i, v := range chunk {
+				chunk[i] = float32(float64(v) / (1 + ebuf[i]))
+			}
+		}
+		data = data[len(chunk):]
 	}
 }
 

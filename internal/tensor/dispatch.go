@@ -140,16 +140,38 @@ func SetCostModel(cm *CostModel) {
 func CurrentCostModel() CostModel { return *costModelPtr.Load() }
 
 // cachedNumCPU avoids the runtime.NumCPU call (cheap but not free) on the
-// per-product dispatch path.
-var cachedNumCPU = runtime.NumCPU()
+// per-product dispatch path. Atomic so SetNumCPUOverride can swap it under
+// the race detector while kernels are running.
+var cachedNumCPU atomic.Int64
+
+func init() { cachedNumCPU.Store(int64(runtime.NumCPU())) }
+
+// effectiveNumCPU is the physical-core cap every worker-count decision
+// (dispatch plans, attention fan-out) respects.
+func effectiveNumCPU() int { return int(cachedNumCPU.Load()) }
+
+// SetNumCPUOverride replaces the detected physical CPU count that caps
+// worker recruitment, returning the previous value; n <= 0 restores
+// detection. Every plan is bit-identical regardless of worker count, so the
+// override only shifts work placement — it exists so tests (and experiments)
+// can exercise the multi-worker paths on hosts with fewer cores, e.g. the
+// mixed-phase race battery forcing the attention fan-out onto pool helpers.
+func SetNumCPUOverride(n int) int {
+	prev := effectiveNumCPU()
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	cachedNumCPU.Store(int64(n))
+	return prev
+}
 
 // plan picks serial vs row-split vs col-split for an m×k×n product under
 // `procs` GOMAXPROCS. It allocates nothing.
 func (cm *CostModel) plan(kind matKind, m, k, n, procs int) plan {
 	work := m * k * n
 	workers := procs
-	if workers > cachedNumCPU {
-		workers = cachedNumCPU
+	if cpus := effectiveNumCPU(); workers > cpus {
+		workers = cpus
 	}
 	if workers <= 1 || work == 0 {
 		return plan{mode: planSerial}
@@ -194,6 +216,56 @@ func chunkFor(grid, workPer, workers int) int {
 		chunk = 1
 	}
 	return chunk
+}
+
+// fuseMargin biases FuseWorthwhile toward fusing: a fused group replaces m
+// kernel invocations with one, so even measured per-madd parity favors the
+// fused call once the saved call overhead is counted.
+const fuseMargin = 1.05
+
+// FuseWorthwhile reports whether fusing m single-row sessions into one
+// m-row forward call is predicted no slower than m serial calls, judged by
+// the measured serial per-madd cost of m's class against the single-row
+// class. The serving scheduler consults it to route small groups through
+// the serial fallback instead of always fusing — on hosts where the
+// small-batch kernels lose to m=1 (cache pressure, blocked-kernel setup),
+// this is the measured crossover; elsewhere it always fuses.
+func (cm *CostModel) FuseWorthwhile(m int) bool {
+	if m <= 1 {
+		return true
+	}
+	return cm.SerialNsPerMadd[kindMatMulT][mClass(m)] <=
+		cm.SerialNsPerMadd[kindMatMulT][0]*fuseMargin
+}
+
+// AttnHelpers sizes the pool fan-out for a batched attention section of
+// `units` independent (session × head) work units totalling roughly `madds`
+// multiply-adds. Zero means run the section inline — the correct answer
+// whenever the handoff would cost more than the parallelism buys (small
+// groups, short KV, or a host without spare cores). Work units are row-dot
+// shaped, so the single-row MatMulT class approximates their serial cost.
+func (cm *CostModel) AttnHelpers(units, madds int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if cpus := effectiveNumCPU(); workers > cpus {
+		workers = cpus
+	}
+	if workers <= 1 || units < 2 {
+		return 0
+	}
+	serialNs := float64(madds) * cm.SerialNsPerMadd[kindMatMulT][0]
+	if serialNs <= cm.PoolDispatchNs {
+		return 0
+	}
+	pooledNs := cm.PoolDispatchNs + float64(units)*cm.PoolChunkNs +
+		serialNs/(1+cm.ParallelEff*float64(workers-1))
+	if pooledNs*planMargin >= serialNs {
+		return 0
+	}
+	helpers := workers - 1
+	if helpers > units-1 {
+		helpers = units - 1
+	}
+	return helpers
 }
 
 // ---- calibration ----
@@ -293,8 +365,8 @@ func Calibrate() *CostModel {
 	// ParallelEff is irrelevant (plan() never leaves serial).
 	procs := runtime.GOMAXPROCS(0)
 	workers := procs
-	if workers > cachedNumCPU {
-		workers = cachedNumCPU
+	if cpus := effectiveNumCPU(); workers > cpus {
+		workers = cpus
 	}
 	cm.MeasuredWorkers = workers
 	if workers > 1 {

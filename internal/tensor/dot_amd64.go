@@ -1,5 +1,7 @@
 package tensor
 
+import "ft2/internal/numerics"
+
 // dotVec (SSE) and dotVecAVX are the vector kernels in dot_amd64.s;
 // dotVecFMA/dotVec4FMA (AVX2+FMA3) and dotVecF16C/dotVec4F16C (F16C) are
 // the row kernels of the blocked MatMulT paths, appended by the cost-model
@@ -10,6 +12,32 @@ func dotVecFMA(a, b *float32, n int) float32
 func dotVecF16C(a *float32, b *uint16, n int) float32
 func dotVec4FMA(a *float32, lda int, b *float32, n int) (r0, r1, r2, r3 float32)
 func dotVec4F16C(a *float32, lda int, b *uint16, n int) (r0, r1, r2, r3 float32)
+func axpyVec(dst, src *float32, w float32, n int)
+func quantizeF16Vec(p *float32, n int)
+func dotStrideVec(dst, q, k *float32, d, limit int, scale float32)
+func axpyStrideVec(dst, v, w *float32, d, limit int)
+func matMulT1Vec(out, a, b *float32, k, cols int)
+func matMulT4Vec(out *float32, ldo int, a *float32, lda int, b *float32, k, cols int)
+func scaleVec(p *float32, n int, s float32)
+
+//go:noescape
+func siluFinishVec(p *float32, e *float64, n int)
+
+// Axpy accumulates w·src into dst element-wise (dst[i] += w*src[i], over
+// len(dst) elements; len(src) must be at least len(dst)). Each element is an
+// independent multiply-then-add, and the SSE kernel performs exactly that op
+// pair per lane — never an FMA — so the result is bit-identical to the scalar
+// loop on every input, including NaN and ±Inf. The attention context
+// accumulation is built on this kernel in both the single-session and the
+// batched path.
+func Axpy(dst, src []float32, w float32) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	src = src[:n] // bounds hint: panics early if src is shorter
+	axpyVec(&dst[0], &src[0], w, n)
+}
 
 // Dot computes the dot product of a and b (len(b) >= len(a)) with a SIMD
 // kernel: 8-lane AVX when the host enables it, 4-lane SSE otherwise.
@@ -74,6 +102,132 @@ func dotRowF16(a []float32, b []uint16) float32 {
 	}
 	b = b[:n]
 	return dotVecF16C(&a[0], &b[0], n)
+}
+
+// DotStride fills dst[j] = Dot(q, k[j*d:(j+1)*d]) * scale for j in
+// [0, limit) — the attention score sweep of one (row, head) against a
+// contiguous per-head K slab. The kernel's inner body is the Dot kernel
+// verbatim, so every score is bit-identical to the per-position Dot call
+// it replaces; only the call and bounds overhead per position is gone.
+func DotStride(dst, q, k []float32, d, limit int, scale float32) {
+	if limit <= 0 {
+		return
+	}
+	if hasAVX && d >= 16 {
+		// Dot crosses to the 8-lane AVX kernel at n ≥ 16; the stride
+		// kernel carries the SSE body, so wide heads (none in the zoo)
+		// keep the per-position calls to stay bit-identical to Dot.
+		q = q[:d]
+		for j := 0; j < limit; j++ {
+			dst[j] = Dot(q, k[j*d:(j+1)*d]) * scale
+		}
+		return
+	}
+	_ = dst[limit-1]
+	_ = k[limit*d-1]
+	_ = q[d-1]
+	dotStrideVec(&dst[0], &q[0], &k[0], d, limit, scale)
+}
+
+// AxpyStride accumulates dst += w[j]·v[j*d:(j+1)*d] for j in [0, limit),
+// skipping exact-zero weights — the attention context accumulation of one
+// (row, head) over a contiguous per-head V slab. Per element it is the
+// same multiply-then-add (never FMA) as Axpy, in the same j order, so the
+// result is bit-identical to the per-position Axpy loop it replaces. NaN
+// weights are not skipped (0·Inf and NaN propagation match the scalar
+// guard `if w[j] == 0`).
+func AxpyStride(dst, v, w []float32, d, limit int) {
+	if limit <= 0 {
+		return
+	}
+	_ = w[limit-1]
+	_ = v[limit*d-1]
+	_ = dst[d-1]
+	axpyStrideVec(&dst[0], &v[0], &w[0], d, limit)
+}
+
+// quantizeF16 rounds every element of data through binary16 in place — the
+// activation-precision step every layer output passes through. On F16C
+// hosts the vector kernel round-trips 8 lanes per VCVTPS2PH/VCVTPH2PS pair
+// with round-to-nearest-even forced by the immediate, which is bit-identical
+// to numerics.RoundF16 on every input class (normals, subnormals, ±0, ±Inf,
+// NaN — TestQuantizeF16VecBitIdentity sweeps them all); elsewhere it is the
+// scalar loop.
+func quantizeF16(data []float32) {
+	n := len(data)
+	if hasF16C {
+		if v := n &^ 7; v > 0 {
+			quantizeF16Vec(&data[0], v)
+		}
+		for i := n &^ 7; i < n; i++ {
+			data[i] = numerics.RoundF16(data[i])
+		}
+		return
+	}
+	for i, v := range data {
+		data[i] = numerics.RoundF16(v)
+	}
+}
+
+// matMulTSweep4 computes out[r·ldo+j] = dotRow(a[r·lda:], b[j·k:]) for
+// r in 0..3 and j in [0, cols) in one kernel call, the 4-row MatMulT block
+// with the column loop hoisted into assembly. The kernel's per-column body
+// is dotVec4FMA verbatim, so every element is bit-identical to the
+// per-column dotRow4 loop it replaces. Returns false when the FMA tier is
+// absent (caller falls back to the reference loop).
+func matMulTSweep4(out []float32, ldo int, a []float32, lda int, b []float32, k, cols int) bool {
+	if !hasFMA || k == 0 || cols == 0 {
+		return false
+	}
+	_ = a[3*lda+k-1]
+	_ = b[cols*k-1]
+	_ = out[3*ldo+cols-1]
+	matMulT4Vec(&out[0], ldo, &a[0], lda, &b[0], k, cols)
+	return true
+}
+
+// matMulTSweep1 is the single-row variant: out[j] = dotRow(a, b[j·k:]) for
+// j in [0, cols), with the dotVecFMA body inlined per column. Bit-identical
+// to the per-column dotRow loop; false when the FMA tier is absent.
+func matMulTSweep1(out, a, b []float32, k, cols int) bool {
+	if !hasFMA || k == 0 || cols == 0 {
+		return false
+	}
+	_ = a[k-1]
+	_ = b[cols*k-1]
+	_ = out[cols-1]
+	matMulT1Vec(&out[0], &a[0], &b[0], k, cols)
+	return true
+}
+
+// ScaleSlice multiplies every element of p by s in place. A uniform
+// multiply is one IEEE operation per lane, so the vector kernel is
+// bit-identical to the scalar loop on every input (NaN, ±Inf included).
+func ScaleSlice(p []float32, s float32) {
+	if len(p) == 0 {
+		return
+	}
+	scaleVec(&p[0], len(p), s)
+}
+
+// siluFinish completes SiLU after the scalar exp pass: p[i] =
+// float32(float64(p[i]) / (1 + e[i])). Widening, add, divide, and
+// narrowing are each single correctly-rounded IEEE operations per lane,
+// so the vector kernel matches the scalar reference bitwise. Returns
+// false when the AVX2 tier is absent.
+func siluFinish(p []float32, e []float64) bool {
+	if !hasFMA {
+		return false
+	}
+	n := len(p) &^ 3
+	if n > 0 {
+		_ = e[n-1]
+		siluFinishVec(&p[0], &e[0], n)
+	}
+	for i := n; i < len(p); i++ {
+		p[i] = float32(float64(p[i]) / (1 + e[i]))
+	}
+	return true
 }
 
 // dotRow4F16 is dotRow4 with b stored as packed binary16; hasF16C only.

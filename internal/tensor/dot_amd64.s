@@ -554,3 +554,608 @@ h4hsum:
 	ADDSS  X1, X6
 	MOVSS  X6, r3+44(FP)
 	RET
+
+// func axpyVec(dst, src *float32, w float32, n int)
+//
+// SSE scaled accumulate: dst[i] += w·src[i]. Each element is one MULPS
+// lane followed by one ADDPS lane — multiply then add, never fused — so
+// every element's result is bit-identical to the scalar Go loop. The
+// attention context accumulation depends on that: vectorizing it must not
+// change a single activation bit. NaN and ±Inf propagate lane-wise exactly
+// as in scalar IEEE arithmetic.
+TEXT ·axpyVec(SB), NOSPLIT, $0-32
+	MOVQ   dst+0(FP), SI
+	MOVQ   src+8(FP), DI
+	MOVSS  w+16(FP), X0
+	MOVQ   n+24(FP), CX
+	SHUFPS $0, X0, X0
+	MOVQ   CX, BX
+	SHRQ   $3, BX
+	JZ     axtail4
+
+axloop8:
+	MOVUPS (DI), X1
+	MULPS  X0, X1
+	MOVUPS (SI), X2
+	ADDPS  X1, X2
+	MOVUPS X2, (SI)
+	MOVUPS 16(DI), X3
+	MULPS  X0, X3
+	MOVUPS 16(SI), X4
+	ADDPS  X3, X4
+	MOVUPS X4, 16(SI)
+	ADDQ   $32, SI
+	ADDQ   $32, DI
+	DECQ   BX
+	JNZ    axloop8
+
+axtail4:
+	MOVQ CX, BX
+	ANDQ $7, BX
+	MOVQ BX, DX
+	SHRQ $2, DX
+	JZ   axtail1
+
+axloop4:
+	MOVUPS (DI), X1
+	MULPS  X0, X1
+	MOVUPS (SI), X2
+	ADDPS  X1, X2
+	MOVUPS X2, (SI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	DECQ   DX
+	JNZ    axloop4
+
+axtail1:
+	ANDQ $3, BX
+	JZ   axdone
+
+axloop1:
+	MOVSS (DI), X1
+	MULSS X0, X1
+	MOVSS (SI), X2
+	ADDSS X1, X2
+	MOVSS X2, (SI)
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  BX
+	JNZ   axloop1
+
+axdone:
+	RET
+
+// func quantizeF16Vec(p *float32, n int)
+// In-place float32 → binary16 → float32 round trip over n floats (n a
+// positive multiple of 8) via F16C: VCVTPS2PH with imm8=0 forces
+// round-to-nearest-even independent of MXCSR, and VCVTPH2PS widens back
+// exactly, so each lane matches numerics.RoundF16 bit for bit (NaNs are
+// quieted with the same truncated payload the software converter keeps).
+TEXT ·quantizeF16Vec(SB), NOSPLIT, $0-16
+	MOVQ p+0(FP), SI
+	MOVQ n+8(FP), CX
+	MOVQ CX, BX
+	SHRQ $4, BX
+	JZ   qztail8
+
+qzloop16:
+	VMOVUPS   (SI), Y0
+	VMOVUPS   32(SI), Y1
+	VCVTPS2PH $0, Y0, X2
+	VCVTPS2PH $0, Y1, X3
+	VCVTPH2PS X2, Y0
+	VCVTPH2PS X3, Y1
+	VMOVUPS   Y0, (SI)
+	VMOVUPS   Y1, 32(SI)
+	ADDQ      $64, SI
+	DECQ      BX
+	JNZ       qzloop16
+
+qztail8:
+	TESTQ $8, CX
+	JZ    qzdone
+	VMOVUPS   (SI), Y0
+	VCVTPS2PH $0, Y0, X2
+	VCVTPH2PS X2, Y0
+	VMOVUPS   Y0, (SI)
+
+qzdone:
+	VZEROUPPER
+	RET
+
+// func dotStrideVec(dst, q, k *float32, d, limit int, scale float32)
+// dst[j] = dotVec(q, k[j·d:], d) · scale for j in [0, limit). The inner
+// body is instruction-for-instruction the dotVec kernel (same accumulator
+// split, same reduction order, zero registers included), so each output is
+// bit-identical to a standalone Dot call; hoisting the loop just removes
+// the per-position call and bounds overhead of attention scoring. k rows
+// are contiguous, so DI walks forward d floats per position naturally.
+TEXT ·dotStrideVec(SB), NOSPLIT, $0-44
+	MOVQ  dst+0(FP), R8
+	MOVQ  q+8(FP), R11
+	MOVQ  k+16(FP), DI
+	MOVQ  d+24(FP), R9
+	MOVQ  limit+32(FP), R10
+	MOVSS scale+40(FP), X8
+	TESTQ R10, R10
+	JZ    dsdone
+
+dsrow:
+	MOVQ  R11, SI
+	MOVQ  R9, CX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ  CX, BX
+	SHRQ  $4, BX
+	JZ    dstail4
+
+dsloop16:
+	MOVUPS (SI), X4
+	MOVUPS (DI), X5
+	MULPS  X5, X4
+	ADDPS  X4, X0
+	MOVUPS 16(SI), X6
+	MOVUPS 16(DI), X7
+	MULPS  X7, X6
+	ADDPS  X6, X1
+	MOVUPS 32(SI), X4
+	MOVUPS 32(DI), X5
+	MULPS  X5, X4
+	ADDPS  X4, X2
+	MOVUPS 48(SI), X6
+	MOVUPS 48(DI), X7
+	MULPS  X7, X6
+	ADDPS  X6, X3
+	ADDQ   $64, SI
+	ADDQ   $64, DI
+	DECQ   BX
+	JNZ    dsloop16
+
+dstail4:
+	MOVQ CX, BX
+	ANDQ $15, BX
+	MOVQ BX, DX
+	SHRQ $2, DX
+	JZ   dstail1
+
+dsloop4:
+	MOVUPS (SI), X4
+	MOVUPS (DI), X5
+	MULPS  X5, X4
+	ADDPS  X4, X0
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	DECQ   DX
+	JNZ    dsloop4
+
+dstail1:
+	ANDQ $3, BX
+	JZ   dsreduce
+
+dsloop1:
+	MOVSS (SI), X4
+	MOVSS (DI), X5
+	MULSS X5, X4
+	ADDSS X4, X0
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  BX
+	JNZ   dsloop1
+
+dsreduce:
+	ADDPS  X1, X0
+	ADDPS  X3, X2
+	ADDPS  X2, X0
+	MOVAPS X0, X1
+	SHUFPS $0xEE, X1, X1
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	ADDSS  X1, X0
+	MULSS  X8, X0
+	MOVSS  X0, (R8)
+	ADDQ   $4, R8
+	DECQ   R10
+	JNZ    dsrow
+
+dsdone:
+	RET
+
+// func axpyStrideVec(dst, v, w *float32, d, limit int)
+// dst += w[j]·v[j·d:j·d+d] for j in [0, limit), skipping exact-zero
+// weights (bit test on sign-stripped word — NaN weights are NOT skipped,
+// matching the Go guard `if wgt == 0`). The inner body is the axpyVec
+// kernel verbatim — one MULPS then one ADDPS per lane, never fused — so
+// the accumulated context row is bit-identical to a per-position Axpy
+// loop, including NaN/±Inf propagation.
+TEXT ·axpyStrideVec(SB), NOSPLIT, $0-40
+	MOVQ  dst+0(FP), R11
+	MOVQ  v+8(FP), DI
+	MOVQ  w+16(FP), R8
+	MOVQ  d+24(FP), R9
+	MOVQ  limit+32(FP), R10
+	MOVQ  R9, R12
+	SHLQ  $2, R12
+	TESTQ R10, R10
+	JZ    asdone
+
+asrow:
+	MOVL  (R8), AX
+	ADDQ  $4, R8
+	TESTL $0x7FFFFFFF, AX
+	JZ    asskip
+	MOVSS  -4(R8), X0
+	SHUFPS $0, X0, X0
+	MOVQ   R11, SI
+	MOVQ   R9, CX
+	MOVQ   CX, BX
+	SHRQ   $3, BX
+	JZ     astail4
+
+asloop8:
+	MOVUPS (DI), X1
+	MULPS  X0, X1
+	MOVUPS (SI), X2
+	ADDPS  X1, X2
+	MOVUPS X2, (SI)
+	MOVUPS 16(DI), X3
+	MULPS  X0, X3
+	MOVUPS 16(SI), X4
+	ADDPS  X3, X4
+	MOVUPS X4, 16(SI)
+	ADDQ   $32, SI
+	ADDQ   $32, DI
+	DECQ   BX
+	JNZ    asloop8
+
+astail4:
+	MOVQ CX, BX
+	ANDQ $7, BX
+	MOVQ BX, DX
+	SHRQ $2, DX
+	JZ   astail1
+
+asloop4:
+	MOVUPS (DI), X1
+	MULPS  X0, X1
+	MOVUPS (SI), X2
+	ADDPS  X1, X2
+	MOVUPS X2, (SI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	DECQ   DX
+	JNZ    asloop4
+
+astail1:
+	ANDQ $3, BX
+	JZ   asnext
+
+asloop1:
+	MOVSS (DI), X1
+	MULSS X0, X1
+	MOVSS (SI), X2
+	ADDSS X1, X2
+	MOVSS X2, (SI)
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  BX
+	JNZ   asloop1
+
+asnext:
+	DECQ R10
+	JNZ  asrow
+	RET
+
+asskip:
+	ADDQ R12, DI
+	DECQ R10
+	JNZ  asrow
+
+asdone:
+	RET
+
+// func matMulT1Vec(out, a, b *float32, k, cols int)
+// out[j] = dotVecFMA(a, b[j·k:], k) for j in [0, cols): the single-row
+// MatMulT column sweep with the per-column call hoisted into the kernel.
+// The inner body is dotVecFMA verbatim (same accumulator split, same
+// reduction), so every output element is bit-identical to the per-column
+// call it replaces. b rows are contiguous, so DI walks forward naturally.
+TEXT ·matMulT1Vec(SB), NOSPLIT, $0-40
+	MOVQ  out+0(FP), R8
+	MOVQ  a+8(FP), R11
+	MOVQ  b+16(FP), DI
+	MOVQ  k+24(FP), CX
+	MOVQ  cols+32(FP), R10
+	TESTQ R10, R10
+	JZ    m1done
+
+m1col:
+	MOVQ   R11, SI
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ   CX, BX
+	SHRQ   $4, BX
+	JZ     m1tail8
+
+m1loop16:
+	VMOVUPS     (DI), Y2
+	VFMADD231PS (SI), Y2, Y0
+	VMOVUPS     32(DI), Y3
+	VFMADD231PS 32(SI), Y3, Y1
+	ADDQ        $64, SI
+	ADDQ        $64, DI
+	DECQ        BX
+	JNZ         m1loop16
+
+m1tail8:
+	MOVQ CX, BX
+	ANDQ $15, BX
+	CMPQ BX, $8
+	JLT  m1reduce
+	VMOVUPS     (DI), Y2
+	VFMADD231PS (SI), Y2, Y0
+	ADDQ        $32, SI
+	ADDQ        $32, DI
+	SUBQ        $8, BX
+
+m1reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VZEROUPPER
+	TESTQ        BX, BX
+	JZ           m1hsum
+
+m1loop1:
+	VMOVSS      (DI), X2
+	VFMADD231SS (SI), X2, X0
+	ADDQ        $4, SI
+	ADDQ        $4, DI
+	DECQ        BX
+	JNZ         m1loop1
+
+m1hsum:
+	MOVAPS X0, X1
+	SHUFPS $0xEE, X1, X1
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	ADDSS  X1, X0
+	MOVSS  X0, (R8)
+	ADDQ   $4, R8
+	DECQ   R10
+	JNZ    m1col
+
+m1done:
+	RET
+
+// func matMulT4Vec(out *float32, ldo int, a *float32, lda int, b *float32, k, cols int)
+// Four MatMulT output rows over all cols in one call: out[r·ldo+j] =
+// dotVecFMA(a[r·lda:], b[j·k:], k) for r in 0..3, j in [0, cols). The
+// inner body is dotVec4FMA verbatim (two accumulators per row, shared b
+// loads, same reduction and horizontal-sum order), so results are
+// bit-identical to per-column dotRow4 calls; hoisting the column loop
+// removes the per-column call, argument, and bounds overhead that
+// dominates at the zoo's small widths.
+TEXT ·matMulT4Vec(SB), NOSPLIT, $0-56
+	MOVQ  out+0(FP), DX
+	MOVQ  ldo+8(FP), R12
+	SHLQ  $2, R12
+	MOVQ  a+16(FP), R8
+	MOVQ  lda+24(FP), AX
+	SHLQ  $2, AX
+	LEAQ  (R8)(AX*1), R9
+	LEAQ  (R9)(AX*1), R10
+	LEAQ  (R10)(AX*1), R11
+	MOVQ  b+32(FP), DI
+	MOVQ  k+40(FP), CX
+	MOVQ  cols+48(FP), R14
+	MOVQ  CX, R13
+	SHLQ  $2, R13
+	TESTQ R14, R14
+	JZ    m4done
+
+m4col:
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	MOVQ   CX, BX
+	SHRQ   $4, BX
+	JZ     m4tail8
+
+m4loop16:
+	VMOVUPS     (DI), Y8
+	VMOVUPS     32(DI), Y9
+	VFMADD231PS (R8), Y8, Y0
+	VFMADD231PS 32(R8), Y9, Y1
+	VFMADD231PS (R9), Y8, Y2
+	VFMADD231PS 32(R9), Y9, Y3
+	VFMADD231PS (R10), Y8, Y4
+	VFMADD231PS 32(R10), Y9, Y5
+	VFMADD231PS (R11), Y8, Y6
+	VFMADD231PS 32(R11), Y9, Y7
+	ADDQ        $64, R8
+	ADDQ        $64, R9
+	ADDQ        $64, R10
+	ADDQ        $64, R11
+	ADDQ        $64, DI
+	DECQ        BX
+	JNZ         m4loop16
+
+m4tail8:
+	MOVQ CX, BX
+	ANDQ $15, BX
+	CMPQ BX, $8
+	JLT  m4reduce
+	VMOVUPS     (DI), Y8
+	VFMADD231PS (R8), Y8, Y0
+	VFMADD231PS (R9), Y8, Y2
+	VFMADD231PS (R10), Y8, Y4
+	VFMADD231PS (R11), Y8, Y6
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	ADDQ        $32, DI
+	SUBQ        $8, BX
+
+m4reduce:
+	VADDPS       Y1, Y0, Y0
+	VADDPS       Y3, Y2, Y2
+	VADDPS       Y5, Y4, Y4
+	VADDPS       Y7, Y6, Y6
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VEXTRACTF128 $1, Y2, X3
+	VADDPS       X3, X2, X2
+	VEXTRACTF128 $1, Y4, X5
+	VADDPS       X5, X4, X4
+	VEXTRACTF128 $1, Y6, X7
+	VADDPS       X7, X6, X6
+	VZEROUPPER
+	TESTQ        BX, BX
+	JZ           m4hsum
+
+m4loop1:
+	VMOVSS      (DI), X8
+	VFMADD231SS (R8), X8, X0
+	VFMADD231SS (R9), X8, X2
+	VFMADD231SS (R10), X8, X4
+	VFMADD231SS (R11), X8, X6
+	ADDQ        $4, R8
+	ADDQ        $4, R9
+	ADDQ        $4, R10
+	ADDQ        $4, R11
+	ADDQ        $4, DI
+	DECQ        BX
+	JNZ         m4loop1
+
+m4hsum:
+	MOVAPS X0, X1
+	SHUFPS $0xEE, X1, X1
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	ADDSS  X1, X0
+	MOVAPS X2, X3
+	SHUFPS $0xEE, X3, X3
+	ADDPS  X3, X2
+	MOVAPS X2, X3
+	SHUFPS $0x55, X3, X3
+	ADDSS  X3, X2
+	MOVAPS X4, X5
+	SHUFPS $0xEE, X5, X5
+	ADDPS  X5, X4
+	MOVAPS X4, X5
+	SHUFPS $0x55, X5, X5
+	ADDSS  X5, X4
+	MOVAPS X6, X7
+	SHUFPS $0xEE, X7, X7
+	ADDPS  X7, X6
+	MOVAPS X6, X7
+	SHUFPS $0x55, X7, X7
+	ADDSS  X7, X6
+	MOVSS  X0, (DX)
+	LEAQ   (DX)(R12*1), AX
+	MOVSS  X2, (AX)
+	ADDQ   R12, AX
+	MOVSS  X4, (AX)
+	ADDQ   R12, AX
+	MOVSS  X6, (AX)
+	SUBQ   R13, R8
+	SUBQ   R13, R9
+	SUBQ   R13, R10
+	SUBQ   R13, R11
+	ADDQ   $4, DX
+	DECQ   R14
+	JNZ    m4col
+
+m4done:
+	RET
+
+// func scaleVec(p *float32, n int, s float32)
+// p[i] *= s. A uniform multiply is one IEEE operation per lane, so the
+// vector loop is bit-identical to the scalar loop on every input, NaN and
+// ±Inf included.
+TEXT ·scaleVec(SB), NOSPLIT, $0-20
+	MOVQ   p+0(FP), DI
+	MOVQ   n+8(FP), CX
+	MOVSS  s+16(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVQ   CX, BX
+	SHRQ   $3, BX
+	JZ     sctail4
+
+scloop8:
+	MOVUPS (DI), X1
+	MULPS  X0, X1
+	MOVUPS X1, (DI)
+	MOVUPS 16(DI), X2
+	MULPS  X0, X2
+	MOVUPS X2, 16(DI)
+	ADDQ   $32, DI
+	DECQ   BX
+	JNZ    scloop8
+
+sctail4:
+	TESTQ $4, CX
+	JZ    sctail1
+	MOVUPS (DI), X1
+	MULPS  X0, X1
+	MOVUPS X1, (DI)
+	ADDQ   $16, DI
+
+sctail1:
+	ANDQ $3, CX
+	JZ   scdone
+
+scloop1:
+	MOVSS (DI), X1
+	MULSS X0, X1
+	MOVSS X1, (DI)
+	ADDQ  $4, DI
+	DECQ  CX
+	JNZ   scloop1
+
+scdone:
+	RET
+
+// func siluFinishVec(p *float32, e *float64, n int)
+// p[i] = float32(float64(p[i]) / (1 + e[i])) — the finishing pass of SiLU
+// after the scalar math.Exp pass filled e. Widening f32→f64 is exact, the
+// add and divide are single correctly-rounded IEEE f64 operations per lane,
+// and the f64→f32 narrowing rounds exactly like the scalar conversion, so
+// the 4-lane loop is bit-identical to the scalar reference. n must be a
+// multiple of 4 (the caller handles the tail).
+TEXT ·siluFinishVec(SB), NOSPLIT, $0-24
+	MOVQ         p+0(FP), DI
+	MOVQ         e+8(FP), SI
+	MOVQ         n+16(FP), CX
+	SHRQ         $2, CX
+	JZ           sfdone
+	MOVQ         $0x3FF0000000000000, AX
+	MOVQ         AX, X9
+	VBROADCASTSD X9, Y9
+
+sfloop4:
+	VCVTPS2PD (DI), Y0
+	VMOVUPD   (SI), Y1
+	VADDPD    Y9, Y1, Y1
+	VDIVPD    Y1, Y0, Y0
+	VCVTPD2PSY Y0, X0
+	VMOVUPS   X0, (DI)
+	ADDQ      $16, DI
+	ADDQ      $32, SI
+	DECQ      CX
+	JNZ       sfloop4
+	VZEROUPPER
+
+sfdone:
+	RET

@@ -2,6 +2,8 @@
 
 package tensor
 
+import "ft2/internal/numerics"
+
 // Non-amd64 hosts have no SIMD kernels: one scalar tier for everything, and
 // no packed-f16 streaming (halfData gates on hasF16C, so the f32 master copy
 // is always used — bit-identical by construction).
@@ -30,6 +32,16 @@ func Dot(a, b []float32) float32 {
 	return s0 + s1 + s2 + s3
 }
 
+// Axpy accumulates w·src into dst element-wise. The amd64 build carries an
+// SSE kernel with identical per-element multiply-then-add semantics; the
+// scalar loop is the reference definition.
+func Axpy(dst, src []float32, w float32) {
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] += w * src[i]
+	}
+}
+
 // dotRow/dotRow4 mirror the amd64 tier wiring with the scalar kernel.
 func dotRow(a, b []float32) float32 { return Dot(a, b) }
 
@@ -40,6 +52,57 @@ func dotRow4(a []float32, lda int, b []float32) (r0, r1, r2, r3 float32) {
 		dotRow(a[2*lda:2*lda+n], b),
 		dotRow(a[3*lda:3*lda+n], b)
 }
+
+// DotStride fills dst[j] = Dot(q, k[j*d:(j+1)*d]) * scale for j in
+// [0, limit) — the reference definition of the amd64 stride kernel.
+func DotStride(dst, q, k []float32, d, limit int, scale float32) {
+	q = q[:d]
+	for j := 0; j < limit; j++ {
+		dst[j] = Dot(q, k[j*d:(j+1)*d]) * scale
+	}
+}
+
+// AxpyStride accumulates dst += w[j]·v[j*d:(j+1)*d] for j in [0, limit),
+// skipping exact-zero weights — the reference definition of the amd64
+// stride kernel.
+func AxpyStride(dst, v, w []float32, d, limit int) {
+	dst = dst[:d]
+	for j := 0; j < limit; j++ {
+		if w[j] == 0 {
+			continue
+		}
+		Axpy(dst, v[j*d:(j+1)*d], w[j])
+	}
+}
+
+// quantizeF16 is the scalar reference: round every element through binary16
+// in place. (amd64 hosts with F16C use the VCVTPS2PH kernel instead.)
+func quantizeF16(data []float32) {
+	for i, v := range data {
+		data[i] = numerics.RoundF16(v)
+	}
+}
+
+// The column-sweep MatMulT kernels are FMA-tier only; reporting false makes
+// matMulTRows/matMulTCols fall back to their per-column reference loops.
+func matMulTSweep4(out []float32, ldo int, a []float32, lda int, b []float32, k, cols int) bool {
+	return false
+}
+
+func matMulTSweep1(out, a, b []float32, k, cols int) bool {
+	return false
+}
+
+// ScaleSlice multiplies every element of p by s in place — the scalar
+// reference of the amd64 vector kernel.
+func ScaleSlice(p []float32, s float32) {
+	for i := range p {
+		p[i] *= s
+	}
+}
+
+// siluFinish reports false so SiLU runs its scalar finishing loop.
+func siluFinish(p []float32, e []float64) bool { return false }
 
 // The f16 kernels are unreachable without hasF16C; halfData never hands out
 // a packed view here.

@@ -141,6 +141,9 @@ func matMulTRows(out, a, b *Tensor, lo, hi int) {
 	k, n := a.Cols, b.Rows
 	bh := b.halfData()
 	i := lo
+	if bh == nil && hi-lo >= 8 && matMulTTiled(out, a, b, lo, hi) {
+		return
+	}
 	if hasFMA && k > 0 {
 		for ; i+4 <= hi; i += 4 {
 			ablk := a.Data[i*k : (i+3)*k+k]
@@ -152,7 +155,7 @@ func matMulTRows(out, a, b *Tensor, lo, hi int) {
 				for j := 0; j < n; j++ {
 					o0[j], o1[j], o2[j], o3[j] = dotRow4F16(ablk, k, bh[j*k:(j+1)*k])
 				}
-			} else {
+			} else if !matMulTSweep4(out.Data[i*n:(i+4)*n], n, ablk, k, b.Data, k, n) {
 				for j := 0; j < n; j++ {
 					o0[j], o1[j], o2[j], o3[j] = dotRow4(ablk, k, b.Data[j*k:(j+1)*k])
 				}
@@ -166,12 +169,48 @@ func matMulTRows(out, a, b *Tensor, lo, hi int) {
 			for j := 0; j < n; j++ {
 				orow[j] = dotRowF16(arow, bh[j*k:(j+1)*k])
 			}
-		} else {
+		} else if !matMulTSweep1(orow, arow, b.Data[:n*k], k, n) {
 			for j := 0; j < n; j++ {
 				orow[j] = dotRow(arow, b.Data[j*k:(j+1)*k])
 			}
 		}
 	}
+}
+
+// matMulTTiled is matMulTRows with the columns of b tiled so one weight
+// block is streamed from the outer cache once and then reused from L1 by
+// every 4-row group — the shape the fused mixed-phase batch produces
+// (many activation rows against one weight matrix). Each output element is
+// still an independent dotRow of the same two vectors, so tiling changes
+// only the traversal order, never a result bit. Returns false when the FMA
+// sweep kernels are unavailable (the caller runs the untiled loops).
+func matMulTTiled(out, a, b *Tensor, lo, hi int) bool {
+	k, n := a.Cols, b.Rows
+	if k == 0 || n == 0 {
+		return false
+	}
+	// 32 columns × k floats ≤ ~12-16 KiB for the zoo's widths: comfortably
+	// inside L1 with the activation rows.
+	const colBlock = 32
+	for j0 := 0; j0 < n; j0 += colBlock {
+		jn := n - j0
+		if jn > colBlock {
+			jn = colBlock
+		}
+		blk := b.Data[j0*k : (j0+jn)*k]
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			if !matMulTSweep4(out.Data[i*n+j0:], n, a.Data[i*k:(i+4)*k], k, blk, k, jn) {
+				return false
+			}
+		}
+		for ; i < hi; i++ {
+			if !matMulTSweep1(out.Data[i*n+j0:i*n+j0+jn], a.Data[i*k:(i+1)*k], blk, k, jn) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // matMulTCols computes columns [lo,hi) of every row of out = a×bᵀ — the
@@ -187,7 +226,7 @@ func matMulTCols(out, a, b *Tensor, lo, hi int) {
 			for j := lo; j < hi; j++ {
 				orow[j] = dotRowF16(arow, bh[j*k:(j+1)*k])
 			}
-		} else {
+		} else if !matMulTSweep1(orow[lo:hi], arow, b.Data[lo*k:hi*k], k, hi-lo) {
 			for j := lo; j < hi; j++ {
 				orow[j] = dotRow(arow, b.Data[j*k:(j+1)*k])
 			}

@@ -38,9 +38,7 @@ func MulInPlace(a, b *Tensor) {
 
 // Scale multiplies every element by s in place.
 func (t *Tensor) Scale(s float32) {
-	for i := range t.Data {
-		t.Data[i] *= s
-	}
+	ScaleSlice(t.Data, s)
 	t.MarkMutated()
 }
 

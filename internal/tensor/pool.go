@@ -38,6 +38,10 @@ const (
 	kernelMatMulCols
 	kernelMatMulTRows
 	kernelMatMulTCols
+	// kernelFunc runs a caller-supplied range function instead of a matmul
+	// kernel — the ParallelFor escape hatch the batched attention fan-out
+	// uses. The function travels in the job's fn field.
+	kernelFunc
 )
 
 // jobIdle parks a job's cursor between uses: any stale chunk claim lands
@@ -48,6 +52,10 @@ type job struct {
 	kind      kernel
 	out, a, b *Tensor
 	skipZeros bool
+	// fn is the range body of a kernelFunc job. Callers keep the closure
+	// alive across calls (the model arena does), so assigning it here does
+	// not allocate.
+	fn func(lo, hi int)
 
 	chunk  atomic.Int64 // elements per chunk
 	n      atomic.Int64 // grid size (rows or cols)
@@ -66,6 +74,8 @@ func (j *job) exec(lo, hi int) {
 		matMulTRows(j.out, j.a, j.b, lo, hi)
 	case kernelMatMulTCols:
 		matMulTCols(j.out, j.a, j.b, lo, hi)
+	case kernelFunc:
+		j.fn(lo, hi)
 	}
 }
 
@@ -135,15 +145,48 @@ func poolHelperCount() int { return int(poolHelpers.Load()) }
 // heap allocation: jobs cycle through the freelist and the kernel arguments
 // travel as struct fields, not closures.
 func runPooled(kind kernel, out, a, b *Tensor, skipZeros bool, n, chunk, maxHelpers int) {
-	ensurePool(runtime.GOMAXPROCS(0))
-	var j *job
-	select {
-	case j = <-poolFree:
-	default:
-		j = &job{}
-	}
-	chunks := (n + chunk - 1) / chunk
+	j := acquireJob()
 	j.kind, j.out, j.a, j.b, j.skipZeros = kind, out, a, b, skipZeros
+	submitJob(j, n, chunk, maxHelpers)
+}
+
+// ParallelFor executes fn over [0,n) in chunk-sized ranges on the resident
+// pool, recruiting up to maxHelpers helpers (the submitter always works the
+// grid too). fn must be safe to invoke concurrently on disjoint ranges and
+// must not touch shared mutable state beyond what it owns per range — the
+// batched attention fan-out keys per-range scratch off the range bounds.
+// With maxHelpers <= 0 the grid runs inline as fn(0, n), so a single-CPU
+// host pays no atomics. Zero-alloc when the caller reuses a long-lived
+// closure.
+func ParallelFor(n, chunk, maxHelpers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if maxHelpers <= 0 || chunk <= 0 || chunk >= n {
+		fn(0, n)
+		return
+	}
+	j := acquireJob()
+	j.kind, j.fn = kernelFunc, fn
+	submitJob(j, n, chunk, maxHelpers)
+}
+
+// acquireJob recycles a parked job or allocates a fresh one.
+func acquireJob() *job {
+	ensurePool(runtime.GOMAXPROCS(0))
+	select {
+	case j := <-poolFree:
+		return j
+	default:
+		return &job{}
+	}
+}
+
+// submitJob publishes a prepared job over grid [0,n), recruits helpers,
+// works the grid on the calling goroutine, waits for completion, and parks
+// the job for reuse.
+func submitJob(j *job, n, chunk, maxHelpers int) {
+	chunks := (n + chunk - 1) / chunk
 	j.chunk.Store(int64(chunk))
 	j.n.Store(int64(n))
 	j.chunks.Store(int64(chunks))
@@ -171,7 +214,7 @@ func runPooled(kind kernel, out, a, b *Tensor, skipZeros bool, n, chunk, maxHelp
 	// Park the cursor so stale claims from helpers that still hold the
 	// pointer fail the bounds check, then recycle.
 	j.cursor.Store(jobIdle)
-	j.out, j.a, j.b = nil, nil, nil
+	j.out, j.a, j.b, j.fn = nil, nil, nil, nil
 	select {
 	case poolFree <- j:
 	default:

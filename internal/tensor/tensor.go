@@ -82,6 +82,18 @@ func (view *Tensor) BindRowView(t *Tensor, r int) *Tensor {
 	return view
 }
 
+// BindRowsView re-aims view at the row range [lo, lo+rows) of t without
+// allocating — the multi-row generalization of BindRowView that the fused
+// mixed-phase forward uses to hand a prefill item's C-row slice to its
+// hooks. Mutations through the view invalidate t.
+func (view *Tensor) BindRowsView(t *Tensor, lo, rows int) *Tensor {
+	view.Rows, view.Cols = rows, t.Cols
+	view.Data = t.Data[lo*t.Cols : (lo+rows)*t.Cols]
+	view.half, view.base = nil, t
+	view.finite.Store(finiteUnknown)
+	return view
+}
+
 // AllFinite reports whether every element is finite (no NaN, no ±Inf),
 // scanning at most once until the next mutation.
 func (t *Tensor) AllFinite() bool {
@@ -199,9 +211,7 @@ func (t *Tensor) Quantize(d numerics.DType) {
 	if d != numerics.FP16 {
 		return
 	}
-	for i, v := range t.Data {
-		t.Data[i] = numerics.RoundF16(v)
-	}
+	quantizeF16(t.Data)
 	t.MarkMutated()
 }
 
